@@ -1,0 +1,85 @@
+//! Ablation microbenchmarks for the design choices called out in
+//! `DESIGN.md`: assignment-distance variants (Eq. 5 vs Euclidean vs the
+//! unclamped variant), bandwidth rules, and kernel normalization forms.
+//! (The accuracy side of these ablations is produced by the `ablation`
+//! results binary.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use udm_data::{ErrorModel, UciDataset};
+use udm_kde::{BandwidthRule, ErrorKernelForm, KdeConfig};
+use udm_microcluster::{
+    AssignmentDistance, MaintainerConfig, MicroClusterKde, MicroClusterMaintainer,
+};
+
+fn bench_distance_variants(c: &mut Criterion) {
+    let clean = UciDataset::Adult.generate(2000, 7);
+    let data = ErrorModel::paper(1.2).apply(&clean, 8).unwrap();
+
+    let mut group = c.benchmark_group("ablation_assignment_distance");
+    for (name, dist) in [
+        ("error_adjusted", AssignmentDistance::ErrorAdjusted),
+        ("euclidean", AssignmentDistance::Euclidean),
+        ("unclamped", AssignmentDistance::ErrorAdjustedUnclamped),
+    ] {
+        group.bench_with_input(BenchmarkId::new("maintain", name), &dist, |b, &dist| {
+            b.iter(|| {
+                MicroClusterMaintainer::from_dataset(
+                    black_box(&data),
+                    MaintainerConfig {
+                        max_clusters: 80,
+                        distance: dist,
+                    },
+                )
+                .unwrap()
+                .points_seen()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bandwidth_and_forms(c: &mut Criterion) {
+    let clean = UciDataset::Adult.generate(2000, 7);
+    let data = ErrorModel::paper(1.2).apply(&clean, 8).unwrap();
+    let m = MicroClusterMaintainer::from_dataset(&data, MaintainerConfig::new(80)).unwrap();
+    let query: Vec<f64> = data.point(0).values().to_vec();
+
+    let mut group = c.benchmark_group("ablation_kde_config");
+    for (name, bw) in [
+        ("silverman", BandwidthRule::Silverman),
+        ("scott", BandwidthRule::Scott),
+        ("fixed", BandwidthRule::Fixed(0.5)),
+    ] {
+        let kde = MicroClusterKde::fit(
+            m.clusters(),
+            KdeConfig {
+                bandwidth: bw,
+                ..KdeConfig::default()
+            },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("bandwidth", name), &(), |b, _| {
+            b.iter(|| kde.density(black_box(&query)).unwrap())
+        });
+    }
+    for (name, form) in [
+        ("normalized", ErrorKernelForm::Normalized),
+        ("paper_faithful", ErrorKernelForm::PaperFaithful),
+    ] {
+        let kde = MicroClusterKde::fit(
+            m.clusters(),
+            KdeConfig {
+                form,
+                ..KdeConfig::default()
+            },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("kernel_form", name), &(), |b, _| {
+            b.iter(|| kde.density(black_box(&query)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_variants, bench_bandwidth_and_forms);
+criterion_main!(benches);

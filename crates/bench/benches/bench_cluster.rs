@@ -1,0 +1,93 @@
+//! Clustering microbenchmarks: error-adjusted vs Euclidean k-means and
+//! DBSCAN, plus the compressed macro-clustering path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use udm_cluster::{macro_cluster, Dbscan, DbscanConfig, KMeans, KMeansConfig, MacroClusterConfig};
+use udm_data::{ErrorModel, GaussianClassSpec, MixtureGenerator};
+use udm_microcluster::{AssignmentDistance, MaintainerConfig, MicroClusterMaintainer};
+
+fn workload(n: usize) -> udm_core::UncertainDataset {
+    let g = MixtureGenerator::new(
+        2,
+        vec![
+            GaussianClassSpec::spherical(vec![0.0, 0.0], 0.8, 1.0),
+            GaussianClassSpec::spherical(vec![8.0, 0.0], 0.8, 1.0),
+            GaussianClassSpec::spherical(vec![4.0, 7.0], 0.8, 1.0),
+        ],
+    )
+    .expect("spec is valid");
+    let clean = g.generate(n, 7);
+    ErrorModel::paper(0.5).apply(&clean, 8).expect("noise applies")
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let data = workload(1000);
+    let mut group = c.benchmark_group("kmeans");
+    for (name, dist) in [
+        ("error_adjusted", AssignmentDistance::ErrorAdjusted),
+        ("euclidean", AssignmentDistance::Euclidean),
+    ] {
+        group.bench_with_input(BenchmarkId::new("n1000_k3", name), &dist, |b, &dist| {
+            b.iter(|| {
+                let mut cfg = KMeansConfig::new(3);
+                cfg.distance = dist;
+                KMeans::new(cfg)
+                    .expect("valid config")
+                    .run(black_box(&data))
+                    .expect("kmeans runs")
+                    .iterations
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let data = workload(600);
+    let mut group = c.benchmark_group("dbscan");
+    for (name, adjusted) in [("error_adjusted", true), ("euclidean", false)] {
+        group.bench_with_input(BenchmarkId::new("n600", name), &adjusted, |b, &adj| {
+            b.iter(|| {
+                Dbscan::new(DbscanConfig {
+                    eps: 1.2,
+                    min_pts: 4,
+                    error_adjusted: adj,
+                })
+                .expect("valid config")
+                .run(black_box(&data))
+                .expect("dbscan runs")
+                .num_clusters
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_macro_path(c: &mut Criterion) {
+    // Raw k-means on 5000 points vs micro-cluster summary + macro-cluster:
+    // the compressed pathway should be dramatically cheaper per run.
+    let data = workload(5000);
+    let maintainer =
+        MicroClusterMaintainer::from_dataset(&data, MaintainerConfig::new(80)).expect("builds");
+    let mut group = c.benchmark_group("macro_path");
+    group.bench_function("raw_kmeans_n5000", |b| {
+        b.iter(|| {
+            KMeans::new(KMeansConfig::new(3))
+                .expect("valid config")
+                .run(black_box(&data))
+                .expect("kmeans runs")
+                .iterations
+        })
+    });
+    group.bench_function("macro_over_80_clusters", |b| {
+        b.iter(|| {
+            macro_cluster(black_box(maintainer.clusters()), MacroClusterConfig::new(3))
+                .expect("macro-clustering runs")
+                .iterations
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_dbscan, bench_macro_path);
+criterion_main!(benches);

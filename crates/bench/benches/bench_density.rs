@@ -1,0 +1,34 @@
+//! Density-evaluation cost: exact point-based KDE (`O(N·d)` per query)
+//! versus the micro-cluster estimator (`O(q·d)` per query) — the
+//! scalability argument of §2.1 in microbenchmark form.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use udm_data::{ErrorModel, UciDataset};
+use udm_kde::{ErrorKde, KdeConfig};
+use udm_microcluster::{MaintainerConfig, MicroClusterKde, MicroClusterMaintainer};
+
+fn bench_density(c: &mut Criterion) {
+    let clean = UciDataset::Adult.generate(4000, 7);
+    let data = ErrorModel::paper(1.0).apply(&clean, 8).unwrap();
+    let query: Vec<f64> = data.point(0).values().to_vec();
+
+    let mut group = c.benchmark_group("density_eval");
+
+    let exact = ErrorKde::fit(&data, KdeConfig::default()).unwrap();
+    group.bench_function("exact_n4000", |b| {
+        b.iter(|| exact.density(black_box(&query)).unwrap())
+    });
+
+    for q in [20, 80, 140] {
+        let m = MicroClusterMaintainer::from_dataset(&data, MaintainerConfig::new(q)).unwrap();
+        let kde = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("microcluster", q), &q, |b, _| {
+            b.iter(|| kde.density(black_box(&query)).unwrap())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

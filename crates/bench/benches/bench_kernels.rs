@@ -1,0 +1,47 @@
+//! Microbenchmarks of the kernel primitives: the standard Gaussian kernel
+//! (Eq. 2) and the error-based kernel (Eq. 3) in both normalization forms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use udm_kde::{ErrorKernelForm, GaussianErrorKernel, GaussianKernel, Kernel};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_eval");
+    let diffs: Vec<f64> = (0..1000).map(|i| (i as f64 - 500.0) * 0.01).collect();
+
+    group.bench_function("gaussian_standard", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &d in &diffs {
+                acc += GaussianKernel.evaluate(black_box(d), black_box(0.7));
+            }
+            acc
+        })
+    });
+
+    let normalized = GaussianErrorKernel::new(ErrorKernelForm::Normalized);
+    group.bench_function("error_kernel_normalized", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &d in &diffs {
+                acc += normalized.evaluate(black_box(d), black_box(0.7), black_box(0.4));
+            }
+            acc
+        })
+    });
+
+    let faithful = GaussianErrorKernel::new(ErrorKernelForm::PaperFaithful);
+    group.bench_function("error_kernel_paper_faithful", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &d in &diffs {
+                acc += faithful.evaluate(black_box(d), black_box(0.7), black_box(0.4));
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

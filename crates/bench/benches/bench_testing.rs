@@ -1,0 +1,43 @@
+//! Classification latency: full subspace roll-up per test point at
+//! different `q` and dimensionalities — the criterion counterpart of
+//! Figures 9 and 10.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use udm_classify::{ClassifierConfig, DensityClassifier};
+use udm_core::Subspace;
+use udm_data::{stratified_split, ErrorModel, UciDataset};
+
+fn bench_testing(c: &mut Criterion) {
+    let clean = UciDataset::Adult.generate(2000, 7);
+    let noisy = ErrorModel::paper(1.2).apply(&clean, 8).unwrap();
+    let split = stratified_split(&noisy, 0.3, 9).unwrap();
+
+    let mut group = c.benchmark_group("classification_latency");
+    for q in [20, 80, 140] {
+        let model =
+            DensityClassifier::fit(&split.train, ClassifierConfig::error_adjusted(q)).unwrap();
+        let probe = split.test.point(0).clone();
+        group.bench_with_input(BenchmarkId::new("adult_q", q), &q, |b, _| {
+            b.iter(|| model.classify_detailed(black_box(&probe)).unwrap().label)
+        });
+    }
+
+    // Dimensionality sweep on ionosphere projections (Figure 10's axis).
+    let clean = UciDataset::Ionosphere.generate(351, 7);
+    let noisy = ErrorModel::paper(1.2).apply(&clean, 8).unwrap();
+    for dims in [10usize, 20, 34] {
+        let s = Subspace::full(dims).unwrap();
+        let projected = noisy.project(s).unwrap();
+        let split = stratified_split(&projected, 0.3, 9).unwrap();
+        let model =
+            DensityClassifier::fit(&split.train, ClassifierConfig::error_adjusted(80)).unwrap();
+        let probe = split.test.point(0).clone();
+        group.bench_with_input(BenchmarkId::new("ionosphere_dims", dims), &dims, |b, _| {
+            b.iter(|| model.classify_detailed(black_box(&probe)).unwrap().label)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_testing);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Training-phase throughput: single-pass micro-cluster maintenance per
+//! point at different `q` — the criterion counterpart of Figure 8.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use udm_data::{ErrorModel, UciDataset};
+use udm_microcluster::{MaintainerConfig, MicroClusterMaintainer};
+
+fn bench_training(c: &mut Criterion) {
+    let clean = UciDataset::Adult.generate(2000, 7);
+    let data = ErrorModel::paper(1.2).apply(&clean, 8).unwrap();
+
+    let mut group = c.benchmark_group("training_maintenance");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    for q in [20, 80, 140] {
+        group.bench_with_input(BenchmarkId::new("stream_dataset", q), &q, |b, &q| {
+            b.iter(|| {
+                MicroClusterMaintainer::from_dataset(black_box(&data), MaintainerConfig::new(q))
+                    .unwrap()
+                    .points_seen()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

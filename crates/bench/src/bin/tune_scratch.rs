@@ -1,0 +1,62 @@
+//! Scratch tuning harness (not part of the figure suite): compares
+//! classifier-config variants across error levels on one dataset.
+//!
+//! Usage: `tune_scratch <dataset> [n] [seed]`
+
+use udm_bench::ExperimentConfig;
+use udm_classify::{evaluate, ClassifierConfig, DensityClassifier, NnClassifier};
+use udm_data::{stratified_split, ErrorModel, UciDataset};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ds = match args.next().as_deref() {
+        Some("adult") => UciDataset::Adult,
+        Some("iono") => UciDataset::Ionosphere,
+        Some("bc") => UciDataset::BreastCancer,
+        _ => UciDataset::ForestCover,
+    };
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+    let cfg = ExperimentConfig {
+        n,
+        seed,
+        ..Default::default()
+    };
+
+    let clean_test = std::env::var("CLEAN_TEST").is_ok();
+    println!("dataset={} n={n} seed={seed} clean_test={clean_test}", ds.name());
+    println!("f     adj+conv  adj-conv  unadj    nn");
+    for f in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
+        let clean = ds.generate(cfg.n, cfg.seed);
+        let clean_split = stratified_split(&clean, cfg.test_fraction, cfg.seed ^ 0x5851_F42D).unwrap();
+        let mut split = clean_split.clone();
+        split.train = ErrorModel::paper(f).apply(&clean_split.train, cfg.seed ^ 0x9E37_79B9).unwrap();
+        if !clean_test {
+            split.test = ErrorModel::paper(f).apply(&clean_split.test, cfg.seed ^ 0x1234_5678).unwrap();
+        }
+
+        let thr: f64 = std::env::var("THR").ok().and_then(|v| v.parse().ok()).unwrap_or(0.55);
+        let mut c1 = ClassifierConfig::error_adjusted(140);
+        c1.convolve_query_error = true;
+        c1.accuracy_threshold = thr;
+        let mut c2 = ClassifierConfig::error_adjusted(140);
+        c2.convolve_query_error = false;
+        c2.accuracy_threshold = thr;
+        let mut c3 = ClassifierConfig::unadjusted(140);
+        c3.accuracy_threshold = thr;
+
+        let acc = |c: ClassifierConfig| {
+            let m = DensityClassifier::fit(&split.train, c).unwrap();
+            evaluate(&m, &split.test).unwrap().accuracy()
+        };
+        let nn = NnClassifier::fit(&split.train).unwrap();
+        let nn_acc = evaluate(&nn, &split.test).unwrap().accuracy();
+        println!(
+            "{f:<5} {:<9.4} {:<9.4} {:<8.4} {:.4}",
+            acc(c1),
+            acc(c2),
+            acc(c3),
+            nn_acc
+        );
+    }
+}

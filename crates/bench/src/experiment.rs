@@ -1,0 +1,241 @@
+//! Shared experiment runners behind the figure binaries.
+//!
+//! Protocol (matching §4 as closely as it is specified):
+//!
+//! 1. materialize the dataset (UCI stand-in, exact values);
+//! 2. inject errors with the paper's model at level `f` (every cell's ψ ~
+//!    `U[0, 2f]·σ_j`, value displaced by `N(0, ψ²)`);
+//! 3. stratified 70/30 train/test split;
+//! 4. train the three classifiers on the *perturbed* training data and
+//!    evaluate on the *perturbed* test data (the paper distorts the data
+//!    set, so both sides are uncertain);
+//! 5. report accuracy, or seconds-per-example for the timing figures.
+
+use std::time::Instant;
+use udm_classify::{evaluate, Classifier, ClassifierConfig, DensityClassifier, NnClassifier};
+use udm_core::{Result, Subspace, UncertainDataset};
+use udm_data::{stratified_split, ErrorModel, UciDataset};
+use udm_microcluster::{MaintainerConfig, MicroClusterMaintainer};
+
+/// Parameters shared by the experiment runners.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Number of points to materialize from the dataset profile.
+    pub n: usize,
+    /// Base RNG seed; sub-steps derive their own seeds from it.
+    pub seed: u64,
+    /// Held-out fraction for accuracy experiments.
+    pub test_fraction: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            n: 4000,
+            seed: 7,
+            test_fraction: 0.3,
+        }
+    }
+}
+
+/// One row of an accuracy figure: the three classifiers at one x-value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyRow {
+    /// The x-coordinate (error level `f` for Figs. 4/6, cluster count `q`
+    /// for Figs. 5/7).
+    pub x: f64,
+    /// Density-based method *with* error adjustment (the paper's method).
+    pub adjusted: f64,
+    /// Density-based method with no error adjustment.
+    pub unadjusted: f64,
+    /// Nearest-neighbor classifier.
+    pub nn: f64,
+}
+
+/// One row of a timing figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingRow {
+    /// The x-coordinate (cluster count, dimensionality, or data size).
+    pub x: f64,
+    /// Seconds per example.
+    pub seconds_per_example: f64,
+}
+
+fn prepare(
+    dataset: UciDataset,
+    f: f64,
+    cfg: &ExperimentConfig,
+) -> Result<(UncertainDataset, UncertainDataset)> {
+    let clean = dataset.generate(cfg.n, cfg.seed);
+    let noisy = ErrorModel::paper(f).apply(&clean, cfg.seed ^ 0x9E37_79B9)?;
+    let split = stratified_split(&noisy, cfg.test_fraction, cfg.seed ^ 0x5851_F42D)?;
+    Ok((split.train, split.test))
+}
+
+fn accuracy_of<C: Classifier>(model: &C, test: &UncertainDataset) -> Result<f64> {
+    Ok(evaluate(model, test)?.accuracy())
+}
+
+/// Runs one cell of an accuracy figure: all three classifiers on `dataset`
+/// at error level `f` with `q` micro-clusters.
+pub fn accuracy_cell(
+    dataset: UciDataset,
+    f: f64,
+    q: usize,
+    cfg: &ExperimentConfig,
+) -> Result<AccuracyRow> {
+    let (train, test) = prepare(dataset, f, cfg)?;
+
+    let adjusted = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(q))?;
+    let unadjusted = DensityClassifier::fit(&train, ClassifierConfig::unadjusted(q))?;
+    let nn = NnClassifier::fit(&train)?;
+
+    Ok(AccuracyRow {
+        x: f,
+        adjusted: accuracy_of(&adjusted, &test)?,
+        unadjusted: accuracy_of(&unadjusted, &test)?,
+        nn: accuracy_of(&nn, &test)?,
+    })
+}
+
+/// Figure 4/6 series: accuracy vs error level `f` at fixed `q`.
+pub fn accuracy_sweep_error(
+    dataset: UciDataset,
+    fs: &[f64],
+    q: usize,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<AccuracyRow>> {
+    fs.iter()
+        .map(|&f| accuracy_cell(dataset, f, q, cfg))
+        .collect()
+}
+
+/// Figure 5/7 series: accuracy vs micro-cluster count `q` at fixed `f`.
+/// The x field of each row carries `q`.
+pub fn accuracy_sweep_clusters(
+    dataset: UciDataset,
+    qs: &[usize],
+    f: f64,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<AccuracyRow>> {
+    qs.iter()
+        .map(|&q| {
+            let mut row = accuracy_cell(dataset, f, q, cfg)?;
+            row.x = q as f64;
+            Ok(row)
+        })
+        .collect()
+}
+
+/// Figure 8 cell: training time per point — the single-pass micro-cluster
+/// maintenance cost at `q` clusters (the paper's training phase).
+pub fn training_time(
+    dataset: UciDataset,
+    q: usize,
+    f: f64,
+    cfg: &ExperimentConfig,
+) -> Result<TimingRow> {
+    let clean = dataset.generate(cfg.n, cfg.seed);
+    let noisy = ErrorModel::paper(f).apply(&clean, cfg.seed ^ 0x9E37_79B9)?;
+    let start = Instant::now();
+    let maintainer = MicroClusterMaintainer::from_dataset(&noisy, MaintainerConfig::new(q))?;
+    let elapsed = start.elapsed().as_secs_f64();
+    debug_assert_eq!(maintainer.points_seen() as usize, noisy.len());
+    Ok(TimingRow {
+        x: q as f64,
+        seconds_per_example: elapsed / noisy.len() as f64,
+    })
+}
+
+/// Figure 9/10 cell: testing time per example for the full density-based
+/// classification process (roll-up over subspaces) at `q` clusters, over
+/// the first `test_points` held-out points.
+pub fn testing_time(
+    dataset: UciDataset,
+    q: usize,
+    f: f64,
+    test_points: usize,
+    dims: Option<usize>,
+    cfg: &ExperimentConfig,
+) -> Result<TimingRow> {
+    let (mut train, mut test) = prepare(dataset, f, cfg)?;
+    if let Some(d) = dims {
+        let s = Subspace::full(d.min(train.dim()))?;
+        train = train.project(s)?;
+        test = test.project(s)?;
+    }
+    let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(q))?;
+    let m = test.len().min(test_points.max(1));
+    let start = Instant::now();
+    for p in test.points().iter().take(m) {
+        let _ = model.classify(p)?;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    Ok(TimingRow {
+        x: q as f64,
+        seconds_per_example: elapsed / m as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ExperimentConfig {
+        ExperimentConfig {
+            n: 400,
+            seed: 3,
+            test_fraction: 0.3,
+        }
+    }
+
+    #[test]
+    fn accuracy_cell_produces_sane_numbers() {
+        let row = accuracy_cell(UciDataset::BreastCancer, 0.5, 30, &small()).unwrap();
+        for v in [row.adjusted, row.unadjusted, row.nn] {
+            assert!((0.0..=1.0).contains(&v), "{row:?}");
+        }
+        assert!(row.adjusted > 0.5, "{row:?}");
+    }
+
+    #[test]
+    fn zero_error_adjusted_equals_unadjusted() {
+        let row = accuracy_cell(UciDataset::BreastCancer, 0.0, 30, &small()).unwrap();
+        assert!(
+            (row.adjusted - row.unadjusted).abs() < 1e-12,
+            "at f=0 both density classifiers must coincide: {row:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_error_carries_f_in_x() {
+        let rows =
+            accuracy_sweep_error(UciDataset::BreastCancer, &[0.0, 1.0], 20, &small()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].x, 0.0);
+        assert_eq!(rows[1].x, 1.0);
+    }
+
+    #[test]
+    fn sweep_clusters_carries_q_in_x() {
+        let rows =
+            accuracy_sweep_clusters(UciDataset::BreastCancer, &[10, 20], 0.5, &small()).unwrap();
+        assert_eq!(rows[0].x, 10.0);
+        assert_eq!(rows[1].x, 20.0);
+    }
+
+    #[test]
+    fn training_time_positive_and_scales() {
+        let cfg = small();
+        let t20 = training_time(UciDataset::BreastCancer, 20, 1.0, &cfg).unwrap();
+        assert!(t20.seconds_per_example > 0.0);
+        assert_eq!(t20.x, 20.0);
+    }
+
+    #[test]
+    fn testing_time_positive_with_dim_projection() {
+        let cfg = small();
+        let t = testing_time(UciDataset::BreastCancer, 15, 1.0, 20, Some(4), &cfg).unwrap();
+        assert!(t.seconds_per_example > 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Minimal fixed-width table rendering and results persistence.
+
+use std::io::Write;
+use std::path::Path;
+use udm_core::Result;
+
+/// Renders a fixed-width text table: one header row plus data rows.
+///
+/// Column widths adapt to the widest cell; numeric alignment is left to
+/// the caller's formatting.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    line(&mut out, &rule);
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Writes rendered results under `results/<name>.txt`, creating the
+/// directory if needed, and echoes the path written.
+pub fn write_results_file(name: &str, content: &str) -> Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.txt"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(content.as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render_table(
+            &["x", "value"],
+            &[
+                vec!["1".into(), "0.5".into()],
+                vec!["10".into(), "0.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("x "));
+        assert!(lines[1].starts_with("--"));
+        // all lines equal width
+        let w = lines[0].len();
+        for l in &lines[1..] {
+            assert_eq!(l.len(), w, "{t}");
+        }
+    }
+
+    #[test]
+    fn wide_cells_stretch_columns() {
+        let t = render_table(&["a"], &[vec!["longcell".into()]]);
+        assert!(t.lines().next().unwrap().len() >= "longcell".len());
+    }
+
+    #[test]
+    fn writes_results_file() {
+        let cwd = std::env::current_dir().unwrap();
+        let tmp = std::env::temp_dir().join("udm_table_test");
+        std::fs::create_dir_all(&tmp).unwrap();
+        std::env::set_current_dir(&tmp).unwrap();
+        let path = write_results_file("unit_test", "hello\n").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "hello\n");
+        std::env::set_current_dir(cwd).unwrap();
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

@@ -1,0 +1,186 @@
+//! Configuration of the density-based classifier.
+
+use serde::{Deserialize, Serialize};
+use udm_core::{Result, UdmError};
+use udm_kde::{BandwidthRule, ErrorKernelForm};
+use udm_microcluster::AssignmentDistance;
+
+/// What to predict when no subspace clears the accuracy threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Fallback {
+    /// Use the class whose local accuracy is highest among all evaluated
+    /// singleton subspaces (even though below threshold). Keeps the
+    /// decision instance-specific; the default.
+    #[default]
+    BestSingleton,
+    /// Predict the majority class of the training data.
+    MajorityClass,
+}
+
+/// Full configuration of [`crate::DensityClassifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierConfig {
+    /// Accuracy threshold `a` of Fig. 3: a subspace is retained when some
+    /// class has `A(x, S, l) > a`. `A` behaves like a posterior estimate,
+    /// so sensible values lie in `(0, 1)`.
+    pub accuracy_threshold: f64,
+    /// Number of micro-clusters `q` for the global summary of `D`; each
+    /// class summary `D_i` gets `max(1, round(q·|D_i|/|D|))` clusters so
+    /// total memory stays ≈ `2q`. The paper's experiments sweep 20–140.
+    pub micro_clusters: usize,
+    /// Error adjustment on (the paper's method) or off (its "no error
+    /// adjustment" baseline — same algorithm, ψ treated as 0 in both the
+    /// assignment distance and the kernels).
+    pub error_adjusted: bool,
+    /// Bandwidth selection rule shared by all density estimates.
+    pub bandwidth: BandwidthRule,
+    /// Error-kernel normalization form.
+    pub kernel_form: ErrorKernelForm,
+    /// Assignment distance for micro-cluster maintenance.
+    pub distance: AssignmentDistance,
+    /// Convolve every density with the *test point's own* per-dimension
+    /// error ψ(x) during classification (the Figure 1 effect: a test
+    /// example is classified by what it could coincide with inside its
+    /// error boundary). Only applies when `error_adjusted` is on.
+    /// Off by default: the ablation suite shows it trades accuracy in the
+    /// moderate-error regime for no gain at high error (the training-side
+    /// adjustment already absorbs the displacement).
+    pub convolve_query_error: bool,
+    /// Upper bound on explored subspace dimensionality. The paper iterates
+    /// until `C_{i+1}` is empty; this guard bounds worst-case roll-up cost
+    /// on wide data (it is rarely reached with sensible thresholds).
+    pub max_subspace_dim: Option<usize>,
+    /// Upper bound on candidates evaluated per roll-up level (guard
+    /// against adversarial candidate blow-up; `None` = unlimited).
+    pub max_candidates_per_level: Option<usize>,
+    /// Optional cap `p` on the number of non-overlapping subspaces used in
+    /// the final vote (§3: "it is possible to terminate the process after
+    /// finding at most p non-overlapping subsets").
+    pub max_selected_subspaces: Option<usize>,
+    /// Behaviour when no subspace clears the threshold.
+    pub fallback: Fallback,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            accuracy_threshold: 0.55,
+            micro_clusters: 140,
+            error_adjusted: true,
+            bandwidth: BandwidthRule::Silverman,
+            kernel_form: ErrorKernelForm::Normalized,
+            distance: AssignmentDistance::ErrorAdjusted,
+            convolve_query_error: false,
+            max_subspace_dim: Some(5),
+            max_candidates_per_level: Some(4096),
+            max_selected_subspaces: None,
+            fallback: Fallback::BestSingleton,
+        }
+    }
+}
+
+impl ClassifierConfig {
+    /// The paper's error-adjusted configuration with `q` micro-clusters.
+    pub fn error_adjusted(q: usize) -> Self {
+        ClassifierConfig {
+            micro_clusters: q,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's unadjusted baseline: identical except every error is
+    /// treated as zero (and assignment falls back to plain Euclidean,
+    /// which Eq. 5 reduces to at ψ = 0).
+    pub fn unadjusted(q: usize) -> Self {
+        ClassifierConfig {
+            micro_clusters: q,
+            error_adjusted: false,
+            distance: AssignmentDistance::Euclidean,
+            ..Self::default()
+        }
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.accuracy_threshold.is_finite() && self.accuracy_threshold > 0.0) {
+            return Err(UdmError::InvalidValue {
+                what: "accuracy threshold",
+                value: self.accuracy_threshold,
+            });
+        }
+        if self.micro_clusters == 0 {
+            return Err(UdmError::InvalidConfig(
+                "micro_clusters must be at least 1".into(),
+            ));
+        }
+        if self.max_subspace_dim == Some(0) {
+            return Err(UdmError::InvalidConfig(
+                "max_subspace_dim must be at least 1 when set".into(),
+            ));
+        }
+        if self.max_candidates_per_level == Some(0) {
+            return Err(UdmError::InvalidConfig(
+                "max_candidates_per_level must be at least 1 when set".into(),
+            ));
+        }
+        if self.max_selected_subspaces == Some(0) {
+            return Err(UdmError::InvalidConfig(
+                "max_selected_subspaces must be at least 1 when set".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ClassifierConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn presets() {
+        let adj = ClassifierConfig::error_adjusted(80);
+        assert!(adj.error_adjusted);
+        assert_eq!(adj.micro_clusters, 80);
+        let un = ClassifierConfig::unadjusted(80);
+        assert!(!un.error_adjusted);
+        assert_eq!(un.distance, AssignmentDistance::Euclidean);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let bad = [
+            ClassifierConfig {
+                accuracy_threshold: 0.0,
+                ..Default::default()
+            },
+            ClassifierConfig {
+                accuracy_threshold: f64::NAN,
+                ..Default::default()
+            },
+            ClassifierConfig {
+                micro_clusters: 0,
+                ..Default::default()
+            },
+            ClassifierConfig {
+                max_subspace_dim: Some(0),
+                ..Default::default()
+            },
+            ClassifierConfig {
+                max_candidates_per_level: Some(0),
+                ..Default::default()
+            },
+            ClassifierConfig {
+                max_selected_subspaces: Some(0),
+                ..Default::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
+    }
+}

@@ -1,0 +1,709 @@
+//! The density-based subspace classifier (Fig. 3).
+
+use crate::config::{ClassifierConfig, Fallback};
+use crate::eval::Classifier;
+use crate::rollup::{rollup, AccuracyOracle, DiscriminativeSubspace, RollupLimits};
+use crate::subspace_select::select_non_overlapping;
+use std::collections::BTreeMap;
+use udm_core::{ClassLabel, Result, Subspace, UdmError, UncertainDataset, UncertainPoint};
+use udm_microcluster::{MaintainerConfig, MicroClusterKde, MicroClusterMaintainer};
+
+/// A trained density-based classifier.
+///
+/// Training (§3, "performed only once as a pre-processing step"):
+///
+/// 1. partition the training data into `D_1 … D_k` by class;
+/// 2. stream `D` into a `q`-cluster error-based micro-cluster summary and
+///    each `D_i` into a proportional share of `q`;
+/// 3. recover the global per-dimension σ and `N` from the aggregated
+///    statistics and fix one shared bandwidth vector, so every density in
+///    Eq. 11's ratio is estimated on the same scale.
+///
+/// Classification evaluates local accuracies `A(x, S, l_i)` (Eq. 11) over
+/// micro-cluster densities only — the original data is never revisited.
+///
+/// # Example
+///
+/// ```
+/// use udm_classify::{Classifier, ClassifierConfig, DensityClassifier};
+/// use udm_core::{ClassLabel, UncertainDataset, UncertainPoint};
+///
+/// let train = UncertainDataset::from_points(vec![
+///     UncertainPoint::new(vec![0.0, 0.0], vec![0.1, 0.0]).unwrap()
+///         .with_label(ClassLabel(0)),
+///     UncertainPoint::new(vec![0.5, 0.2], vec![0.0, 0.2]).unwrap()
+///         .with_label(ClassLabel(0)),
+///     UncertainPoint::new(vec![6.0, 6.0], vec![0.2, 0.1]).unwrap()
+///         .with_label(ClassLabel(1)),
+///     UncertainPoint::new(vec![6.5, 5.8], vec![0.1, 0.0]).unwrap()
+///         .with_label(ClassLabel(1)),
+/// ]).unwrap();
+/// let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(4)).unwrap();
+/// let x = UncertainPoint::new(vec![6.2, 6.1], vec![0.3, 0.3]).unwrap();
+/// assert_eq!(model.classify(&x).unwrap(), ClassLabel(1));
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DensityClassifier {
+    config: ClassifierConfig,
+    dim: usize,
+    labels: Vec<ClassLabel>,
+    priors: Vec<f64>,
+    class_kdes: Vec<MicroClusterKde>,
+    global_kde: MicroClusterKde,
+    majority: ClassLabel,
+}
+
+/// Everything the classifier can report about one decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationOutcome {
+    /// The predicted label.
+    pub label: ClassLabel,
+    /// The non-overlapping subspaces that voted (empty when the fallback
+    /// decided).
+    pub selected: Vec<DiscriminativeSubspace>,
+    /// Total candidate subspaces whose accuracy was evaluated.
+    pub candidates_evaluated: usize,
+    /// Whether the fallback policy produced the label.
+    pub used_fallback: bool,
+}
+
+struct KdeOracle<'a> {
+    model: &'a DensityClassifier,
+    query: &'a [f64],
+    /// The test point's own per-dimension error ψ(x). The paper's Figure 1
+    /// motivates classifying by what the test example *could* coincide
+    /// with inside its error boundary; the error-adjusted method therefore
+    /// convolves every density with the query's error (`None` for the
+    /// unadjusted baseline, which pretends all errors are zero).
+    query_errors: Option<&'a [f64]>,
+}
+
+impl AccuracyOracle for KdeOracle<'_> {
+    fn labels(&self) -> &[ClassLabel] {
+        &self.model.labels
+    }
+
+    fn accuracies(&self, subspace: Subspace) -> Result<Vec<f64>> {
+        let global = self.model.global_kde.density_subspace_with_error(
+            self.query,
+            self.query_errors,
+            subspace,
+        )?;
+        let mut out = Vec::with_capacity(self.model.labels.len());
+        for (i, kde) in self.model.class_kdes.iter().enumerate() {
+            let class_density =
+                kde.density_subspace_with_error(self.query, self.query_errors, subspace)?;
+            let a = if global > 0.0 {
+                self.model.priors[i] * class_density / global
+            } else {
+                f64::NAN // numerically empty region: no evidence either way
+            };
+            out.push(a);
+        }
+        Ok(out)
+    }
+}
+
+impl DensityClassifier {
+    /// Trains the classifier on a labelled dataset.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation errors; [`UdmError::InvalidConfig`] when
+    /// the training data has fewer than 2 classes.
+    pub fn fit(train: &UncertainDataset, config: ClassifierConfig) -> Result<Self> {
+        config.validate()?;
+        let partition = train.partition_by_class();
+        if partition.num_classes() < 2 {
+            return Err(UdmError::InvalidConfig(format!(
+                "training data has {} class(es); need at least 2",
+                partition.num_classes()
+            )));
+        }
+        let labels = partition.labels();
+        let q = config.micro_clusters;
+        let mc_config = MaintainerConfig {
+            max_clusters: q,
+            distance: config.distance,
+        };
+
+        // Global summary over all of D.
+        let global = MicroClusterMaintainer::from_dataset(train, mc_config)?;
+
+        // Shared bandwidths from the aggregated global statistics.
+        let mut agg = udm_microcluster::MicroCluster::new(train.dim());
+        for c in global.clusters() {
+            agg.merge(c)?;
+        }
+        let sigmas: Vec<f64> = (0..train.dim()).map(|j| agg.variance(j).sqrt()).collect();
+        let bandwidths = config
+            .bandwidth
+            .bandwidths_from_sigmas(&sigmas, train.len())?;
+
+        let global_kde = MicroClusterKde::fit_with_bandwidths(
+            global.clusters(),
+            bandwidths.clone(),
+            config.kernel_form,
+            config.error_adjusted,
+        )?;
+
+        // Per-class summaries: q_i proportional to |D_i|, at least 1.
+        let mut class_kdes = Vec::with_capacity(labels.len());
+        let mut priors = Vec::with_capacity(labels.len());
+        let mut majority = (labels[0], 0usize);
+        for &label in &labels {
+            let class_data = partition
+                .class(label)
+                .expect("label came from the partition");
+            let q_i = ((q as f64 * class_data.len() as f64 / train.len() as f64).round()
+                as usize)
+                .max(1);
+            let m = MicroClusterMaintainer::from_dataset(
+                class_data,
+                MaintainerConfig {
+                    max_clusters: q_i,
+                    distance: config.distance,
+                },
+            )?;
+            class_kdes.push(MicroClusterKde::fit_with_bandwidths(
+                m.clusters(),
+                bandwidths.clone(),
+                config.kernel_form,
+                config.error_adjusted,
+            )?);
+            priors.push(class_data.len() as f64 / train.len() as f64);
+            if class_data.len() > majority.1 {
+                majority = (label, class_data.len());
+            }
+        }
+
+        Ok(DensityClassifier {
+            config,
+            dim: train.dim(),
+            labels,
+            priors,
+            class_kdes,
+            global_kde,
+            majority: majority.0,
+        })
+    }
+
+    /// Like [`DensityClassifier::fit`], but builds the global and
+    /// per-class micro-cluster summaries on crossbeam-scoped worker
+    /// threads. Produces a model identical to the sequential one (the
+    /// summaries are deterministic functions of their input partition).
+    pub fn fit_parallel(train: &UncertainDataset, config: ClassifierConfig) -> Result<Self> {
+        config.validate()?;
+        let partition = train.partition_by_class();
+        if partition.num_classes() < 2 {
+            return Err(UdmError::InvalidConfig(format!(
+                "training data has {} class(es); need at least 2",
+                partition.num_classes()
+            )));
+        }
+        let labels = partition.labels();
+        let q = config.micro_clusters;
+
+        // Global summary + per-class maintainers, concurrently.
+        type MaintainerResult = Result<MicroClusterMaintainer>;
+        let (global, class_results): (MaintainerResult, Vec<(ClassLabel, MaintainerResult)>) =
+            crossbeam::thread::scope(|scope| {
+                let global_handle = scope.spawn(|_| {
+                    MicroClusterMaintainer::from_dataset(
+                        train,
+                        MaintainerConfig {
+                            max_clusters: q,
+                            distance: config.distance,
+                        },
+                    )
+                });
+                let class_handles: Vec<_> = labels
+                    .iter()
+                    .map(|&label| {
+                        let partition = &partition;
+                        scope.spawn(move |_| {
+                            let class_data =
+                                partition.class(label).expect("label from partition");
+                            let q_i = ((q as f64 * class_data.len() as f64
+                                / train.len() as f64)
+                                .round() as usize)
+                                .max(1);
+                            (
+                                label,
+                                MicroClusterMaintainer::from_dataset(
+                                    class_data,
+                                    MaintainerConfig {
+                                        max_clusters: q_i,
+                                        distance: config.distance,
+                                    },
+                                ),
+                            )
+                        })
+                    })
+                    .collect();
+                (
+                    global_handle.join().expect("global training panicked"),
+                    class_handles
+                        .into_iter()
+                        .map(|h| h.join().expect("class training panicked"))
+                        .collect(),
+                )
+            })
+            .expect("crossbeam scope failed");
+
+        let global = global?;
+        let mut agg = udm_microcluster::MicroCluster::new(train.dim());
+        for c in global.clusters() {
+            agg.merge(c)?;
+        }
+        let sigmas: Vec<f64> = (0..train.dim()).map(|j| agg.variance(j).sqrt()).collect();
+        let bandwidths = config
+            .bandwidth
+            .bandwidths_from_sigmas(&sigmas, train.len())?;
+        let global_kde = MicroClusterKde::fit_with_bandwidths(
+            global.clusters(),
+            bandwidths.clone(),
+            config.kernel_form,
+            config.error_adjusted,
+        )?;
+
+        let mut class_kdes = Vec::with_capacity(labels.len());
+        let mut priors = Vec::with_capacity(labels.len());
+        let mut majority = (labels[0], 0usize);
+        for (label, maintainer) in class_results {
+            let maintainer = maintainer?;
+            let class_len = maintainer.points_seen() as usize;
+            class_kdes.push(MicroClusterKde::fit_with_bandwidths(
+                maintainer.clusters(),
+                bandwidths.clone(),
+                config.kernel_form,
+                config.error_adjusted,
+            )?);
+            priors.push(class_len as f64 / train.len() as f64);
+            if class_len > majority.1 {
+                majority = (label, class_len);
+            }
+        }
+
+        Ok(DensityClassifier {
+            config,
+            dim: train.dim(),
+            labels,
+            priors,
+            class_kdes,
+            global_kde,
+            majority: majority.0,
+        })
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &ClassifierConfig {
+        &self.config
+    }
+
+    /// Serializes the trained model to JSON (micro-cluster summaries,
+    /// bandwidths, priors — everything needed to classify).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| UdmError::Io(e.to_string()))
+    }
+
+    /// Restores a trained model from JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| UdmError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })
+    }
+
+    /// Data dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The class labels the model knows, ascending.
+    pub fn labels(&self) -> &[ClassLabel] {
+        &self.labels
+    }
+
+    /// Training-set prior `|D_i|/|D|` of a label.
+    pub fn prior(&self, label: ClassLabel) -> Option<f64> {
+        self.labels
+            .iter()
+            .position(|&l| l == label)
+            .map(|i| self.priors[i])
+    }
+
+    /// The query-error vector the oracle should convolve with: the test
+    /// point's own ψ when error adjustment is on and the point actually
+    /// carries errors, `None` otherwise (keeps the ψ ≡ 0 fast path).
+    fn query_errors_of<'a>(&self, x: &'a UncertainPoint) -> Option<&'a [f64]> {
+        if self.config.error_adjusted && self.config.convolve_query_error && !x.is_exact() {
+            Some(x.errors())
+        } else {
+            None
+        }
+    }
+
+    /// The local accuracy `A(x, S, l)` (Eq. 11) — exposed for inspection
+    /// and examples.
+    pub fn local_accuracy(
+        &self,
+        x: &UncertainPoint,
+        subspace: Subspace,
+        label: ClassLabel,
+    ) -> Result<f64> {
+        let idx = self
+            .labels
+            .iter()
+            .position(|&l| l == label)
+            .ok_or(UdmError::UnknownLabel(label.id()))?;
+        let oracle = KdeOracle {
+            model: self,
+            query: x.values(),
+            query_errors: self.query_errors_of(x),
+        };
+        Ok(oracle.accuracies(subspace)?[idx])
+    }
+
+    /// Class scores for a point: the full-space local accuracies
+    /// `A(x, full, l_i)` (Eq. 11 over all dimensions), normalized to sum
+    /// to 1 when any mass exists. A cheap posterior-like summary that
+    /// skips the subspace roll-up.
+    pub fn class_scores(&self, x: &UncertainPoint) -> Result<Vec<(ClassLabel, f64)>> {
+        if x.dim() != self.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.dim(),
+            });
+        }
+        let oracle = KdeOracle {
+            model: self,
+            query: x.values(),
+            query_errors: self.query_errors_of(x),
+        };
+        let accs = oracle.accuracies(Subspace::full(self.dim)?)?;
+        let total: f64 = accs.iter().filter(|a| a.is_finite()).sum();
+        Ok(self
+            .labels
+            .iter()
+            .zip(accs.iter())
+            .map(|(&l, &a)| {
+                let score = if a.is_finite() && total > 0.0 {
+                    a / total
+                } else {
+                    0.0
+                };
+                (l, score)
+            })
+            .collect())
+    }
+
+    /// Classifies a point, returning the full decision trace.
+    pub fn classify_detailed(&self, x: &UncertainPoint) -> Result<ClassificationOutcome> {
+        if x.dim() != self.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.dim(),
+            });
+        }
+        let oracle = KdeOracle {
+            model: self,
+            query: x.values(),
+            query_errors: self.query_errors_of(x),
+        };
+        let outcome = rollup(
+            &oracle,
+            self.dim,
+            self.config.accuracy_threshold,
+            RollupLimits::from_config(&self.config),
+        )?;
+        let selected =
+            select_non_overlapping(outcome.qualifying, self.config.max_selected_subspaces);
+
+        if selected.is_empty() {
+            let label = match (self.config.fallback, outcome.best_singleton) {
+                (Fallback::BestSingleton, Some(best)) => best.label,
+                _ => self.majority,
+            };
+            return Ok(ClassificationOutcome {
+                label,
+                selected: Vec::new(),
+                candidates_evaluated: outcome.candidates_evaluated,
+                used_fallback: true,
+            });
+        }
+
+        // Majority vote over the dominant classes of the selected sets;
+        // ties broken by summed accuracy, then by label order.
+        let mut votes: BTreeMap<ClassLabel, (usize, f64)> = BTreeMap::new();
+        for s in &selected {
+            let e = votes.entry(s.label).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += s.accuracy;
+        }
+        let (&label, _) = votes
+            .iter()
+            .max_by(|(_, (ca, aa)), (_, (cb, ab))| {
+                ca.cmp(cb)
+                    .then(aa.partial_cmp(ab).unwrap_or(std::cmp::Ordering::Equal))
+            })
+            .expect("selected is non-empty");
+
+        Ok(ClassificationOutcome {
+            label,
+            selected,
+            candidates_evaluated: outcome.candidates_evaluated,
+            used_fallback: false,
+        })
+    }
+}
+
+impl Classifier for DensityClassifier {
+    fn classify(&self, x: &UncertainPoint) -> Result<ClassLabel> {
+        Ok(self.classify_detailed(x)?.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udm_data::{ErrorModel, GaussianClassSpec, MixtureGenerator};
+
+    /// Well-separated 2-class mixture in 3 dims; only dims 0 and 1 are
+    /// informative, dim 2 is identical noise for both classes.
+    fn informative_mixture() -> MixtureGenerator {
+        MixtureGenerator::new(
+            3,
+            vec![
+                GaussianClassSpec {
+                    mean: vec![0.0, 0.0, 0.0],
+                    std: vec![1.0, 1.0, 1.0],
+                    weight: 1.0,
+                },
+                GaussianClassSpec {
+                    mean: vec![4.0, 4.0, 0.0],
+                    std: vec![1.0, 1.0, 1.0],
+                    weight: 1.0,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_single_class_training() {
+        let g = MixtureGenerator::new(
+            1,
+            vec![GaussianClassSpec::spherical(vec![0.0], 1.0, 1.0)],
+        )
+        .unwrap();
+        let d = g.generate(50, 1);
+        assert!(DensityClassifier::fit(&d, ClassifierConfig::default()).is_err());
+    }
+
+    #[test]
+    fn learns_well_separated_classes() {
+        let g = informative_mixture();
+        let train = g.generate(600, 10);
+        let test = g.generate(200, 11);
+        let model =
+            DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(60)).unwrap();
+        let mut correct = 0;
+        for p in test.iter() {
+            if model.classify(p).unwrap() == p.label().unwrap() {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn classify_detailed_reports_subspaces() {
+        let g = informative_mixture();
+        let train = g.generate(600, 20);
+        let model =
+            DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(60)).unwrap();
+        // A point deep in class 1 territory.
+        let x = UncertainPoint::exact(vec![4.0, 4.0, 0.0]).unwrap();
+        let out = model.classify_detailed(&x).unwrap();
+        assert_eq!(out.label, ClassLabel(1));
+        assert!(!out.used_fallback);
+        assert!(!out.selected.is_empty());
+        assert!(out.candidates_evaluated >= 3);
+        // Selected subspaces are pairwise non-overlapping.
+        for (i, a) in out.selected.iter().enumerate() {
+            for b in &out.selected[i + 1..] {
+                assert!(!a.subspace.overlaps(b.subspace));
+            }
+        }
+    }
+
+    #[test]
+    fn discriminative_dims_have_higher_accuracy() {
+        let g = informative_mixture();
+        let train = g.generate(800, 30);
+        let model =
+            DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(60)).unwrap();
+        let x = UncertainPoint::exact(vec![4.0, 4.0, 0.0]).unwrap();
+        let informative = model
+            .local_accuracy(&x, Subspace::singleton(0).unwrap(), ClassLabel(1))
+            .unwrap();
+        let noise = model
+            .local_accuracy(&x, Subspace::singleton(2).unwrap(), ClassLabel(1))
+            .unwrap();
+        assert!(
+            informative > noise,
+            "informative {informative} vs noise {noise}"
+        );
+        // The noise dimension carries no signal: accuracy ≈ prior (0.5).
+        assert!((noise - 0.5).abs() < 0.15, "noise-dim accuracy {noise}");
+    }
+
+    #[test]
+    fn error_adjusted_beats_unadjusted_under_heavy_noise() {
+        let g = informative_mixture();
+        let clean_train = g.generate(800, 40);
+        let clean_test = g.generate(300, 41);
+        let noisy_train = ErrorModel::paper(2.0).apply(&clean_train, 42).unwrap();
+        let noisy_test = ErrorModel::paper(2.0).apply(&clean_test, 43).unwrap();
+
+        let adj =
+            DensityClassifier::fit(&noisy_train, ClassifierConfig::error_adjusted(60)).unwrap();
+        let unadj =
+            DensityClassifier::fit(&noisy_train, ClassifierConfig::unadjusted(60)).unwrap();
+
+        let accuracy = |m: &DensityClassifier| {
+            let mut c = 0;
+            for p in noisy_test.iter() {
+                if m.classify(p).unwrap() == p.label().unwrap() {
+                    c += 1;
+                }
+            }
+            c as f64 / noisy_test.len() as f64
+        };
+        let a_adj = accuracy(&adj);
+        let a_unadj = accuracy(&unadj);
+        assert!(
+            a_adj >= a_unadj - 0.02,
+            "adjusted {a_adj} vs unadjusted {a_unadj}"
+        );
+        assert!(a_adj > 0.6, "adjusted accuracy too low: {a_adj}");
+    }
+
+    #[test]
+    fn identical_at_zero_error() {
+        // The paper: "the two density based classifiers had exactly the
+        // same accuracy when the error-parameter was zero."
+        let g = informative_mixture();
+        let train = g.generate(400, 50);
+        let test = g.generate(100, 51);
+        let adj = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(40)).unwrap();
+        let unadj = DensityClassifier::fit(&train, ClassifierConfig::unadjusted(40)).unwrap();
+        for p in test.iter() {
+            assert_eq!(adj.classify(p).unwrap(), unadj.classify(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let g = informative_mixture();
+        let train = g.generate(100, 60);
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(20)).unwrap();
+        let wrong = UncertainPoint::exact(vec![0.0]).unwrap();
+        assert!(model.classify_detailed(&wrong).is_err());
+    }
+
+    #[test]
+    fn fallback_majority_when_threshold_unreachable() {
+        let g = informative_mixture();
+        let train = g.generate(300, 70);
+        let mut config = ClassifierConfig::error_adjusted(30);
+        config.accuracy_threshold = 1e9; // nothing can qualify
+        config.fallback = Fallback::MajorityClass;
+        let model = DensityClassifier::fit(&train, config).unwrap();
+        let x = UncertainPoint::exact(vec![0.0, 0.0, 0.0]).unwrap();
+        let out = model.classify_detailed(&x).unwrap();
+        assert!(out.used_fallback);
+        assert!(out.selected.is_empty());
+        assert_eq!(Some(out.label), {
+            let part = train.partition_by_class();
+            part.labels()
+                .into_iter()
+                .max_by_key(|&l| part.class(l).unwrap().len())
+        });
+    }
+
+    #[test]
+    fn fallback_best_singleton_is_instance_specific() {
+        let g = informative_mixture();
+        let train = g.generate(600, 80);
+        let mut config = ClassifierConfig::error_adjusted(60);
+        config.accuracy_threshold = 1e9;
+        config.fallback = Fallback::BestSingleton;
+        let model = DensityClassifier::fit(&train, config).unwrap();
+        let x0 = UncertainPoint::exact(vec![0.0, 0.0, 0.0]).unwrap();
+        let x1 = UncertainPoint::exact(vec![4.0, 4.0, 0.0]).unwrap();
+        assert_eq!(model.classify(&x0).unwrap(), ClassLabel(0));
+        assert_eq!(model.classify(&x1).unwrap(), ClassLabel(1));
+    }
+
+    #[test]
+    fn class_scores_normalized_and_discriminative() {
+        let g = informative_mixture();
+        let train = g.generate(400, 95);
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(30)).unwrap();
+        let x = UncertainPoint::exact(vec![4.0, 4.0, 0.0]).unwrap();
+        let scores = model.class_scores(&x).unwrap();
+        assert_eq!(scores.len(), 2);
+        let total: f64 = scores.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // class 1 dominates at its own centroid
+        let s1 = scores.iter().find(|(l, _)| *l == ClassLabel(1)).unwrap().1;
+        assert!(s1 > 0.8, "score {s1}");
+        // arity validated
+        assert!(model
+            .class_scores(&UncertainPoint::exact(vec![0.0]).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn parallel_fit_equals_sequential_fit() {
+        let g = informative_mixture();
+        let train = g.generate(400, 99);
+        let seq = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(30)).unwrap();
+        let par =
+            DensityClassifier::fit_parallel(&train, ClassifierConfig::error_adjusted(30))
+                .unwrap();
+        let test = g.generate(80, 100);
+        for p in test.iter() {
+            assert_eq!(seq.classify(p).unwrap(), par.classify(p).unwrap());
+        }
+        assert_eq!(seq.labels(), par.labels());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_decisions() {
+        let g = informative_mixture();
+        let train = g.generate(300, 97);
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(25)).unwrap();
+        let json = model.to_json().unwrap();
+        let restored = DensityClassifier::from_json(&json).unwrap();
+        let test = g.generate(60, 98);
+        for p in test.iter() {
+            assert_eq!(model.classify(p).unwrap(), restored.classify(p).unwrap());
+        }
+        assert!(DensityClassifier::from_json("{bad").is_err());
+    }
+
+    #[test]
+    fn priors_reported() {
+        let g = informative_mixture();
+        let train = g.generate(400, 90);
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(20)).unwrap();
+        let p0 = model.prior(ClassLabel(0)).unwrap();
+        let p1 = model.prior(ClassLabel(1)).unwrap();
+        assert!((p0 + p1 - 1.0).abs() < 1e-12);
+        assert!(model.prior(ClassLabel(9)).is_none());
+    }
+}

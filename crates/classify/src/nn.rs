@@ -1,0 +1,179 @@
+//! The nearest-neighbor baseline classifier.
+//!
+//! §4: "a standard nearest neighbor classification algorithm which
+//! reported the class label of its nearest record". It is error-oblivious
+//! by design — exactly the comparator whose accuracy collapses as the
+//! injected error grows (Figs. 4, 6).
+
+use crate::eval::Classifier;
+use udm_core::{ClassLabel, Result, UdmError, UncertainDataset, UncertainPoint};
+
+/// Brute-force 1-nearest-neighbor classifier on raw coordinate values.
+#[derive(Debug, Clone)]
+pub struct NnClassifier {
+    /// Flattened training coordinates, row-major.
+    coords: Vec<f64>,
+    labels: Vec<ClassLabel>,
+    dim: usize,
+}
+
+impl NnClassifier {
+    /// Stores the labelled points of the training set (unlabelled points
+    /// are ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::EmptyDataset`] when no labelled point exists.
+    pub fn fit(train: &UncertainDataset) -> Result<Self> {
+        let mut coords = Vec::with_capacity(train.len() * train.dim());
+        let mut labels = Vec::with_capacity(train.len());
+        for p in train.iter() {
+            if let Some(l) = p.label() {
+                coords.extend_from_slice(p.values());
+                labels.push(l);
+            }
+        }
+        if labels.is_empty() {
+            return Err(UdmError::EmptyDataset);
+        }
+        Ok(NnClassifier {
+            coords,
+            labels,
+            dim: train.dim(),
+        })
+    }
+
+    /// Number of stored training points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when no training points are stored (cannot occur after a
+    /// successful [`NnClassifier::fit`]).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+impl Classifier for NnClassifier {
+    fn classify(&self, x: &UncertainPoint) -> Result<ClassLabel> {
+        if x.dim() != self.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.dim(),
+            });
+        }
+        let q = x.values();
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, row) in self.coords.chunks_exact(self.dim).enumerate() {
+            let mut d = 0.0;
+            for (a, b) in q.iter().zip(row.iter()) {
+                let diff = a - b;
+                d += diff * diff;
+                if d >= best_d {
+                    break;
+                }
+            }
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        Ok(self.labels[best])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labelled(values: &[f64], label: u32) -> UncertainPoint {
+        UncertainPoint::exact(values.to_vec())
+            .unwrap()
+            .with_label(ClassLabel(label))
+    }
+
+    #[test]
+    fn empty_training_rejected() {
+        let d = UncertainDataset::from_points(vec![UncertainPoint::exact(vec![0.0]).unwrap()])
+            .unwrap();
+        assert!(NnClassifier::fit(&d).is_err()); // present but unlabelled
+    }
+
+    #[test]
+    fn nearest_label_wins() {
+        let train = UncertainDataset::from_points(vec![
+            labelled(&[0.0, 0.0], 0),
+            labelled(&[10.0, 10.0], 1),
+        ])
+        .unwrap();
+        let nn = NnClassifier::fit(&train).unwrap();
+        assert_eq!(
+            nn.classify(&UncertainPoint::exact(vec![1.0, 1.0]).unwrap())
+                .unwrap(),
+            ClassLabel(0)
+        );
+        assert_eq!(
+            nn.classify(&UncertainPoint::exact(vec![9.0, 9.0]).unwrap())
+                .unwrap(),
+            ClassLabel(1)
+        );
+    }
+
+    #[test]
+    fn exact_match_returns_its_label() {
+        let train =
+            UncertainDataset::from_points(vec![labelled(&[5.0], 3), labelled(&[7.0], 4)])
+                .unwrap();
+        let nn = NnClassifier::fit(&train).unwrap();
+        assert_eq!(
+            nn.classify(&UncertainPoint::exact(vec![7.0]).unwrap())
+                .unwrap(),
+            ClassLabel(4)
+        );
+    }
+
+    #[test]
+    fn ignores_errors_entirely() {
+        // Same values with different recorded errors must classify alike.
+        let train = UncertainDataset::from_points(vec![
+            labelled(&[0.0], 0),
+            labelled(&[10.0], 1),
+        ])
+        .unwrap();
+        let nn = NnClassifier::fit(&train).unwrap();
+        let precise = UncertainPoint::new(vec![2.0], vec![0.0]).unwrap();
+        let noisy = UncertainPoint::new(vec![2.0], vec![50.0]).unwrap();
+        assert_eq!(
+            nn.classify(&precise).unwrap(),
+            nn.classify(&noisy).unwrap()
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let train = UncertainDataset::from_points(vec![labelled(&[0.0, 1.0], 0), labelled(&[1.0, 0.0], 1)]).unwrap();
+        let nn = NnClassifier::fit(&train).unwrap();
+        assert!(nn
+            .classify(&UncertainPoint::exact(vec![0.0]).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn unlabelled_points_skipped() {
+        let train = UncertainDataset::from_points(vec![
+            labelled(&[0.0], 0),
+            UncertainPoint::exact(vec![1.0]).unwrap(), // unlabelled, closer
+            labelled(&[10.0], 1),
+        ])
+        .unwrap();
+        let nn = NnClassifier::fit(&train).unwrap();
+        assert_eq!(nn.len(), 2);
+        assert_eq!(
+            nn.classify(&UncertainPoint::exact(vec![1.4]).unwrap())
+                .unwrap(),
+            ClassLabel(0)
+        );
+    }
+}

@@ -1,0 +1,449 @@
+//! The Apriori-style subspace roll-up of Figure 3.
+//!
+//! Starting from all 1-dimensional subspaces (`C_1`), each level keeps the
+//! subspaces in which some class exceeds the accuracy threshold (`L_i`)
+//! and generates the next candidate level by joining with `L_1`
+//! (`C_{i+1} = L_i ⋈ L_1`). The join construction itself enforces the
+//! paper's roll-up requirement that an `(i+1)`-dimensional candidate has
+//! at least one qualifying `i`-dimensional subset.
+
+use crate::config::ClassifierConfig;
+use std::collections::BTreeSet;
+use udm_core::{ClassLabel, Result, Subspace};
+
+/// Supplies local accuracies `A(x, S, l_i)` for a fixed test point `x`.
+///
+/// Implemented by the classifier model (backed by micro-cluster densities,
+/// Eq. 11); test code substitutes table-driven fakes.
+pub trait AccuracyOracle {
+    /// The class labels `l_1 … l_k`, in a stable order.
+    fn labels(&self) -> &[ClassLabel];
+
+    /// `A(x, S, l)` for every label, aligned with [`Self::labels`].
+    fn accuracies(&self, subspace: Subspace) -> Result<Vec<f64>>;
+}
+
+/// A subspace that cleared the threshold, with its dominant class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscriminativeSubspace {
+    /// The qualifying set of dimensions.
+    pub subspace: Subspace,
+    /// The best local accuracy over classes, `max_i A(x, S, l_i)`.
+    pub accuracy: f64,
+    /// The dominant class `dom(x, S)` (Eq. 12).
+    pub label: ClassLabel,
+}
+
+/// Engineering guards on the roll-up (see [`ClassifierConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RollupLimits {
+    /// Stop after subspaces of this many dimensions.
+    pub max_dim: Option<usize>,
+    /// Evaluate at most this many candidates per level.
+    pub max_candidates_per_level: Option<usize>,
+}
+
+impl RollupLimits {
+    /// Extracts the limits from a classifier configuration.
+    pub fn from_config(config: &ClassifierConfig) -> Self {
+        RollupLimits {
+            max_dim: config.max_subspace_dim,
+            max_candidates_per_level: config.max_candidates_per_level,
+        }
+    }
+}
+
+/// Result of a roll-up: all qualifying subspaces plus the best evaluated
+/// singleton (used as a fallback when nothing qualifies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollupOutcome {
+    /// `L = ∪_i L_i`, every subspace that cleared the threshold.
+    pub qualifying: Vec<DiscriminativeSubspace>,
+    /// The best singleton subspace even if below threshold (`None` only
+    /// for zero-dimensional data).
+    pub best_singleton: Option<DiscriminativeSubspace>,
+    /// Number of accuracy evaluations performed (one per candidate
+    /// subspace) — the cost driver behind Fig. 10's dimensionality sweep.
+    pub candidates_evaluated: usize,
+}
+
+fn dominant(labels: &[ClassLabel], accs: &[f64]) -> Option<(ClassLabel, f64)> {
+    let mut best: Option<(ClassLabel, f64)> = None;
+    for (&l, &a) in labels.iter().zip(accs.iter()) {
+        if !a.is_finite() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if a <= b => {}
+            _ => best = Some((l, a)),
+        }
+    }
+    best
+}
+
+/// Runs the bottom-up roll-up of Fig. 3 for one test instance.
+///
+/// `dimensionality` is the data dimensionality `d`; `threshold` is `a`.
+pub fn rollup<O: AccuracyOracle>(
+    oracle: &O,
+    dimensionality: usize,
+    threshold: f64,
+    limits: RollupLimits,
+) -> Result<RollupOutcome> {
+    let labels = oracle.labels().to_vec();
+    let mut qualifying: Vec<DiscriminativeSubspace> = Vec::new();
+    let mut best_singleton: Option<DiscriminativeSubspace> = None;
+    let mut candidates_evaluated = 0usize;
+
+    // Level 1: all singletons.
+    let mut l1: Vec<Subspace> = Vec::new();
+    let mut current_level: Vec<Subspace> = Vec::new();
+    for dim in 0..dimensionality.min(Subspace::MAX_DIMS) {
+        let s = Subspace::singleton(dim)?;
+        let accs = oracle.accuracies(s)?;
+        candidates_evaluated += 1;
+        if let Some((label, accuracy)) = dominant(&labels, &accs) {
+            let ds = DiscriminativeSubspace {
+                subspace: s,
+                accuracy,
+                label,
+            };
+            if best_singleton.map(|b| accuracy > b.accuracy).unwrap_or(true) {
+                best_singleton = Some(ds);
+            }
+            if accuracy > threshold {
+                qualifying.push(ds);
+                l1.push(s);
+                current_level.push(s);
+            }
+        }
+    }
+
+    // Levels 2..: C_{i+1} = L_i ⋈ L_1.
+    let mut level_dim = 1usize;
+    while !current_level.is_empty() {
+        level_dim += 1;
+        if let Some(max) = limits.max_dim {
+            if level_dim > max {
+                break;
+            }
+        }
+        let mut candidates: BTreeSet<Subspace> = BTreeSet::new();
+        for &s in &current_level {
+            for &one in &l1 {
+                if let Some(joined) = s.join(one) {
+                    candidates.insert(joined);
+                }
+            }
+        }
+        let mut next_level = Vec::new();
+        for (idx, s) in candidates.into_iter().enumerate() {
+            if let Some(cap) = limits.max_candidates_per_level {
+                if idx >= cap {
+                    break;
+                }
+            }
+            let accs = oracle.accuracies(s)?;
+            candidates_evaluated += 1;
+            if let Some((label, accuracy)) = dominant(&labels, &accs) {
+                if accuracy > threshold {
+                    qualifying.push(DiscriminativeSubspace {
+                        subspace: s,
+                        accuracy,
+                        label,
+                    });
+                    next_level.push(s);
+                }
+            }
+        }
+        current_level = next_level;
+    }
+
+    Ok(RollupOutcome {
+        qualifying,
+        best_singleton,
+        candidates_evaluated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Table-driven oracle: accuracy of label 0 per subspace; label 1 gets
+    /// the complement.
+    struct TableOracle {
+        labels: Vec<ClassLabel>,
+        table: HashMap<u64, f64>,
+        default: f64,
+    }
+
+    impl AccuracyOracle for TableOracle {
+        fn labels(&self) -> &[ClassLabel] {
+            &self.labels
+        }
+        fn accuracies(&self, s: Subspace) -> Result<Vec<f64>> {
+            let a = *self.table.get(&s.bits()).unwrap_or(&self.default);
+            Ok(vec![a, 1.0 - a])
+        }
+    }
+
+    fn oracle(entries: &[(&[usize], f64)], default: f64) -> TableOracle {
+        TableOracle {
+            labels: vec![ClassLabel(0), ClassLabel(1)],
+            table: entries
+                .iter()
+                .map(|(dims, a)| (Subspace::from_dims(dims).unwrap().bits(), *a))
+                .collect(),
+            default,
+        }
+    }
+
+    #[test]
+    fn finds_qualifying_singletons() {
+        let o = oracle(&[(&[0], 0.9), (&[1], 0.3)], 0.5);
+        let out = rollup(&o, 2, 0.8, RollupLimits::default()).unwrap();
+        // {0} qualifies with acc 0.9 for label 0; {1} has max(0.3, 0.7)=0.7 < 0.8
+        assert_eq!(out.qualifying.len(), 1);
+        assert_eq!(out.qualifying[0].subspace, Subspace::singleton(0).unwrap());
+        assert_eq!(out.qualifying[0].label, ClassLabel(0));
+    }
+
+    #[test]
+    fn complement_class_can_dominate() {
+        let o = oracle(&[(&[0], 0.1)], 0.5); // label 1 gets 0.9
+        let out = rollup(&o, 1, 0.8, RollupLimits::default()).unwrap();
+        assert_eq!(out.qualifying.len(), 1);
+        assert_eq!(out.qualifying[0].label, ClassLabel(1));
+        assert!((out.qualifying[0].accuracy - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joins_build_second_level() {
+        // Both singletons qualify; pair {0,1} qualifies higher still.
+        let o = oracle(&[(&[0], 0.85), (&[1], 0.85), (&[0, 1], 0.95)], 0.5);
+        let out = rollup(&o, 2, 0.8, RollupLimits::default()).unwrap();
+        let subspaces: Vec<_> = out.qualifying.iter().map(|d| d.subspace).collect();
+        assert!(subspaces.contains(&Subspace::from_dims(&[0, 1]).unwrap()));
+        assert_eq!(out.qualifying.len(), 3);
+    }
+
+    #[test]
+    fn no_expansion_from_non_qualifying_singletons() {
+        // Pair {0,1} would have high accuracy but neither singleton
+        // qualifies, so the roll-up never reaches it (Apriori pruning).
+        let o = oracle(&[(&[0], 0.6), (&[1], 0.6), (&[0, 1], 0.99)], 0.5);
+        let out = rollup(&o, 2, 0.8, RollupLimits::default()).unwrap();
+        assert!(out.qualifying.is_empty());
+        // fallback still reports the best singleton (0.6)
+        let bs = out.best_singleton.unwrap();
+        assert!((bs.accuracy - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_singleton_tracked_even_when_qualifying() {
+        let o = oracle(&[(&[0], 0.95), (&[1], 0.85)], 0.5);
+        let out = rollup(&o, 2, 0.8, RollupLimits::default()).unwrap();
+        assert_eq!(
+            out.best_singleton.unwrap().subspace,
+            Subspace::singleton(0).unwrap()
+        );
+    }
+
+    #[test]
+    fn max_dim_limit_stops_expansion() {
+        let o = oracle(&[], 0.95); // everything qualifies
+        let limited = rollup(
+            &o,
+            4,
+            0.8,
+            RollupLimits {
+                max_dim: Some(2),
+                max_candidates_per_level: None,
+            },
+        )
+        .unwrap();
+        let max_card = limited
+            .qualifying
+            .iter()
+            .map(|d| d.subspace.cardinality())
+            .max()
+            .unwrap();
+        assert_eq!(max_card, 2);
+    }
+
+    #[test]
+    fn unlimited_rollup_explores_all_levels() {
+        let o = oracle(&[], 0.95);
+        let out = rollup(&o, 4, 0.8, RollupLimits::default()).unwrap();
+        // all non-empty subsets of 4 dims = 15
+        assert_eq!(out.qualifying.len(), 15);
+        assert_eq!(out.candidates_evaluated, 15);
+    }
+
+    #[test]
+    fn candidate_cap_bounds_work_per_level() {
+        let o = oracle(&[], 0.95);
+        let out = rollup(
+            &o,
+            6,
+            0.8,
+            RollupLimits {
+                max_dim: None,
+                max_candidates_per_level: Some(3),
+            },
+        )
+        .unwrap();
+        // 6 singletons evaluated, then ≤3 per level
+        assert!(out.candidates_evaluated < 63);
+    }
+
+    #[test]
+    fn zero_dimensional_data() {
+        let o = oracle(&[], 0.9);
+        let out = rollup(&o, 0, 0.5, RollupLimits::default()).unwrap();
+        assert!(out.qualifying.is_empty());
+        assert!(out.best_singleton.is_none());
+        assert_eq!(out.candidates_evaluated, 0);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let o = oracle(&[(&[0], 0.8)], 0.0);
+        let out = rollup(&o, 1, 0.8, RollupLimits::default()).unwrap();
+        assert!(out.qualifying.is_empty()); // A > a, not >=
+    }
+
+    #[test]
+    fn max_extension_oracle_reaches_exactly_the_qualifying_powerset() {
+        // Oracle where A(S) = max over singletons in S of a per-dimension
+        // base accuracy. Then L1 = qualifying singletons, and because the
+        // join only ever adds dimensions from L1, the reachable set is
+        // exactly the non-empty powerset of L1: 2^m − 1 subspaces.
+        struct MaxOracle {
+            labels: Vec<ClassLabel>,
+            base: Vec<f64>,
+        }
+        impl AccuracyOracle for MaxOracle {
+            fn labels(&self) -> &[ClassLabel] {
+                &self.labels
+            }
+            fn accuracies(&self, s: Subspace) -> Result<Vec<f64>> {
+                let a = s
+                    .dims()
+                    .map(|d| self.base[d])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                Ok(vec![a])
+            }
+        }
+        let base = vec![0.9, 0.3, 0.85, 0.1, 0.95];
+        let threshold = 0.8;
+        let m = base.iter().filter(|&&a| a > threshold).count();
+        let o = MaxOracle {
+            labels: vec![ClassLabel(0)],
+            base,
+        };
+        let out = rollup(&o, 5, threshold, RollupLimits::default()).unwrap();
+        assert_eq!(out.qualifying.len(), (1 << m) - 1);
+        for q in &out.qualifying {
+            assert!(q.accuracy > threshold);
+        }
+    }
+
+    #[test]
+    fn nan_accuracies_are_skipped() {
+        struct NanOracle {
+            labels: Vec<ClassLabel>,
+        }
+        impl AccuracyOracle for NanOracle {
+            fn labels(&self) -> &[ClassLabel] {
+                &self.labels
+            }
+            fn accuracies(&self, _: Subspace) -> Result<Vec<f64>> {
+                Ok(vec![f64::NAN, 0.9])
+            }
+        }
+        let o = NanOracle {
+            labels: vec![ClassLabel(0), ClassLabel(1)],
+        };
+        let out = rollup(&o, 1, 0.5, RollupLimits::default()).unwrap();
+        assert_eq!(out.qualifying.len(), 1);
+        assert_eq!(out.qualifying[0].label, ClassLabel(1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    struct RandomOracle {
+        labels: Vec<ClassLabel>,
+        table: HashMap<u64, f64>,
+    }
+
+    impl AccuracyOracle for RandomOracle {
+        fn labels(&self) -> &[ClassLabel] {
+            &self.labels
+        }
+        fn accuracies(&self, s: Subspace) -> Result<Vec<f64>> {
+            // Deterministic pseudo-random accuracy per subspace.
+            let cached = self.table.get(&s.bits()).copied();
+            let a = cached.unwrap_or_else(|| {
+                let mut z = s.bits().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z ^= z >> 29;
+                (z % 1000) as f64 / 1000.0
+            });
+            Ok(vec![a, 1.0 - a])
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn every_qualifying_subspace_clears_the_threshold(
+            dims in 1usize..8,
+            thr in 0.5f64..0.95,
+        ) {
+            let o = RandomOracle { labels: vec![ClassLabel(0), ClassLabel(1)], table: HashMap::new() };
+            let out = rollup(&o, dims, thr, RollupLimits::default()).unwrap();
+            for q in &out.qualifying {
+                prop_assert!(q.accuracy > thr);
+                prop_assert!(!q.subspace.is_empty());
+                prop_assert!(q.subspace.validate_for(dims).is_ok());
+            }
+            // No duplicates.
+            let mut seen: Vec<u64> = out.qualifying.iter().map(|q| q.subspace.bits()).collect();
+            seen.sort_unstable();
+            let before = seen.len();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), before);
+        }
+
+        #[test]
+        fn apriori_property_holds(
+            dims in 2usize..7,
+            thr in 0.5f64..0.9,
+        ) {
+            // Every qualifying subspace with |S| ≥ 2 must contain at least
+            // one qualifying (|S|−1)-subset — the roll-up's construction
+            // invariant.
+            let o = RandomOracle { labels: vec![ClassLabel(0), ClassLabel(1)], table: HashMap::new() };
+            let out = rollup(&o, dims, thr, RollupLimits::default()).unwrap();
+            let qualifying: std::collections::HashSet<u64> =
+                out.qualifying.iter().map(|q| q.subspace.bits()).collect();
+            for q in &out.qualifying {
+                if q.subspace.cardinality() >= 2 {
+                    let has_qualifying_subset = q
+                        .subspace
+                        .proper_subsets_one_smaller()
+                        .any(|sub| qualifying.contains(&sub.bits()));
+                    prop_assert!(has_qualifying_subset, "{} lacks a qualifying subset", q.subspace);
+                }
+            }
+        }
+    }
+}

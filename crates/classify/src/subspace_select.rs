@@ -1,0 +1,110 @@
+//! Greedy non-overlapping subspace selection (the tail of Fig. 3).
+//!
+//! "Add set with highest local accuracy in L to N; remove all sets in L
+//! which overlap with sets in N" — repeated until L is exhausted or an
+//! optional cap `p` is reached.
+
+use crate::rollup::DiscriminativeSubspace;
+
+/// Selects non-overlapping subspaces in descending accuracy order.
+///
+/// Ties on accuracy are broken by smaller subspace first, then by the
+/// subspace's canonical (bitmask) order, so selection is deterministic.
+pub fn select_non_overlapping(
+    mut qualifying: Vec<DiscriminativeSubspace>,
+    max_selected: Option<usize>,
+) -> Vec<DiscriminativeSubspace> {
+    qualifying.sort_by(|a, b| {
+        b.accuracy
+            .partial_cmp(&a.accuracy)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.subspace.cardinality().cmp(&b.subspace.cardinality()))
+            .then(a.subspace.cmp(&b.subspace))
+    });
+    let mut selected: Vec<DiscriminativeSubspace> = Vec::new();
+    for cand in qualifying {
+        if let Some(p) = max_selected {
+            if selected.len() >= p {
+                break;
+            }
+        }
+        if selected.iter().all(|s| !s.subspace.overlaps(cand.subspace)) {
+            selected.push(cand);
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udm_core::{ClassLabel, Subspace};
+
+    fn ds(dims: &[usize], acc: f64, label: u32) -> DiscriminativeSubspace {
+        DiscriminativeSubspace {
+            subspace: Subspace::from_dims(dims).unwrap(),
+            accuracy: acc,
+            label: ClassLabel(label),
+        }
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(select_non_overlapping(vec![], None).is_empty());
+    }
+
+    #[test]
+    fn highest_accuracy_first() {
+        let sel = select_non_overlapping(vec![ds(&[0], 0.7, 0), ds(&[1], 0.9, 1)], None);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel[0].label, ClassLabel(1));
+    }
+
+    #[test]
+    fn overlapping_lower_accuracy_removed() {
+        let sel = select_non_overlapping(
+            vec![ds(&[0, 1], 0.95, 0), ds(&[1, 2], 0.90, 1), ds(&[3], 0.85, 1)],
+            None,
+        );
+        // {1,2} overlaps the winner {0,1}; {3} survives.
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel[0].subspace, Subspace::from_dims(&[0, 1]).unwrap());
+        assert_eq!(sel[1].subspace, Subspace::from_dims(&[3]).unwrap());
+    }
+
+    #[test]
+    fn cap_p_limits_selection() {
+        let sel = select_non_overlapping(
+            vec![ds(&[0], 0.9, 0), ds(&[1], 0.8, 0), ds(&[2], 0.7, 1)],
+            Some(2),
+        );
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel[1].subspace, Subspace::singleton(1).unwrap());
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_subspace() {
+        let sel = select_non_overlapping(vec![ds(&[0, 1], 0.9, 0), ds(&[2], 0.9, 1)], Some(1));
+        assert_eq!(sel[0].subspace, Subspace::singleton(2).unwrap());
+    }
+
+    #[test]
+    fn deterministic_under_permutation() {
+        let a = vec![ds(&[0], 0.8, 0), ds(&[1], 0.8, 1), ds(&[2], 0.6, 0)];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(
+            select_non_overlapping(a, None),
+            select_non_overlapping(b, None)
+        );
+    }
+
+    #[test]
+    fn disjoint_sets_all_selected() {
+        let sel = select_non_overlapping(
+            vec![ds(&[0], 0.9, 0), ds(&[1], 0.8, 1), ds(&[2, 3], 0.7, 0)],
+            None,
+        );
+        assert_eq!(sel.len(), 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Hyper-parameter tuning for the density classifier.
+//!
+//! The paper leaves the accuracy threshold `a` (Fig. 3) unspecified; it
+//! is workload-dependent. [`tune_threshold`] picks it from a validation
+//! split, which is how a practitioner should set it.
+
+use crate::config::ClassifierConfig;
+use crate::eval::evaluate;
+use crate::model::DensityClassifier;
+use udm_core::{Result, UdmError, UncertainDataset};
+use udm_data::stratified_split;
+
+/// Result of a threshold sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdSweep {
+    /// `(threshold, validation accuracy)` for every candidate tried.
+    pub candidates: Vec<(f64, f64)>,
+    /// The winning threshold.
+    pub best_threshold: f64,
+    /// Its validation accuracy.
+    pub best_accuracy: f64,
+}
+
+/// Sweeps the accuracy threshold `a` over `candidates`, training on a
+/// stratified `1 − validation_fraction` portion of `train` and scoring on
+/// the rest; returns the sweep with the best-scoring threshold (ties go
+/// to the smaller threshold, which keeps more subspaces).
+///
+/// # Errors
+///
+/// [`UdmError::InvalidConfig`] for an empty candidate list; training,
+/// splitting and evaluation failures propagate.
+pub fn tune_threshold(
+    train: &UncertainDataset,
+    base: ClassifierConfig,
+    candidates: &[f64],
+    validation_fraction: f64,
+    seed: u64,
+) -> Result<ThresholdSweep> {
+    if candidates.is_empty() {
+        return Err(UdmError::InvalidConfig(
+            "threshold sweep needs at least one candidate".into(),
+        ));
+    }
+    let split = stratified_split(train, validation_fraction, seed)?;
+    let mut results = Vec::with_capacity(candidates.len());
+    let mut best: Option<(f64, f64)> = None;
+    for &a in candidates {
+        let config = ClassifierConfig {
+            accuracy_threshold: a,
+            ..base
+        };
+        let model = DensityClassifier::fit(&split.train, config)?;
+        let accuracy = evaluate(&model, &split.test)?.accuracy();
+        results.push((a, accuracy));
+        let better = match best {
+            None => true,
+            Some((_, best_acc)) => accuracy > best_acc,
+        };
+        if better {
+            best = Some((a, accuracy));
+        }
+    }
+    let (best_threshold, best_accuracy) = best.expect("candidates is non-empty");
+    Ok(ThresholdSweep {
+        candidates: results,
+        best_threshold,
+        best_accuracy,
+    })
+}
+
+/// Default candidate grid: posterior-like thresholds from permissive to
+/// strict.
+pub const DEFAULT_THRESHOLD_GRID: [f64; 6] = [0.4, 0.5, 0.55, 0.6, 0.7, 0.8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udm_data::{GaussianClassSpec, MixtureGenerator};
+
+    fn blobs(n: usize, seed: u64) -> UncertainDataset {
+        MixtureGenerator::new(
+            2,
+            vec![
+                GaussianClassSpec::spherical(vec![0.0, 0.0], 1.0, 1.0),
+                GaussianClassSpec::spherical(vec![5.0, 5.0], 1.0, 1.0),
+            ],
+        )
+        .unwrap()
+        .generate(n, seed)
+    }
+
+    #[test]
+    fn sweep_reports_every_candidate() {
+        let d = blobs(300, 1);
+        let sweep = tune_threshold(
+            &d,
+            ClassifierConfig::error_adjusted(20),
+            &DEFAULT_THRESHOLD_GRID,
+            0.3,
+            2,
+        )
+        .unwrap();
+        assert_eq!(sweep.candidates.len(), DEFAULT_THRESHOLD_GRID.len());
+        assert!(DEFAULT_THRESHOLD_GRID.contains(&sweep.best_threshold));
+        assert!(sweep.best_accuracy > 0.8, "{sweep:?}");
+        // best is really the max
+        let max = sweep
+            .candidates
+            .iter()
+            .map(|&(_, acc)| acc)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(sweep.best_accuracy, max);
+    }
+
+    #[test]
+    fn ties_prefer_the_smaller_threshold() {
+        // On trivially separable data every threshold scores 1.0; the
+        // first (smallest) must win.
+        let d = blobs(200, 3);
+        let sweep = tune_threshold(
+            &d,
+            ClassifierConfig::error_adjusted(10),
+            &[0.4, 0.6, 0.8],
+            0.3,
+            4,
+        )
+        .unwrap();
+        if sweep.candidates.iter().all(|&(_, a)| a == sweep.best_accuracy) {
+            assert_eq!(sweep.best_threshold, 0.4);
+        }
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let d = blobs(100, 5);
+        assert!(
+            tune_threshold(&d, ClassifierConfig::error_adjusted(10), &[], 0.3, 6).is_err()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = blobs(200, 7);
+        let a = tune_threshold(
+            &d,
+            ClassifierConfig::error_adjusted(10),
+            &[0.5, 0.7],
+            0.3,
+            8,
+        )
+        .unwrap();
+        let b = tune_threshold(
+            &d,
+            ClassifierConfig::error_adjusted(10),
+            &[0.5, 0.7],
+            0.3,
+            8,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

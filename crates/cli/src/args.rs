@@ -1,0 +1,529 @@
+//! Hand-rolled argument parsing for the `udm` tool (no external parser
+//! dependency; the grammar is small and stable).
+
+use std::path::PathBuf;
+use udm_core::{Result, UdmError};
+use udm_data::UciDataset;
+
+/// A fully parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a stand-in workload and write it as CSV.
+    Generate {
+        /// Which dataset profile to generate.
+        dataset: UciDataset,
+        /// Number of rows.
+        n: usize,
+        /// Error level `f` of the paper's noise model (0 = exact data).
+        f: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Output file (`-`/absent = stdout).
+        out: Option<PathBuf>,
+    },
+    /// Stream a CSV into micro-clusters and write a JSON snapshot.
+    Summarize {
+        /// Input CSV (canonical layout; see `udm-data::csv_io`).
+        input: PathBuf,
+        /// Number of micro-clusters `q`.
+        q: usize,
+        /// Use plain Euclidean assignment instead of Eq. 5.
+        euclidean: bool,
+        /// Snapshot output file (absent = stdout).
+        out: Option<PathBuf>,
+    },
+    /// Evaluate the error-adjusted density of a CSV at a query point.
+    Density {
+        /// Input CSV.
+        input: PathBuf,
+        /// Query coordinates (full dimensionality).
+        at: Vec<f64>,
+        /// Optional subspace (dimension indices); full space when empty.
+        subspace: Vec<usize>,
+        /// Micro-cluster budget; 0 = exact (uncompressed) estimation.
+        q: usize,
+        /// Ignore recorded errors (ψ ≡ 0).
+        unadjusted: bool,
+        /// Also render an ASCII chart of the 1-D density along the first
+        /// subspace dimension over `lo:hi:n`.
+        grid: Option<(f64, f64, usize)>,
+    },
+    /// Train on one CSV, evaluate on another, print the report.
+    Classify {
+        /// Training CSV (labelled).
+        train: PathBuf,
+        /// Test CSV (labelled).
+        test: PathBuf,
+        /// Number of micro-clusters `q`.
+        q: usize,
+        /// Accuracy threshold `a` of the subspace roll-up.
+        threshold: f64,
+        /// Use the unadjusted density baseline.
+        unadjusted: bool,
+        /// Use the nearest-neighbor baseline instead.
+        nn: bool,
+    },
+    /// Convert a raw UCI repository file to the canonical CSV layout
+    /// (imputing marked-missing cells with error tracking).
+    Convert {
+        /// Which raw format to parse.
+        dataset: UciDataset,
+        /// Input raw file.
+        input: PathBuf,
+        /// Output file (absent = stdout).
+        out: Option<PathBuf>,
+    },
+    /// Aggregate consecutive groups of rows into uncertain pseudo-records
+    /// (group mean, std-as-ψ).
+    Aggregate {
+        /// Input CSV.
+        input: PathBuf,
+        /// Group size.
+        group: usize,
+        /// Sort by the first column before grouping (locality grouping).
+        sort: bool,
+        /// Output file (absent = stdout).
+        out: Option<PathBuf>,
+    },
+    /// Cluster a CSV with error-adjusted k-means or DBSCAN.
+    Cluster {
+        /// Input CSV.
+        input: PathBuf,
+        /// `Some(k)` = k-means.
+        k: Option<usize>,
+        /// `Some((eps, min_pts))` = DBSCAN.
+        dbscan: Option<(f64, usize)>,
+        /// Use plain Euclidean distances.
+        euclidean: bool,
+        /// Seed for k-means initialization.
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+fn invalid(msg: impl Into<String>) -> UdmError {
+    UdmError::InvalidConfig(msg.into())
+}
+
+fn parse_dataset(name: &str) -> Result<UciDataset> {
+    UciDataset::ALL
+        .into_iter()
+        .find(|d| d.name() == name)
+        .ok_or_else(|| {
+            invalid(format!(
+                "unknown dataset {name:?}; expected one of adult, ionosphere, breast_cancer, forest_cover"
+            ))
+        })
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T> {
+    let raw = value.ok_or_else(|| invalid(format!("{flag} needs a value")))?;
+    raw.parse::<T>()
+        .map_err(|_| invalid(format!("{flag}: cannot parse {raw:?}")))
+}
+
+fn parse_f64_list(flag: &str, value: Option<String>) -> Result<Vec<f64>> {
+    let raw = value.ok_or_else(|| invalid(format!("{flag} needs a value")))?;
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| invalid(format!("{flag}: cannot parse {s:?}")))
+        })
+        .collect()
+}
+
+fn parse_usize_list(flag: &str, value: Option<String>) -> Result<Vec<usize>> {
+    let raw = value.ok_or_else(|| invalid(format!("{flag} needs a value")))?;
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| invalid(format!("{flag}: cannot parse {s:?}")))
+        })
+        .collect()
+}
+
+/// Parses `udm` arguments (without the program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
+    let mut it = args.into_iter();
+    let Some(sub) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let dataset = parse_dataset(
+                &it.next()
+                    .ok_or_else(|| invalid("generate needs a dataset name"))?,
+            )?;
+            let mut n = dataset.default_size();
+            let mut f = 0.0;
+            let mut seed = 7;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--n" => n = parse_num("--n", it.next())?,
+                    "--f" => f = parse_num("--f", it.next())?,
+                    "--seed" => seed = parse_num("--seed", it.next())?,
+                    "--out" => out = Some(PathBuf::from(
+                        it.next().ok_or_else(|| invalid("--out needs a path"))?,
+                    )),
+                    other => return Err(invalid(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Generate {
+                dataset,
+                n,
+                f,
+                seed,
+                out,
+            })
+        }
+        "summarize" => {
+            let input = PathBuf::from(
+                it.next()
+                    .ok_or_else(|| invalid("summarize needs an input CSV"))?,
+            );
+            let mut q = 140;
+            let mut euclidean = false;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--q" => q = parse_num("--q", it.next())?,
+                    "--euclidean" => euclidean = true,
+                    "--out" => out = Some(PathBuf::from(
+                        it.next().ok_or_else(|| invalid("--out needs a path"))?,
+                    )),
+                    other => return Err(invalid(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Summarize {
+                input,
+                q,
+                euclidean,
+                out,
+            })
+        }
+        "density" => {
+            let input = PathBuf::from(
+                it.next()
+                    .ok_or_else(|| invalid("density needs an input CSV"))?,
+            );
+            let mut at = Vec::new();
+            let mut subspace = Vec::new();
+            let mut q = 0;
+            let mut unadjusted = false;
+            let mut grid = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--at" => at = parse_f64_list("--at", it.next())?,
+                    "--subspace" => subspace = parse_usize_list("--subspace", it.next())?,
+                    "--q" => q = parse_num("--q", it.next())?,
+                    "--unadjusted" => unadjusted = true,
+                    "--grid" => {
+                        let raw = it.next().ok_or_else(|| invalid("--grid needs LO:HI:N"))?;
+                        let parts: Vec<&str> = raw.split(':').collect();
+                        if parts.len() != 3 {
+                            return Err(invalid("--grid expects LO:HI:N"));
+                        }
+                        let lo: f64 = parts[0]
+                            .parse()
+                            .map_err(|_| invalid("--grid: bad LO"))?;
+                        let hi: f64 = parts[1]
+                            .parse()
+                            .map_err(|_| invalid("--grid: bad HI"))?;
+                        let n: usize = parts[2]
+                            .parse()
+                            .map_err(|_| invalid("--grid: bad N"))?;
+                        grid = Some((lo, hi, n));
+                    }
+                    other => return Err(invalid(format!("unknown flag {other:?}"))),
+                }
+            }
+            if at.is_empty() {
+                return Err(invalid("density requires --at X1,X2,…"));
+            }
+            Ok(Command::Density {
+                input,
+                at,
+                subspace,
+                q,
+                unadjusted,
+                grid,
+            })
+        }
+        "classify" => {
+            let mut train = None;
+            let mut test = None;
+            let mut q = 140;
+            let mut threshold = 0.55;
+            let mut unadjusted = false;
+            let mut nn = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--train" => train = Some(PathBuf::from(
+                        it.next().ok_or_else(|| invalid("--train needs a path"))?,
+                    )),
+                    "--test" => test = Some(PathBuf::from(
+                        it.next().ok_or_else(|| invalid("--test needs a path"))?,
+                    )),
+                    "--q" => q = parse_num("--q", it.next())?,
+                    "--threshold" => threshold = parse_num("--threshold", it.next())?,
+                    "--unadjusted" => unadjusted = true,
+                    "--nn" => nn = true,
+                    other => return Err(invalid(format!("unknown flag {other:?}"))),
+                }
+            }
+            if unadjusted && nn {
+                return Err(invalid("--unadjusted and --nn are mutually exclusive"));
+            }
+            Ok(Command::Classify {
+                train: train.ok_or_else(|| invalid("classify requires --train"))?,
+                test: test.ok_or_else(|| invalid("classify requires --test"))?,
+                q,
+                threshold,
+                unadjusted,
+                nn,
+            })
+        }
+        "convert" => {
+            let dataset = parse_dataset(
+                &it.next()
+                    .ok_or_else(|| invalid("convert needs a dataset name"))?,
+            )?;
+            let input = PathBuf::from(
+                it.next()
+                    .ok_or_else(|| invalid("convert needs an input file"))?,
+            );
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => out = Some(PathBuf::from(
+                        it.next().ok_or_else(|| invalid("--out needs a path"))?,
+                    )),
+                    other => return Err(invalid(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Convert {
+                dataset,
+                input,
+                out,
+            })
+        }
+        "aggregate" => {
+            let input = PathBuf::from(
+                it.next()
+                    .ok_or_else(|| invalid("aggregate needs an input CSV"))?,
+            );
+            let mut group = 10;
+            let mut sort = false;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--group" => group = parse_num("--group", it.next())?,
+                    "--sort" => sort = true,
+                    "--out" => out = Some(PathBuf::from(
+                        it.next().ok_or_else(|| invalid("--out needs a path"))?,
+                    )),
+                    other => return Err(invalid(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Aggregate {
+                input,
+                group,
+                sort,
+                out,
+            })
+        }
+        "cluster" => {
+            let input = PathBuf::from(
+                it.next()
+                    .ok_or_else(|| invalid("cluster needs an input CSV"))?,
+            );
+            let mut k = None;
+            let mut dbscan = None;
+            let mut euclidean = false;
+            let mut seed = 0;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--k" => k = Some(parse_num("--k", it.next())?),
+                    "--dbscan" => {
+                        let parts = parse_f64_list("--dbscan", it.next())?;
+                        if parts.len() != 2 {
+                            return Err(invalid("--dbscan expects EPS,MIN_PTS"));
+                        }
+                        if parts[1] < 1.0 || parts[1].fract() != 0.0 {
+                            return Err(invalid("--dbscan MIN_PTS must be a positive integer"));
+                        }
+                        dbscan = Some((parts[0], parts[1] as usize));
+                    }
+                    "--euclidean" => euclidean = true,
+                    "--seed" => seed = parse_num("--seed", it.next())?,
+                    other => return Err(invalid(format!("unknown flag {other:?}"))),
+                }
+            }
+            match (&k, &dbscan) {
+                (None, None) => return Err(invalid("cluster requires --k or --dbscan")),
+                (Some(_), Some(_)) => {
+                    return Err(invalid("--k and --dbscan are mutually exclusive"))
+                }
+                _ => {}
+            }
+            Ok(Command::Cluster {
+                input,
+                k,
+                dbscan,
+                euclidean,
+                seed,
+            })
+        }
+        other => Err(invalid(format!(
+            "unknown subcommand {other:?}; try `udm help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_defaults_and_flags() {
+        let c = parse(&["generate", "adult"]).unwrap();
+        match c {
+            Command::Generate {
+                dataset, n, f, seed, out,
+            } => {
+                assert_eq!(dataset, UciDataset::Adult);
+                assert_eq!(n, UciDataset::Adult.default_size());
+                assert_eq!(f, 0.0);
+                assert_eq!(seed, 7);
+                assert!(out.is_none());
+            }
+            _ => panic!("wrong command"),
+        }
+        let c = parse(&[
+            "generate", "forest_cover", "--n", "100", "--f", "1.5", "--seed", "3", "--out",
+            "x.csv",
+        ])
+        .unwrap();
+        match c {
+            Command::Generate { dataset, n, f, seed, out } => {
+                assert_eq!(dataset, UciDataset::ForestCover);
+                assert_eq!(n, 100);
+                assert_eq!(f, 1.5);
+                assert_eq!(seed, 3);
+                assert_eq!(out.unwrap(), PathBuf::from("x.csv"));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset_and_flags() {
+        assert!(parse(&["generate", "mnist"]).is_err());
+        assert!(parse(&["generate", "adult", "--bogus"]).is_err());
+        assert!(parse(&["generate", "adult", "--n", "abc"]).is_err());
+        assert!(parse(&["generate", "adult", "--n"]).is_err());
+    }
+
+    #[test]
+    fn density_requires_at() {
+        assert!(parse(&["density", "d.csv"]).is_err());
+        let c = parse(&["density", "d.csv", "--at", "1.0,2.5", "--subspace", "0,3"]).unwrap();
+        match c {
+            Command::Density { at, subspace, q, unadjusted, grid, .. } => {
+                assert_eq!(at, vec![1.0, 2.5]);
+                assert_eq!(subspace, vec![0, 3]);
+                assert_eq!(q, 0);
+                assert!(!unadjusted);
+                assert!(grid.is_none());
+            }
+            _ => panic!("wrong command"),
+        }
+        let c = parse(&["density", "d.csv", "--at", "0", "--grid", "-2:5:40"]).unwrap();
+        match c {
+            Command::Density { grid, .. } => assert_eq!(grid, Some((-2.0, 5.0, 40))),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&["density", "d.csv", "--at", "0", "--grid", "1:2"]).is_err());
+    }
+
+    #[test]
+    fn classify_requires_paths_and_exclusive_baselines() {
+        assert!(parse(&["classify", "--train", "a.csv"]).is_err());
+        assert!(parse(&[
+            "classify", "--train", "a.csv", "--test", "b.csv", "--unadjusted", "--nn"
+        ])
+        .is_err());
+        let c = parse(&[
+            "classify", "--train", "a.csv", "--test", "b.csv", "--q", "60", "--threshold",
+            "0.7",
+        ])
+        .unwrap();
+        match c {
+            Command::Classify { q, threshold, unadjusted, nn, .. } => {
+                assert_eq!(q, 60);
+                assert_eq!(threshold, 0.7);
+                assert!(!unadjusted && !nn);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn cluster_modes_are_exclusive_and_required() {
+        assert!(parse(&["cluster", "d.csv"]).is_err());
+        assert!(parse(&["cluster", "d.csv", "--k", "3", "--dbscan", "1.0,4"]).is_err());
+        assert!(parse(&["cluster", "d.csv", "--dbscan", "1.0"]).is_err());
+        assert!(parse(&["cluster", "d.csv", "--dbscan", "1.0,4.5"]).is_err());
+        let c = parse(&["cluster", "d.csv", "--dbscan", "1.5,4", "--euclidean"]).unwrap();
+        match c {
+            Command::Cluster { dbscan, euclidean, .. } => {
+                assert_eq!(dbscan, Some((1.5, 4)));
+                assert!(euclidean);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn convert_and_aggregate_parse() {
+        let c = parse(&["convert", "breast_cancer", "raw.data", "--out", "bc.csv"]).unwrap();
+        match c {
+            Command::Convert { dataset, input, out } => {
+                assert_eq!(dataset, UciDataset::BreastCancer);
+                assert_eq!(input, PathBuf::from("raw.data"));
+                assert_eq!(out.unwrap(), PathBuf::from("bc.csv"));
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&["convert", "bogus", "x"]).is_err());
+        let c = parse(&["aggregate", "d.csv", "--group", "5", "--sort"]).unwrap();
+        match c {
+            Command::Aggregate { group, sort, .. } => {
+                assert_eq!(group, 5);
+                assert!(sort);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn unknown_subcommand() {
+        assert!(parse(&["frobnicate"]).is_err());
+    }
+}

@@ -1,0 +1,605 @@
+//! Command execution. Every command writes its human-readable output to
+//! a caller-supplied writer, so the whole tool is testable in-process.
+
+use crate::args::Command;
+use std::io::Write;
+use std::path::Path;
+use udm_classify::{evaluate, ClassifierConfig, DensityClassifier, NnClassifier};
+use udm_cluster::{
+    adjusted_rand_index, normalized_mutual_information, Dbscan, DbscanConfig, KMeans,
+    KMeansConfig,
+};
+use udm_core::{Result, Subspace, UdmError, UncertainDataset};
+use udm_data::csv_io;
+use udm_data::{ErrorModel, UciDataset};
+use udm_kde::{ErrorKde, KdeConfig};
+use udm_microcluster::snapshot::Snapshot;
+use udm_microcluster::{
+    AssignmentDistance, MaintainerConfig, MicroClusterKde, MicroClusterMaintainer,
+};
+
+const USAGE: &str = "\
+udm — density based transforms for uncertain data mining
+
+USAGE:
+  udm generate <adult|ionosphere|breast_cancer|forest_cover>
+               [--n N] [--f F] [--seed S] [--out FILE]
+  udm summarize <data.csv> [--q Q] [--euclidean] [--out SNAPSHOT.json]
+  udm density   <data.csv> --at X1,X2,... [--subspace J1,J2,...]
+               [--q Q] [--unadjusted] [--grid LO:HI:N]
+  udm classify  --train TRAIN.csv --test TEST.csv
+               [--q Q] [--threshold A] [--unadjusted | --nn]
+  udm cluster   <data.csv> (--k K | --dbscan EPS,MINPTS)
+               [--euclidean] [--seed S]
+  udm convert   <adult|ionosphere|breast_cancer|forest_cover> RAW_FILE
+               [--out FILE]
+  udm aggregate <data.csv> [--group N] [--sort] [--out FILE]
+  udm help
+
+CSV layout: values[,errors][,label] with a '#udm,dim=..' header
+(files produced by `udm generate` are already in this layout).
+";
+
+fn load(path: &Path) -> Result<UncertainDataset> {
+    csv_io::read_csv_file(path, None)
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+pub fn run<W: Write>(command: Command, out: &mut W) -> Result<()> {
+    match command {
+        Command::Help => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Generate {
+            dataset,
+            n,
+            f,
+            seed,
+            out: file,
+        } => {
+            let clean = dataset.generate(n, seed);
+            let data = if f > 0.0 {
+                ErrorModel::paper(f).apply(&clean, seed ^ 0x9E37_79B9)?
+            } else {
+                clean
+            };
+            match file {
+                Some(path) => {
+                    csv_io::write_csv_file(&path, &data)?;
+                    writeln!(
+                        out,
+                        "wrote {} rows x {} dims ({}, f={f}) to {}",
+                        data.len(),
+                        data.dim(),
+                        dataset.name(),
+                        path.display()
+                    )?;
+                }
+                None => csv_io::write_csv(&mut *out, &data)?,
+            }
+            Ok(())
+        }
+        Command::Summarize {
+            input,
+            q,
+            euclidean,
+            out: file,
+        } => {
+            let data = load(&input)?;
+            let config = MaintainerConfig {
+                max_clusters: q,
+                distance: if euclidean {
+                    AssignmentDistance::Euclidean
+                } else {
+                    AssignmentDistance::ErrorAdjusted
+                },
+            };
+            let maintainer = MicroClusterMaintainer::from_dataset(&data, config)?;
+            let snapshot = Snapshot::capture(&maintainer);
+            let json = snapshot.to_json()?;
+            match file {
+                Some(path) => {
+                    std::fs::write(&path, &json)?;
+                    writeln!(
+                        out,
+                        "summarized {} points into {} micro-clusters -> {}",
+                        maintainer.points_seen(),
+                        maintainer.num_clusters(),
+                        path.display()
+                    )?;
+                }
+                None => writeln!(out, "{json}")?,
+            }
+            Ok(())
+        }
+        Command::Density {
+            input,
+            at,
+            subspace,
+            q,
+            unadjusted,
+            grid,
+        } => {
+            let data = load(&input)?;
+            if at.len() != data.dim() {
+                return Err(UdmError::DimensionMismatch {
+                    expected: data.dim(),
+                    actual: at.len(),
+                });
+            }
+            let s = if subspace.is_empty() {
+                Subspace::full(data.dim())?
+            } else {
+                Subspace::from_dims(&subspace)?
+            };
+            let config = if unadjusted {
+                KdeConfig::unadjusted()
+            } else {
+                KdeConfig::error_adjusted()
+            };
+            let value = if q == 0 {
+                ErrorKde::fit(&data, config)?.density_subspace(&at, s)?
+            } else {
+                let maintainer =
+                    MicroClusterMaintainer::from_dataset(&data, MaintainerConfig::new(q))?;
+                MicroClusterKde::fit(maintainer.clusters(), config)?.density_subspace(&at, s)?
+            };
+            writeln!(
+                out,
+                "density over {s} at {at:?} = {value:.8e} ({} estimation, {})",
+                if q == 0 {
+                    "exact".to_string()
+                } else {
+                    format!("{q}-cluster")
+                },
+                if unadjusted {
+                    "unadjusted"
+                } else {
+                    "error-adjusted"
+                },
+            )?;
+            if let Some((lo, hi, n)) = grid {
+                let dim = s.dims().next().expect("subspace is non-empty");
+                let kde = ErrorKde::fit(&data, config)?;
+                let g = udm_kde::Grid1D::from_kde(&kde, dim, lo, hi, n)?;
+                writeln!(out, "\n1-D density along dimension {dim} over [{lo}, {hi}]:")?;
+                write!(out, "{}", udm_kde::ascii::chart(&g, 8))?;
+            }
+            Ok(())
+        }
+        Command::Classify {
+            train,
+            test,
+            q,
+            threshold,
+            unadjusted,
+            nn,
+        } => {
+            let train_data = load(&train)?;
+            let test_data = load(&test)?;
+            let report = if nn {
+                let model = NnClassifier::fit(&train_data)?;
+                evaluate(&model, &test_data)?
+            } else {
+                let mut config = if unadjusted {
+                    ClassifierConfig::unadjusted(q)
+                } else {
+                    ClassifierConfig::error_adjusted(q)
+                };
+                config.accuracy_threshold = threshold;
+                let model = DensityClassifier::fit(&train_data, config)?;
+                evaluate(&model, &test_data)?
+            };
+            let kind = if nn {
+                "nearest-neighbor"
+            } else if unadjusted {
+                "density (unadjusted)"
+            } else {
+                "density (error-adjusted)"
+            };
+            writeln!(out, "classifier : {kind}")?;
+            writeln!(out, "test points: {}", report.n)?;
+            writeln!(out, "accuracy   : {:.4}", report.accuracy())?;
+            writeln!(out, "macro F1   : {:.4}", report.macro_f1())?;
+            writeln!(
+                out,
+                "latency    : {:.3e} s/example",
+                report.seconds_per_example()
+            )?;
+            let mut labels: Vec<_> = report.confusion.keys().map(|&(a, _)| a).collect();
+            labels.sort();
+            labels.dedup();
+            for l in labels {
+                writeln!(
+                    out,
+                    "  {l}: recall {:.4}  precision {:.4}  f1 {:.4}",
+                    report.recall(l),
+                    report.precision(l),
+                    report.f1(l)
+                )?;
+            }
+            Ok(())
+        }
+        Command::Convert {
+            dataset,
+            input,
+            out: file,
+        } => {
+            let raw = std::fs::File::open(&input)?;
+            let data = match dataset {
+                UciDataset::Adult => udm_data::uci_raw::parse_adult(raw)?,
+                UciDataset::Ionosphere => udm_data::uci_raw::parse_ionosphere(raw)?,
+                UciDataset::ForestCover => udm_data::uci_raw::parse_covertype(raw)?,
+                UciDataset::BreastCancer => {
+                    let incomplete = udm_data::uci_raw::parse_breast_cancer(raw)?;
+                    udm_data::imputation::impute_mean(&incomplete)?
+                }
+            };
+            match file {
+                Some(path) => {
+                    csv_io::write_csv_file(&path, &data)?;
+                    writeln!(
+                        out,
+                        "converted {} rows x {} dims ({}) to {}",
+                        data.len(),
+                        data.dim(),
+                        dataset.name(),
+                        path.display()
+                    )?;
+                }
+                None => csv_io::write_csv(&mut *out, &data)?,
+            }
+            Ok(())
+        }
+        Command::Aggregate {
+            input,
+            group,
+            sort,
+            out: file,
+        } => {
+            let mut data = load(&input)?;
+            if sort {
+                let mut points = data.points().to_vec();
+                points.sort_by(|a, b| {
+                    a.value(0)
+                        .partial_cmp(&b.value(0))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                data = UncertainDataset::from_points(points)?;
+            }
+            let aggregated = udm_data::aggregate::aggregate_groups(
+                &data,
+                group,
+                udm_data::aggregate::GroupLabelPolicy::Majority,
+            )?;
+            match file {
+                Some(path) => {
+                    csv_io::write_csv_file(&path, &aggregated)?;
+                    writeln!(
+                        out,
+                        "aggregated {} rows into {} pseudo-records (group={group}) -> {}",
+                        data.len(),
+                        aggregated.len(),
+                        path.display()
+                    )?;
+                }
+                None => csv_io::write_csv(&mut *out, &aggregated)?,
+            }
+            Ok(())
+        }
+        Command::Cluster {
+            input,
+            k,
+            dbscan,
+            euclidean,
+            seed,
+        } => {
+            let data = load(&input)?;
+            let truth: Vec<_> = data.iter().filter_map(|p| p.label()).collect();
+            let has_truth = truth.len() == data.len();
+
+            let assignments: Vec<Option<usize>> = if let Some(k) = k {
+                let mut config = KMeansConfig::new(k);
+                config.seed = seed;
+                if euclidean {
+                    config.distance = AssignmentDistance::Euclidean;
+                }
+                let r = KMeans::new(config)?.run(&data)?;
+                writeln!(
+                    out,
+                    "k-means: k={k}, {} iterations, inertia {:.4e}",
+                    r.iterations, r.inertia
+                )?;
+                r.assignments.into_iter().map(Some).collect()
+            } else {
+                let (eps, min_pts) = dbscan.expect("parser guarantees one mode");
+                let config = DbscanConfig {
+                    eps,
+                    min_pts,
+                    error_adjusted: !euclidean,
+                };
+                let r = Dbscan::new(config)?.run(&data)?;
+                writeln!(
+                    out,
+                    "dbscan: eps={eps}, min_pts={min_pts}, {} clusters, {} noise points",
+                    r.num_clusters,
+                    r.num_noise()
+                )?;
+                r.assignments
+            };
+
+            // Cluster size histogram.
+            let mut sizes: std::collections::BTreeMap<Option<usize>, usize> = Default::default();
+            for a in &assignments {
+                *sizes.entry(*a).or_insert(0) += 1;
+            }
+            for (cluster, count) in &sizes {
+                match cluster {
+                    Some(c) => writeln!(out, "  cluster {c}: {count} points")?,
+                    None => writeln!(out, "  noise    : {count} points")?,
+                }
+            }
+            if has_truth {
+                writeln!(
+                    out,
+                    "vs labels: ARI {:.4}  NMI {:.4}",
+                    adjusted_rand_index(&assignments, &truth),
+                    normalized_mutual_information(&assignments, &truth)
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn run_cli(args: &[&str]) -> Result<String> {
+        let cmd = parse_args(args.iter().map(|s| s.to_string()))?;
+        let mut buf = Vec::new();
+        run(cmd, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("output is UTF-8"))
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "udm_cli_test_{}_{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").replace("::", "_")
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_cli(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("udm classify"));
+    }
+
+    #[test]
+    fn generate_to_stdout_is_valid_csv() {
+        let out = run_cli(&["generate", "breast_cancer", "--n", "20"]).unwrap();
+        assert!(out.starts_with("#udm,dim=9"));
+        let parsed = csv_io::read_csv(out.as_bytes(), None).unwrap();
+        assert_eq!(parsed.len(), 20);
+        assert_eq!(parsed.dim(), 9);
+    }
+
+    #[test]
+    fn generate_classify_roundtrip() {
+        let dir = tmpdir();
+        let train = dir.join("train.csv");
+        let test = dir.join("test.csv");
+        run_cli(&[
+            "generate", "breast_cancer", "--n", "300", "--f", "0.5", "--seed", "1", "--out",
+            train.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_cli(&[
+            "generate", "breast_cancer", "--n", "100", "--f", "0.5", "--seed", "2", "--out",
+            test.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_cli(&[
+            "classify",
+            "--train",
+            train.to_str().unwrap(),
+            "--test",
+            test.to_str().unwrap(),
+            "--q",
+            "20",
+        ])
+        .unwrap();
+        assert!(out.contains("accuracy"), "{out}");
+        assert!(out.contains("error-adjusted"), "{out}");
+        let acc: f64 = out
+            .lines()
+            .find(|l| l.starts_with("accuracy"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap();
+        assert!(acc > 0.6, "accuracy {acc}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn nn_baseline_runs() {
+        let dir = tmpdir();
+        let train = dir.join("train.csv");
+        run_cli(&[
+            "generate", "breast_cancer", "--n", "120", "--out", train.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_cli(&[
+            "classify",
+            "--train",
+            train.to_str().unwrap(),
+            "--test",
+            train.to_str().unwrap(),
+            "--nn",
+        ])
+        .unwrap();
+        assert!(out.contains("nearest-neighbor"));
+        // NN on its own training data is perfect.
+        assert!(out.contains("accuracy   : 1.0000"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summarize_writes_restorable_snapshot() {
+        let dir = tmpdir();
+        let data = dir.join("data.csv");
+        let snap = dir.join("snap.json");
+        run_cli(&[
+            "generate", "adult", "--n", "200", "--f", "1.0", "--out", data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_cli(&[
+            "summarize",
+            data.to_str().unwrap(),
+            "--q",
+            "10",
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("200 points into 10 micro-clusters"), "{out}");
+        let restored = Snapshot::load(&snap).unwrap().restore().unwrap();
+        assert_eq!(restored.points_seen(), 200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn density_exact_and_compressed() {
+        let dir = tmpdir();
+        let data = dir.join("data.csv");
+        run_cli(&[
+            "generate", "breast_cancer", "--n", "150", "--f", "0.5", "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let at = "0,0,0,0,0,0,0,0,0";
+        let exact = run_cli(&["density", data.to_str().unwrap(), "--at", at]).unwrap();
+        assert!(exact.contains("exact estimation"), "{exact}");
+        let compressed = run_cli(&[
+            "density", data.to_str().unwrap(), "--at", at, "--q", "30", "--subspace", "0,1",
+        ])
+        .unwrap();
+        assert!(compressed.contains("30-cluster"), "{compressed}");
+        assert!(compressed.contains("{0,1}"), "{compressed}");
+    }
+
+    #[test]
+    fn density_grid_renders_chart() {
+        let dir = tmpdir();
+        let data = dir.join("data.csv");
+        run_cli(&[
+            "generate", "adult", "--n", "80", "--out", data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_cli(&[
+            "density",
+            data.to_str().unwrap(),
+            "--at",
+            "0,0,0,0,0,0",
+            "--subspace",
+            "0",
+            "--grid",
+            "-5:5:50",
+        ])
+        .unwrap();
+        assert!(out.contains("1-D density along dimension 0"), "{out}");
+        assert!(out.contains("peak density"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn density_validates_arity() {
+        let dir = tmpdir();
+        let data = dir.join("data.csv");
+        run_cli(&[
+            "generate", "adult", "--n", "50", "--out", data.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(run_cli(&["density", data.to_str().unwrap(), "--at", "1.0"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_kmeans_reports_metrics_when_labelled() {
+        let dir = tmpdir();
+        let data = dir.join("data.csv");
+        run_cli(&[
+            "generate", "breast_cancer", "--n", "200", "--out", data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_cli(&["cluster", data.to_str().unwrap(), "--k", "2"]).unwrap();
+        assert!(out.contains("k-means: k=2"), "{out}");
+        assert!(out.contains("ARI"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_dbscan_runs() {
+        let dir = tmpdir();
+        let data = dir.join("data.csv");
+        run_cli(&[
+            "generate", "breast_cancer", "--n", "150", "--out", data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_cli(&[
+            "cluster", data.to_str().unwrap(), "--dbscan", "3.0,4", "--euclidean",
+        ])
+        .unwrap();
+        assert!(out.contains("dbscan: eps=3"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_breast_cancer_imputes_and_writes() {
+        let dir = tmpdir();
+        let raw_path = dir.join("bc.data");
+        std::fs::write(
+            &raw_path,
+            "1,5,1,1,1,2,1,3,1,1,2
+2,5,4,4,5,7,10,3,2,1,2
+3,8,4,5,1,2,?,7,3,1,4
+",
+        )
+        .unwrap();
+        let out = run_cli(&["convert", "breast_cancer", raw_path.to_str().unwrap()]).unwrap();
+        assert!(out.starts_with("#udm,dim=9,errors=1,labels=1"), "{out}");
+        let parsed = csv_io::read_csv(out.as_bytes(), None).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert!(parsed.point(2).error(5) > 0.0); // imputed cell kept its ψ
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aggregate_roundtrip() {
+        let dir = tmpdir();
+        let data = dir.join("data.csv");
+        run_cli(&[
+            "generate", "breast_cancer", "--n", "100", "--out", data.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_cli(&["aggregate", data.to_str().unwrap(), "--group", "10", "--sort"])
+            .unwrap();
+        let parsed = csv_io::read_csv(out.as_bytes(), None).unwrap();
+        assert_eq!(parsed.len(), 10);
+        assert!(parsed.iter().any(|p| !p.is_exact()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let e = run_cli(&["density", "/nonexistent/x.csv", "--at", "1.0"]).unwrap_err();
+        assert!(matches!(e, UdmError::Io(_)));
+    }
+}

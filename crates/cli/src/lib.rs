@@ -1,0 +1,24 @@
+//! # udm-cli
+//!
+//! Library backing the `udm` command-line tool. All functionality lives
+//! here (argument parsing, command execution against an abstract writer)
+//! so it is unit-testable; `main.rs` is a thin shim.
+//!
+//! ```text
+//! udm generate <adult|ionosphere|breast_cancer|forest_cover>
+//!              [--n N] [--f F] [--seed S] [--out FILE]
+//! udm summarize <data.csv> [--q Q] [--euclidean] [--out SNAPSHOT.json]
+//! udm density   <data.csv> --at X1,X2,… [--subspace J1,J2,…] [--q Q] [--unadjusted]
+//! udm classify  --train TRAIN.csv --test TEST.csv
+//!               [--q Q] [--threshold A] [--unadjusted | --nn]
+//! udm cluster   <data.csv> (--k K | --dbscan EPS,MINPTS) [--euclidean] [--seed S]
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command};
+pub use commands::run;

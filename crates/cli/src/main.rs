@@ -1,0 +1,19 @@
+//! The `udm` command-line tool: a thin shim over `udm_cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match udm_cli::parse_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try `udm help`");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if let Err(e) = udm_cli::run(command, &mut lock) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

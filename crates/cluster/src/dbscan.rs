@@ -1,0 +1,368 @@
+//! DBSCAN over uncertain points with error-adjusted distances.
+//!
+//! The classic DBSCAN neighborhood predicate `‖Y − Z‖² ≤ ε²` is replaced
+//! by the symmetric two-sided extension of the paper's Eq. 5:
+//!
+//! ```text
+//! dist(Y, Z) = Σ_j max{ 0, (Y_j − Z_j)² − ψ_j(Y)² − ψ_j(Z)² }
+//! ```
+//!
+//! Two uncertain points whose displacement along a dimension is within
+//! their combined error budget are treated as coincident on that
+//! dimension — the best-case reading the paper motivates for noisy data.
+//! At ψ ≡ 0 this reduces exactly to squared Euclidean DBSCAN.
+
+use serde::{Deserialize, Serialize};
+use udm_core::{Result, UdmError, UncertainDataset, UncertainPoint};
+
+/// Pairwise symmetric error-adjusted squared distance.
+#[inline]
+pub fn pairwise_error_adjusted_sq(a: &UncertainPoint, b: &UncertainPoint) -> f64 {
+    debug_assert_eq!(a.dim(), b.dim());
+    let mut total = 0.0;
+    for j in 0..a.dim() {
+        let d = a.value(j) - b.value(j);
+        let ea = a.error(j);
+        let eb = b.error(j);
+        // Grouped so the expression is exactly symmetric in (a, b): IEEE
+        // addition commutes, sequential subtraction does not.
+        total += (d * d - (ea * ea + eb * eb)).max(0.0);
+    }
+    total
+}
+
+/// DBSCAN configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DbscanConfig {
+    /// Neighborhood radius ε (distance, not squared).
+    pub eps: f64,
+    /// Minimum neighborhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+    /// Whether to use the error-adjusted pairwise distance (`true`, the
+    /// uncertain-data variant) or plain Euclidean (`false`, the baseline).
+    pub error_adjusted: bool,
+}
+
+impl DbscanConfig {
+    /// Error-adjusted configuration.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        DbscanConfig {
+            eps,
+            min_pts,
+            error_adjusted: true,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.eps.is_finite() && self.eps > 0.0) {
+            return Err(UdmError::InvalidValue {
+                what: "eps",
+                value: self.eps,
+            });
+        }
+        if self.min_pts == 0 {
+            return Err(UdmError::InvalidConfig("min_pts must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Cluster assignment produced by [`Dbscan::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbscanResult {
+    /// Per-point assignment: `Some(cluster_id)` or `None` for noise.
+    pub assignments: Vec<Option<usize>>,
+    /// Number of clusters found.
+    pub num_clusters: usize,
+}
+
+impl DbscanResult {
+    /// Number of noise points.
+    pub fn num_noise(&self) -> usize {
+        self.assignments.iter().filter(|a| a.is_none()).count()
+    }
+}
+
+/// The DBSCAN algorithm (classic label-propagation formulation).
+///
+/// # Example
+///
+/// ```
+/// use udm_cluster::{Dbscan, DbscanConfig};
+/// use udm_core::{UncertainDataset, UncertainPoint};
+///
+/// let data = UncertainDataset::from_points(
+///     (0..20).map(|i| {
+///         let base = if i % 2 == 0 { 0.0 } else { 10.0 };
+///         UncertainPoint::new(vec![base + (i / 2) as f64 * 0.05], vec![0.1]).unwrap()
+///     }).collect(),
+/// ).unwrap();
+/// let result = Dbscan::new(DbscanConfig::new(1.0, 3)).unwrap().run(&data).unwrap();
+/// assert_eq!(result.num_clusters, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dbscan {
+    config: DbscanConfig,
+}
+
+impl Dbscan {
+    /// Creates the algorithm with a validated configuration.
+    pub fn new(config: DbscanConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Dbscan { config })
+    }
+
+    fn neighbors(&self, data: &UncertainDataset, i: usize) -> Vec<usize> {
+        let eps_sq = self.config.eps * self.config.eps;
+        let pi = data.point(i);
+        (0..data.len())
+            .filter(|&j| {
+                let d = if self.config.error_adjusted {
+                    pairwise_error_adjusted_sq(pi, data.point(j))
+                } else {
+                    pi.squared_euclidean(data.point(j))
+                };
+                d <= eps_sq
+            })
+            .collect()
+    }
+
+    /// Runs DBSCAN over the dataset.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::EmptyDataset`] on empty input.
+    pub fn run(&self, data: &UncertainDataset) -> Result<DbscanResult> {
+        if data.is_empty() {
+            return Err(UdmError::EmptyDataset);
+        }
+        const UNVISITED: usize = usize::MAX;
+        const NOISE: usize = usize::MAX - 1;
+        let n = data.len();
+        let mut label = vec![UNVISITED; n];
+        let mut cluster = 0usize;
+
+        for i in 0..n {
+            if label[i] != UNVISITED {
+                continue;
+            }
+            let seeds = self.neighbors(data, i);
+            if seeds.len() < self.config.min_pts {
+                label[i] = NOISE;
+                continue;
+            }
+            label[i] = cluster;
+            let mut frontier = seeds;
+            let mut cursor = 0;
+            while cursor < frontier.len() {
+                let j = frontier[cursor];
+                cursor += 1;
+                if label[j] == NOISE {
+                    label[j] = cluster; // border point
+                }
+                if label[j] != UNVISITED {
+                    continue;
+                }
+                label[j] = cluster;
+                let jn = self.neighbors(data, j);
+                if jn.len() >= self.config.min_pts {
+                    frontier.extend(jn);
+                }
+            }
+            cluster += 1;
+        }
+
+        let assignments = label
+            .into_iter()
+            .map(|l| if l >= NOISE { None } else { Some(l) })
+            .collect();
+        Ok(DbscanResult {
+            assignments,
+            num_clusters: cluster,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(values: &[f64]) -> UncertainPoint {
+        UncertainPoint::exact(values.to_vec()).unwrap()
+    }
+
+    fn two_blobs() -> UncertainDataset {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(exact(&[i as f64 * 0.1, 0.0]));
+            pts.push(exact(&[10.0 + i as f64 * 0.1, 0.0]));
+        }
+        pts.push(exact(&[100.0, 100.0])); // outlier
+        UncertainDataset::from_points(pts).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Dbscan::new(DbscanConfig::new(0.0, 2)).is_err());
+        assert!(Dbscan::new(DbscanConfig::new(f64::NAN, 2)).is_err());
+        assert!(Dbscan::new(DbscanConfig::new(1.0, 0)).is_err());
+        assert!(Dbscan::new(DbscanConfig::new(1.0, 2)).is_ok());
+    }
+
+    #[test]
+    fn finds_two_blobs_and_noise() {
+        let d = two_blobs();
+        let r = Dbscan::new(DbscanConfig::new(0.5, 3)).unwrap().run(&d).unwrap();
+        assert_eq!(r.num_clusters, 2);
+        assert_eq!(r.num_noise(), 1);
+        // All of blob 1 in one cluster:
+        let c0 = r.assignments[0];
+        assert!(c0.is_some());
+        for i in (0..20).step_by(2) {
+            assert_eq!(r.assignments[i], c0);
+        }
+    }
+
+    #[test]
+    fn everything_noise_for_tiny_eps() {
+        let d = two_blobs();
+        let r = Dbscan::new(DbscanConfig::new(1e-6, 2))
+            .unwrap()
+            .run(&d)
+            .unwrap();
+        assert_eq!(r.num_clusters, 0);
+        assert_eq!(r.num_noise(), d.len());
+    }
+
+    #[test]
+    fn one_cluster_for_huge_eps() {
+        let d = two_blobs();
+        let r = Dbscan::new(DbscanConfig::new(1e6, 2))
+            .unwrap()
+            .run(&d)
+            .unwrap();
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.num_noise(), 0);
+    }
+
+    #[test]
+    fn errors_bridge_gaps_only_when_adjusted() {
+        // Two groups 4 apart; points carry errors of 3, so the adjusted
+        // pairwise distance collapses the gap; Euclidean keeps them apart.
+        let pts: Vec<UncertainPoint> = (0..6)
+            .map(|i| {
+                let x = if i < 3 { i as f64 * 0.1 } else { 4.0 + i as f64 * 0.1 };
+                UncertainPoint::new(vec![x], vec![3.0]).unwrap()
+            })
+            .collect();
+        let d = UncertainDataset::from_points(pts).unwrap();
+
+        let adjusted = Dbscan::new(DbscanConfig::new(0.8, 3)).unwrap().run(&d).unwrap();
+        assert_eq!(adjusted.num_clusters, 1, "errors should bridge the gap");
+
+        let plain = Dbscan::new(DbscanConfig {
+            eps: 0.8,
+            min_pts: 3,
+            error_adjusted: false,
+        })
+        .unwrap()
+        .run(&d)
+        .unwrap();
+        assert_eq!(plain.num_clusters, 2, "euclidean keeps groups separate");
+    }
+
+    #[test]
+    fn zero_error_adjusted_equals_euclidean() {
+        let d = two_blobs(); // all exact points
+        let adj = Dbscan::new(DbscanConfig::new(0.5, 3)).unwrap().run(&d).unwrap();
+        let euc = Dbscan::new(DbscanConfig {
+            eps: 0.5,
+            min_pts: 3,
+            error_adjusted: false,
+        })
+        .unwrap()
+        .run(&d)
+        .unwrap();
+        assert_eq!(adj, euc);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let d = UncertainDataset::new(2);
+        assert!(Dbscan::new(DbscanConfig::new(1.0, 2))
+            .unwrap()
+            .run(&d)
+            .is_err());
+    }
+
+    #[test]
+    fn pairwise_distance_is_symmetric() {
+        let a = UncertainPoint::new(vec![0.0, 1.0], vec![0.5, 0.0]).unwrap();
+        let b = UncertainPoint::new(vec![2.0, -1.0], vec![0.0, 1.0]).unwrap();
+        assert_eq!(
+            pairwise_error_adjusted_sq(&a, &b),
+            pairwise_error_adjusted_sq(&b, &a)
+        );
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // A chain where the end point is within eps of a core point but
+        // has too few neighbors to be core itself.
+        let pts: Vec<UncertainPoint> =
+            [0.0, 0.1, 0.2, 0.3, 0.85].iter().map(|&x| exact(&[x])).collect();
+        let d = UncertainDataset::from_points(pts).unwrap();
+        let r = Dbscan::new(DbscanConfig::new(0.6, 4)).unwrap().run(&d).unwrap();
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.assignments[4], r.assignments[0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_dataset() -> impl Strategy<Value = UncertainDataset> {
+        proptest::collection::vec((-50.0f64..50.0, 0.0f64..2.0), 2..50).prop_map(|rows| {
+            UncertainDataset::from_points(
+                rows.into_iter()
+                    .map(|(v, e)| UncertainPoint::new(vec![v], vec![e]).unwrap())
+                    .collect(),
+            )
+            .unwrap()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn cluster_ids_are_dense_and_bounded(d in arb_dataset(), eps in 0.1f64..10.0) {
+            let r = Dbscan::new(DbscanConfig::new(eps, 3)).unwrap().run(&d).unwrap();
+            prop_assert_eq!(r.assignments.len(), d.len());
+            for a in r.assignments.iter().flatten() {
+                prop_assert!(*a < r.num_clusters);
+            }
+            // Every id below num_clusters is used at least once.
+            for c in 0..r.num_clusters {
+                prop_assert!(r.assignments.contains(&Some(c)));
+            }
+        }
+
+        #[test]
+        fn pairwise_distance_symmetric_and_bounded(
+            a in (-50.0f64..50.0, 0.0f64..5.0),
+            b in (-50.0f64..50.0, 0.0f64..5.0),
+        ) {
+            let pa = UncertainPoint::new(vec![a.0], vec![a.1]).unwrap();
+            let pb = UncertainPoint::new(vec![b.0], vec![b.1]).unwrap();
+            let d1 = pairwise_error_adjusted_sq(&pa, &pb);
+            let d2 = pairwise_error_adjusted_sq(&pb, &pa);
+            prop_assert_eq!(d1, d2);
+            prop_assert!(d1 >= 0.0);
+            prop_assert!(d1 <= pa.squared_euclidean(&pb) + 1e-9);
+        }
+    }
+}

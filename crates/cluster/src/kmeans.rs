@@ -1,0 +1,364 @@
+//! k-means with error-adjusted assignment.
+//!
+//! The assignment step uses the paper's point-to-centroid distance (Eq.
+//! 5), so a point whose error ellipse is skewed toward a farther centroid
+//! can still join it (the Figure 2 behaviour); the update step is the
+//! ordinary coordinate mean. At ψ ≡ 0 this reduces exactly to Lloyd's
+//! algorithm.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use udm_core::{Result, UdmError, UncertainDataset};
+use udm_microcluster::AssignmentDistance;
+
+/// k-means configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Assignment distance (error-adjusted by default).
+    pub distance: AssignmentDistance,
+    /// RNG seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Error-adjusted configuration with `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iters: 100,
+            distance: AssignmentDistance::ErrorAdjusted,
+            seed: 0,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.k == 0 {
+            return Err(UdmError::InvalidConfig("k must be at least 1".into()));
+        }
+        if self.max_iters == 0 {
+            return Err(UdmError::InvalidConfig(
+                "max_iters must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Final centroids, `k × d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-point cluster index.
+    pub assignments: Vec<usize>,
+    /// Iterations executed until convergence (or the cap).
+    pub iterations: usize,
+    /// Final within-cluster sum of (error-adjusted) squared distances.
+    pub inertia: f64,
+}
+
+/// The k-means algorithm.
+///
+/// # Example
+///
+/// ```
+/// use udm_cluster::{KMeans, KMeansConfig};
+/// use udm_core::{UncertainDataset, UncertainPoint};
+///
+/// let data = UncertainDataset::from_points(
+///     (0..30).map(|i| {
+///         let base = if i % 2 == 0 { 0.0 } else { 8.0 };
+///         UncertainPoint::new(vec![base + (i % 5) as f64 * 0.1], vec![0.2]).unwrap()
+///     }).collect(),
+/// ).unwrap();
+/// let result = KMeans::new(KMeansConfig::new(2)).unwrap().run(&data).unwrap();
+/// assert_eq!(result.centroids.len(), 2);
+/// assert_ne!(result.assignments[0], result.assignments[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    config: KMeansConfig,
+}
+
+impl KMeans {
+    /// Creates the algorithm with a validated configuration.
+    pub fn new(config: KMeansConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(KMeans { config })
+    }
+
+    /// Runs Lloyd iterations until assignments stabilize or `max_iters`.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::EmptyDataset`] on empty input;
+    /// [`UdmError::InvalidConfig`] when `k` exceeds the number of points.
+    pub fn run(&self, data: &UncertainDataset) -> Result<KMeansResult> {
+        let n = data.len();
+        let k = self.config.k;
+        if n == 0 {
+            return Err(UdmError::EmptyDataset);
+        }
+        if k > n {
+            return Err(UdmError::InvalidConfig(format!(
+                "k = {k} exceeds the number of points {n}"
+            )));
+        }
+        let d = data.dim();
+
+        // k-means++ seeding (D² sampling on plain squared Euclidean), so
+        // seeds spread across modes regardless of the assignment metric.
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(data.point(rng.gen_range(0..n)).values().to_vec());
+        while centroids.len() < k {
+            let d2: Vec<f64> = data
+                .iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .map(|c| {
+                            p.values()
+                                .iter()
+                                .zip(c.iter())
+                                .map(|(a, b)| (a - b) * (a - b))
+                                .sum::<f64>()
+                        })
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = d2.iter().sum();
+            let idx = if total <= 0.0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut pick = rng.gen::<f64>() * total;
+                let mut chosen = n - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    if pick < w {
+                        chosen = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                chosen
+            };
+            centroids.push(data.point(idx).values().to_vec());
+        }
+
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0;
+        for iter in 0..self.config.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut changed = false;
+            for (i, p) in data.iter().enumerate() {
+                let mut best = assignments[i];
+                let mut best_d = f64::INFINITY;
+                for (c_idx, c) in centroids.iter().enumerate() {
+                    let dist = self.config.distance.evaluate(p, c);
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c_idx;
+                    }
+                }
+                if best != assignments[i] {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed && iter > 0 {
+                break;
+            }
+            // Update step: coordinate means; empty clusters keep their
+            // centroid (standard Lloyd treatment).
+            let mut sums = vec![vec![0.0; d]; k];
+            let mut counts = vec![0usize; k];
+            for (i, p) in data.iter().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (s, &v) in sums[c].iter_mut().zip(p.values().iter()) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f64;
+                    for (slot, &s) in centroids[c].iter_mut().zip(sums[c].iter()) {
+                        *slot = s * inv;
+                    }
+                }
+            }
+        }
+
+        let inertia = data
+            .iter()
+            .zip(assignments.iter())
+            .map(|(p, &c)| self.config.distance.evaluate(p, &centroids[c]))
+            .sum();
+
+        Ok(KMeansResult {
+            centroids,
+            assignments,
+            iterations,
+            inertia,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udm_core::UncertainPoint;
+
+    fn blob_data() -> UncertainDataset {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let o = (i % 5) as f64 * 0.05;
+            pts.push(UncertainPoint::exact(vec![o, o]).unwrap());
+            pts.push(UncertainPoint::exact(vec![10.0 + o, 10.0 + o]).unwrap());
+        }
+        UncertainDataset::from_points(pts).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(KMeans::new(KMeansConfig::new(0)).is_err());
+        let mut c = KMeansConfig::new(2);
+        c.max_iters = 0;
+        assert!(KMeans::new(c).is_err());
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let d = blob_data();
+        let r = KMeans::new(KMeansConfig::new(2)).unwrap().run(&d).unwrap();
+        // points 0,2,4,... are blob A; 1,3,5,... blob B
+        let a = r.assignments[0];
+        let b = r.assignments[1];
+        assert_ne!(a, b);
+        for i in 0..d.len() {
+            assert_eq!(r.assignments[i], if i % 2 == 0 { a } else { b });
+        }
+        // centroids near (0,0) and (10,10)
+        let mut cs = r.centroids.clone();
+        cs.sort_by(|x, y| x[0].partial_cmp(&y[0]).unwrap());
+        assert!(cs[0][0] < 1.0 && cs[1][0] > 9.0);
+    }
+
+    #[test]
+    fn k_equals_n_zero_inertia() {
+        let d = UncertainDataset::from_points(vec![
+            UncertainPoint::exact(vec![0.0]).unwrap(),
+            UncertainPoint::exact(vec![5.0]).unwrap(),
+            UncertainPoint::exact(vec![9.0]).unwrap(),
+        ])
+        .unwrap();
+        let r = KMeans::new(KMeansConfig::new(3)).unwrap().run(&d).unwrap();
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn k_above_n_rejected() {
+        let d = UncertainDataset::from_points(vec![UncertainPoint::exact(vec![0.0]).unwrap()])
+            .unwrap();
+        assert!(KMeans::new(KMeansConfig::new(2)).unwrap().run(&d).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = blob_data();
+        let r1 = KMeans::new(KMeansConfig::new(2)).unwrap().run(&d).unwrap();
+        let r2 = KMeans::new(KMeansConfig::new(2)).unwrap().run(&d).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn error_adjusted_assignment_moves_noisy_point() {
+        // Figure 2 scenario at the k-means level: a point Euclidean-closer
+        // to centroid B but with a large error along the axis toward A.
+        let mut pts = Vec::new();
+        for _ in 0..5 {
+            pts.push(UncertainPoint::exact(vec![10.0, 0.0]).unwrap()); // A
+            pts.push(UncertainPoint::exact(vec![0.0, 4.0]).unwrap()); // B
+        }
+        // the noisy point: at origin, error 12 along dim 0
+        pts.push(UncertainPoint::new(vec![0.0, 0.0], vec![12.0, 0.1]).unwrap());
+        let d = UncertainDataset::from_points(pts).unwrap();
+
+        let adj = KMeans::new(KMeansConfig::new(2)).unwrap().run(&d).unwrap();
+        let mut cfg = KMeansConfig::new(2);
+        cfg.distance = AssignmentDistance::Euclidean;
+        let euc = KMeans::new(cfg).unwrap().run(&d).unwrap();
+
+        let a_cluster = adj.assignments[0]; // a pure-A point
+        let b_cluster = euc.assignments[1]; // a pure-B point
+        assert_eq!(adj.assignments[10], a_cluster, "adjusted joins A");
+        assert_eq!(euc.assignments[10], b_cluster, "euclidean joins B");
+    }
+
+    #[test]
+    fn converges_before_cap() {
+        let d = blob_data();
+        let r = KMeans::new(KMeansConfig::new(2)).unwrap().run(&d).unwrap();
+        assert!(r.iterations < 100);
+    }
+
+    #[test]
+    fn inertia_non_increasing_with_more_clusters() {
+        let d = blob_data();
+        let r2 = KMeans::new(KMeansConfig::new(2)).unwrap().run(&d).unwrap();
+        let r4 = KMeans::new(KMeansConfig::new(4)).unwrap().run(&d).unwrap();
+        assert!(r4.inertia <= r2.inertia + 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use udm_core::UncertainPoint;
+
+    fn arb_dataset() -> impl Strategy<Value = UncertainDataset> {
+        proptest::collection::vec((-100.0f64..100.0, 0.0f64..5.0), 4..60).prop_map(|rows| {
+            UncertainDataset::from_points(
+                rows.into_iter()
+                    .map(|(v, e)| UncertainPoint::new(vec![v], vec![e]).unwrap())
+                    .collect(),
+            )
+            .unwrap()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn assignments_are_valid_and_inertia_finite(d in arb_dataset(), k in 1usize..4) {
+            prop_assume!(k <= d.len());
+            let r = KMeans::new(KMeansConfig::new(k)).unwrap().run(&d).unwrap();
+            prop_assert_eq!(r.assignments.len(), d.len());
+            prop_assert!(r.assignments.iter().all(|&a| a < k));
+            prop_assert!(r.inertia.is_finite() && r.inertia >= 0.0);
+            prop_assert_eq!(r.centroids.len(), k);
+        }
+
+        #[test]
+        fn every_point_sits_in_its_nearest_centroid(d in arb_dataset()) {
+            prop_assume!(d.len() >= 2);
+            let r = KMeans::new(KMeansConfig::new(2)).unwrap().run(&d).unwrap();
+            for (i, p) in d.iter().enumerate() {
+                let own = AssignmentDistance::ErrorAdjusted
+                    .evaluate(p, &r.centroids[r.assignments[i]]);
+                for c in &r.centroids {
+                    let other = AssignmentDistance::ErrorAdjusted.evaluate(p, c);
+                    prop_assert!(own <= other + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Macro-clustering: weighted k-means over micro-cluster pseudo-points.
+//!
+//! The CluStream lineage the paper builds on (§2.1, reference \[2\]) pairs an online
+//! micro-clustering phase with an *offline* phase that clusters the
+//! summaries themselves. This module provides that offline phase for
+//! error-based micro-clusters: pseudo-points are weighted by their member
+//! counts `n(C)`, and distances are discounted by the pseudo-point error
+//! `Δ(C)` — the same "best case" adjustment as Eq. 5, applied at the
+//! summary level:
+//!
+//! ```text
+//! dist(C, m) = Σ_j max{0, (c_j(C) − m_j)² − Δ_j(C)²}
+//! ```
+//!
+//! A whole stream can thus be clustered into `k` macro-clusters in
+//! `O(q·k)` per iteration, independent of the stream length.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use udm_core::{Result, UdmError, UncertainPoint};
+use udm_microcluster::{MicroCluster, PseudoPoint};
+
+/// Configuration of the macro-clustering pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacroClusterConfig {
+    /// Number of macro-clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Discount pseudo-point errors `Δ(C)` in the assignment distance.
+    pub error_adjusted: bool,
+    /// Seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl MacroClusterConfig {
+    /// Error-adjusted configuration with `k` macro-clusters.
+    pub fn new(k: usize) -> Self {
+        MacroClusterConfig {
+            k,
+            max_iters: 100,
+            error_adjusted: true,
+            seed: 0,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.k == 0 {
+            return Err(UdmError::InvalidConfig("k must be at least 1".into()));
+        }
+        if self.max_iters == 0 {
+            return Err(UdmError::InvalidConfig(
+                "max_iters must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of macro-clustering a set of micro-clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroClusters {
+    /// Macro-centroids, `k × d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-micro-cluster macro assignment.
+    pub assignments: Vec<usize>,
+    /// Total original points represented by each macro-cluster.
+    pub weights: Vec<u64>,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl MacroClusters {
+    /// Assigns a raw point to its macro-cluster (plain nearest centroid;
+    /// the point's own errors are discounted Eq. 5 style).
+    pub fn assign(&self, point: &UncertainPoint) -> Option<usize> {
+        let mut best = None;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let d = udm_microcluster::distance::error_adjusted_sq(point, c);
+            if d < best_d {
+                best_d = d;
+                best = Some(i);
+            }
+        }
+        best
+    }
+}
+
+fn pseudo_distance_sq(p: &PseudoPoint, centroid: &[f64], error_adjusted: bool) -> f64 {
+    let mut total = 0.0;
+    for (j, &c) in centroid.iter().enumerate() {
+        let d = p.centroid[j] - c;
+        let discount = if error_adjusted {
+            p.delta[j] * p.delta[j]
+        } else {
+            0.0
+        };
+        total += (d * d - discount).max(0.0);
+    }
+    total
+}
+
+/// Runs weighted Lloyd iterations over the pseudo-points of the given
+/// micro-clusters.
+///
+/// # Errors
+///
+/// [`UdmError::EmptyDataset`] when no non-empty cluster exists;
+/// [`UdmError::InvalidConfig`] when `k` exceeds the number of non-empty
+/// micro-clusters; [`UdmError::DimensionMismatch`] on ragged input.
+pub fn macro_cluster(
+    clusters: &[MicroCluster],
+    config: MacroClusterConfig,
+) -> Result<MacroClusters> {
+    config.validate()?;
+    let pseudos: Vec<PseudoPoint> = clusters
+        .iter()
+        .filter(|c| !c.is_empty())
+        .map(|c| PseudoPoint::from_cluster(c, config.error_adjusted))
+        .collect::<Result<_>>()?;
+    let q = pseudos.len();
+    if q == 0 {
+        return Err(UdmError::EmptyDataset);
+    }
+    let dim = pseudos[0].dim();
+    for p in &pseudos {
+        if p.dim() != dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: dim,
+                actual: p.dim(),
+            });
+        }
+    }
+    if config.k > q {
+        return Err(UdmError::InvalidConfig(format!(
+            "k = {} exceeds the number of micro-clusters {q}",
+            config.k
+        )));
+    }
+
+    // k-means++ seeding over pseudo-point centroids (weighted by n(C)):
+    // robust against all seeds landing in one mode.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(config.k);
+    let first = rng.gen_range(0..q);
+    centroids.push(pseudos[first].centroid.clone());
+    while centroids.len() < config.k {
+        // D² sampling: probability proportional to weight × squared
+        // distance to the nearest chosen seed.
+        let d2: Vec<f64> = pseudos
+            .iter()
+            .map(|p| {
+                let nearest = centroids
+                    .iter()
+                    .map(|c| pseudo_distance_sq(p, c, false))
+                    .fold(f64::INFINITY, f64::min);
+                nearest * p.weight as f64
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let idx = if total <= 0.0 {
+            rng.gen_range(0..q)
+        } else {
+            let mut pick = rng.gen::<f64>() * total;
+            let mut chosen = q - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if pick < w {
+                    chosen = i;
+                    break;
+                }
+                pick -= w;
+            }
+            chosen
+        };
+        centroids.push(pseudos[idx].centroid.clone());
+    }
+
+    let mut assignments = vec![0usize; q];
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        let mut changed = false;
+        for (i, p) in pseudos.iter().enumerate() {
+            let mut best = assignments[i];
+            let mut best_d = f64::INFINITY;
+            for (c_idx, c) in centroids.iter().enumerate() {
+                let d = pseudo_distance_sq(p, c, config.error_adjusted);
+                if d < best_d {
+                    best_d = d;
+                    best = c_idx;
+                }
+            }
+            if best != assignments[i] {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Weighted mean update.
+        let mut sums = vec![vec![0.0; dim]; config.k];
+        let mut weights = vec![0u64; config.k];
+        for (i, p) in pseudos.iter().enumerate() {
+            let c = assignments[i];
+            weights[c] += p.weight;
+            for (slot, &v) in sums[c].iter_mut().zip(p.centroid.iter()) {
+                *slot += v * p.weight as f64;
+            }
+        }
+        for c in 0..config.k {
+            if weights[c] > 0 {
+                let inv = 1.0 / weights[c] as f64;
+                for (slot, &s) in centroids[c].iter_mut().zip(sums[c].iter()) {
+                    *slot = s * inv;
+                }
+            }
+        }
+    }
+
+    let mut weights = vec![0u64; config.k];
+    for (i, p) in pseudos.iter().enumerate() {
+        weights[assignments[i]] += p.weight;
+    }
+
+    Ok(MacroClusters {
+        centroids,
+        assignments,
+        weights,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udm_core::{UncertainDataset, UncertainPoint};
+    use udm_microcluster::{MaintainerConfig, MicroClusterMaintainer};
+
+    fn stream_two_blobs(n: usize) -> UncertainDataset {
+        UncertainDataset::from_points(
+            (0..n)
+                .map(|i| {
+                    let base = if i % 2 == 0 { 0.0 } else { 20.0 };
+                    let jitter = ((i * 7) % 10) as f64 * 0.1;
+                    UncertainPoint::new(vec![base + jitter, base - jitter], vec![0.1, 0.2])
+                        .unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_two_macro_blobs_from_summaries() {
+        let d = stream_two_blobs(2000);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(40)).unwrap();
+        let macro_c = macro_cluster(m.clusters(), MacroClusterConfig::new(2)).unwrap();
+        assert_eq!(macro_c.centroids.len(), 2);
+        // Weights cover the whole stream.
+        assert_eq!(macro_c.weights.iter().sum::<u64>(), 2000);
+        // Centroids near (0,0) and (20,20)-ish.
+        let mut cs = macro_c.centroids.clone();
+        cs.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        assert!(cs[0][0] < 2.0, "{cs:?}");
+        assert!(cs[1][0] > 18.0, "{cs:?}");
+    }
+
+    #[test]
+    fn raw_points_route_to_the_right_macro_cluster() {
+        let d = stream_two_blobs(1000);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(30)).unwrap();
+        let macro_c = macro_cluster(m.clusters(), MacroClusterConfig::new(2)).unwrap();
+        let a = macro_c
+            .assign(&UncertainPoint::exact(vec![0.5, 0.5]).unwrap())
+            .unwrap();
+        let b = macro_c
+            .assign(&UncertainPoint::exact(vec![19.5, 19.5]).unwrap())
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn k_above_q_rejected() {
+        let d = stream_two_blobs(100);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(5)).unwrap();
+        assert!(macro_cluster(m.clusters(), MacroClusterConfig::new(6)).is_err());
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs_rejected() {
+        assert!(macro_cluster(&[], MacroClusterConfig::new(1)).is_err());
+        assert!(macro_cluster(
+            &[MicroCluster::new(2)],
+            MacroClusterConfig::new(1)
+        )
+        .is_err());
+        let d = stream_two_blobs(10);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(4)).unwrap();
+        assert!(macro_cluster(m.clusters(), MacroClusterConfig::new(0)).is_err());
+        let mut bad = MacroClusterConfig::new(2);
+        bad.max_iters = 0;
+        assert!(macro_cluster(m.clusters(), bad).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = stream_two_blobs(500);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(20)).unwrap();
+        let a = macro_cluster(m.clusters(), MacroClusterConfig::new(3)).unwrap();
+        let b = macro_cluster(m.clusters(), MacroClusterConfig::new(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unadjusted_variant_runs() {
+        let d = stream_two_blobs(500);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(20)).unwrap();
+        let mut cfg = MacroClusterConfig::new(2);
+        cfg.error_adjusted = false;
+        let r = macro_cluster(m.clusters(), cfg).unwrap();
+        assert_eq!(r.weights.iter().sum::<u64>(), 500);
+    }
+}

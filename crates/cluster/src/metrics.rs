@@ -1,0 +1,237 @@
+//! External cluster validation metrics.
+//!
+//! Compare a predicted partition (cluster ids, `None` = noise) against
+//! ground-truth class labels. Noise points count as singleton clusters
+//! for the pair-counting metrics, which penalizes spurious noise without
+//! discarding information.
+
+use std::collections::BTreeMap;
+use udm_core::ClassLabel;
+
+type Contingency = (
+    BTreeMap<(usize, u32), usize>,
+    BTreeMap<usize, usize>,
+    BTreeMap<u32, usize>,
+);
+
+fn contingency(predicted: &[Option<usize>], truth: &[ClassLabel]) -> Contingency {
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "predicted and truth must have equal length"
+    );
+    // Re-map noise to fresh singleton ids after the real clusters.
+    let max_cluster = predicted.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let mut noise_counter = max_cluster;
+    let mut table: BTreeMap<(usize, u32), usize> = BTreeMap::new();
+    let mut row: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut col: BTreeMap<u32, usize> = BTreeMap::new();
+    for (p, t) in predicted.iter().zip(truth.iter()) {
+        let c = match p {
+            Some(c) => *c,
+            None => {
+                let id = noise_counter;
+                noise_counter += 1;
+                id
+            }
+        };
+        *table.entry((c, t.id())).or_insert(0) += 1;
+        *row.entry(c).or_insert(0) += 1;
+        *col.entry(t.id()).or_insert(0) += 1;
+    }
+    (table, row, col)
+}
+
+fn choose2(n: usize) -> f64 {
+    if n < 2 {
+        0.0
+    } else {
+        n as f64 * (n as f64 - 1.0) / 2.0
+    }
+}
+
+/// Purity: each cluster votes its majority class; fraction of points in
+/// their cluster's majority class. Noise points are singleton clusters
+/// (each trivially pure), so heavy noise inflates purity — read alongside
+/// the pair metrics.
+pub fn purity(predicted: &[Option<usize>], truth: &[ClassLabel]) -> f64 {
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let (table, _, _) = contingency(predicted, truth);
+    let mut best: BTreeMap<usize, usize> = BTreeMap::new();
+    for (&(c, _), &count) in &table {
+        let e = best.entry(c).or_insert(0);
+        *e = (*e).max(count);
+    }
+    best.values().sum::<usize>() as f64 / predicted.len() as f64
+}
+
+/// Rand index: fraction of point pairs on which the two partitions agree.
+pub fn rand_index(predicted: &[Option<usize>], truth: &[ClassLabel]) -> f64 {
+    let n = predicted.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let (table, row, col) = contingency(predicted, truth);
+    let total_pairs = choose2(n);
+    let sum_table: f64 = table.values().map(|&v| choose2(v)).sum();
+    let sum_row: f64 = row.values().map(|&v| choose2(v)).sum();
+    let sum_col: f64 = col.values().map(|&v| choose2(v)).sum();
+    // agreements = pairs together in both + pairs apart in both
+    let together_both = sum_table;
+    let apart_both = total_pairs - sum_row - sum_col + sum_table;
+    (together_both + apart_both) / total_pairs
+}
+
+/// Adjusted Rand index: Rand index corrected for chance (1 = perfect,
+/// ≈0 = random, can be negative).
+pub fn adjusted_rand_index(predicted: &[Option<usize>], truth: &[ClassLabel]) -> f64 {
+    let n = predicted.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let (table, row, col) = contingency(predicted, truth);
+    let sum_table: f64 = table.values().map(|&v| choose2(v)).sum();
+    let sum_row: f64 = row.values().map(|&v| choose2(v)).sum();
+    let sum_col: f64 = col.values().map(|&v| choose2(v)).sum();
+    let total_pairs = choose2(n);
+    let expected = sum_row * sum_col / total_pairs;
+    let max_index = 0.5 * (sum_row + sum_col);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // degenerate: both partitions trivial
+    }
+    (sum_table - expected) / (max_index - expected)
+}
+
+/// Normalized mutual information with arithmetic-mean normalization
+/// (`NMI = 2·I(P;T) / (H(P) + H(T))`), in `[0, 1]`.
+pub fn normalized_mutual_information(predicted: &[Option<usize>], truth: &[ClassLabel]) -> f64 {
+    let n = predicted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let (table, row, col) = contingency(predicted, truth);
+    let nf = n as f64;
+    let mut h_row = 0.0;
+    for &r in row.values() {
+        let p = r as f64 / nf;
+        h_row -= p * p.ln();
+    }
+    let mut h_col = 0.0;
+    for &c in col.values() {
+        let p = c as f64 / nf;
+        h_col -= p * p.ln();
+    }
+    if h_row == 0.0 && h_col == 0.0 {
+        return 1.0; // both partitions trivial and identical
+    }
+    let mut mi = 0.0;
+    for (&(r, c), &count) in &table {
+        let pxy = count as f64 / nf;
+        let px = row[&r] as f64 / nf;
+        let py = col[&c] as f64 / nf;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    (2.0 * mi / (h_row + h_col)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(ids: &[u32]) -> Vec<ClassLabel> {
+        ids.iter().map(|&i| ClassLabel(i)).collect()
+    }
+
+    fn clusters(ids: &[usize]) -> Vec<Option<usize>> {
+        ids.iter().map(|&i| Some(i)).collect()
+    }
+
+    #[test]
+    fn perfect_partition_scores_one() {
+        let p = clusters(&[0, 0, 1, 1]);
+        let t = labels(&[5, 5, 9, 9]);
+        assert_eq!(purity(&p, &t), 1.0);
+        assert_eq!(rand_index(&p, &t), 1.0);
+        assert!((adjusted_rand_index(&p, &t) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&p, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_permutation_is_irrelevant() {
+        let p1 = clusters(&[0, 0, 1, 1]);
+        let p2 = clusters(&[1, 1, 0, 0]);
+        let t = labels(&[0, 0, 1, 1]);
+        assert_eq!(
+            adjusted_rand_index(&p1, &t),
+            adjusted_rand_index(&p2, &t)
+        );
+        assert_eq!(
+            normalized_mutual_information(&p1, &t),
+            normalized_mutual_information(&p2, &t)
+        );
+    }
+
+    #[test]
+    fn half_wrong_partition() {
+        let p = clusters(&[0, 0, 0, 0]);
+        let t = labels(&[0, 0, 1, 1]);
+        assert_eq!(purity(&p, &t), 0.5);
+        // one cluster vs two classes: all 6 pairs together in p; 2 pairs
+        // together in t -> agreements = 2, RI = 1/3.
+        assert!((rand_index(&p, &t) - 2.0 / 6.0).abs() < 1e-12);
+        assert!(adjusted_rand_index(&p, &t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_ari_value() {
+        // Classic example: p = [0,0,1,1,1], t = [0,0,0,1,1]
+        let p = clusters(&[0, 0, 1, 1, 1]);
+        let t = labels(&[0, 0, 0, 1, 1]);
+        // contingency: (0,0)=2, (1,0)=1, (1,1)=2
+        // sum_table C2 = 1 + 0 + 1 = 2; rows: C2(2)+C2(3)=1+3=4; cols same=4
+        // total_pairs=10; expected=1.6; max=4; ARI=(2-1.6)/(4-1.6)=1/6
+        assert!((adjusted_rand_index(&p, &t) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_points_are_singletons() {
+        let p = vec![Some(0), Some(0), None, None];
+        let t = labels(&[0, 0, 1, 1]);
+        // purity: cluster {0,1} pure; two noise singletons pure -> 1.0
+        assert_eq!(purity(&p, &t), 1.0);
+        // but ARI penalizes separating the two class-1 points:
+        assert!(adjusted_rand_index(&p, &t) < 1.0);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(purity(&[], &[]), 0.0);
+        assert_eq!(rand_index(&[Some(0)], &labels(&[1])), 1.0);
+        assert_eq!(adjusted_rand_index(&[Some(0)], &labels(&[1])), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        purity(&[Some(0)], &labels(&[0, 1]));
+    }
+
+    #[test]
+    fn nmi_between_zero_and_one() {
+        let p = clusters(&[0, 1, 0, 1, 2, 2]);
+        let t = labels(&[0, 0, 1, 1, 2, 0]);
+        let v = normalized_mutual_information(&p, &t);
+        assert!((0.0..=1.0).contains(&v), "nmi {v}");
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero_ari() {
+        // alternating clusters vs block labels over 40 points
+        let p: Vec<Option<usize>> = (0..40).map(|i| Some(i % 2)).collect();
+        let t: Vec<ClassLabel> = (0..40).map(|i| ClassLabel((i / 20) as u32)).collect();
+        let ari = adjusted_rand_index(&p, &t);
+        assert!(ari.abs() < 0.1, "ari {ari}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Density-based outlier detection over uncertain data.
+//!
+//! The paper argues the error-adjusted density is a *surrogate for the
+//! data itself* (§3) — any density-consuming algorithm can run on it.
+//! Outlier detection is the simplest such consumer: a point is anomalous
+//! when the (error-adjusted) density at its location is low relative to
+//! the dataset's own density distribution.
+//!
+//! Scoring uses the micro-cluster estimator, so detection over a stream
+//! costs `O(q)` per point, and a point's own error widens the query
+//! (a measurement with huge ψ is *not* surprising merely because its
+//! displaced value landed in a thin region).
+
+use serde::{Deserialize, Serialize};
+use udm_core::{Result, UdmError, UncertainDataset, UncertainPoint};
+use udm_kde::KdeConfig;
+use udm_microcluster::{MaintainerConfig, MicroClusterKde, MicroClusterMaintainer};
+
+/// Configuration of the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutlierConfig {
+    /// Micro-cluster budget for the density summary.
+    pub micro_clusters: usize,
+    /// Fraction of the training data treated as the low-density tail:
+    /// the score threshold is the `contamination`-quantile of training
+    /// densities. Typical values 0.01–0.1.
+    pub contamination: f64,
+    /// Convolve each scored point's own error into the query.
+    pub use_query_error: bool,
+}
+
+impl OutlierConfig {
+    /// Default configuration with the given micro-cluster budget.
+    pub fn new(micro_clusters: usize) -> Self {
+        OutlierConfig {
+            micro_clusters,
+            contamination: 0.05,
+            use_query_error: true,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.micro_clusters == 0 {
+            return Err(UdmError::InvalidConfig(
+                "micro_clusters must be at least 1".into(),
+            ));
+        }
+        if !(self.contamination.is_finite() && (0.0..1.0).contains(&self.contamination)) {
+            return Err(UdmError::InvalidValue {
+                what: "contamination",
+                value: self.contamination,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A fitted density-based outlier detector.
+#[derive(Debug, Clone)]
+pub struct OutlierDetector {
+    kde: MicroClusterKde,
+    threshold: f64,
+    config: OutlierConfig,
+}
+
+impl OutlierDetector {
+    /// Fits the detector: summarizes the data into micro-clusters and
+    /// fixes the density threshold at the contamination quantile of the
+    /// training points' own densities.
+    pub fn fit(data: &UncertainDataset, config: OutlierConfig) -> Result<Self> {
+        config.validate()?;
+        let maintainer =
+            MicroClusterMaintainer::from_dataset(data, MaintainerConfig::new(config.micro_clusters))?;
+        let kde = MicroClusterKde::fit(maintainer.clusters(), KdeConfig::error_adjusted())?;
+        let mut densities = Vec::with_capacity(data.len());
+        for p in data.iter() {
+            densities.push(Self::query(&kde, p, config.use_query_error)?);
+        }
+        let threshold = udm_core::quantile(&densities, config.contamination)?;
+        Ok(OutlierDetector {
+            kde,
+            threshold,
+            config,
+        })
+    }
+
+    fn query(kde: &MicroClusterKde, p: &UncertainPoint, use_err: bool) -> Result<f64> {
+        let s = udm_core::Subspace::full(kde.dim())?;
+        if use_err && !p.is_exact() {
+            kde.density_subspace_with_error(p.values(), Some(p.errors()), s)
+        } else {
+            kde.density_subspace(p.values(), s)
+        }
+    }
+
+    /// The fitted density threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Raw anomaly score of a point: its (error-convolved) density. Lower
+    /// is more anomalous.
+    pub fn score(&self, p: &UncertainPoint) -> Result<f64> {
+        Self::query(&self.kde, p, self.config.use_query_error)
+    }
+
+    /// `true` when the point's density falls below the fitted threshold.
+    pub fn is_outlier(&self, p: &UncertainPoint) -> Result<bool> {
+        Ok(self.score(p)? < self.threshold)
+    }
+
+    /// Flags every point of a dataset; returns the outlier mask.
+    pub fn detect(&self, data: &UncertainDataset) -> Result<Vec<bool>> {
+        data.iter().map(|p| self.is_outlier(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_with_anomalies() -> UncertainDataset {
+        let mut points: Vec<UncertainPoint> = (0..300)
+            .map(|i| {
+                let a = (i as f64 * 0.1).sin();
+                let b = (i as f64 * 0.07).cos();
+                UncertainPoint::new(vec![a, b], vec![0.05, 0.05]).unwrap()
+            })
+            .collect();
+        // Two gross anomalies far outside the blob.
+        points.push(UncertainPoint::new(vec![15.0, -12.0], vec![0.05, 0.05]).unwrap());
+        points.push(UncertainPoint::new(vec![-20.0, 18.0], vec![0.05, 0.05]).unwrap());
+        UncertainDataset::from_points(points).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let d = blob_with_anomalies();
+        let mut c = OutlierConfig::new(0);
+        assert!(OutlierDetector::fit(&d, c).is_err());
+        c = OutlierConfig::new(10);
+        c.contamination = 1.0;
+        assert!(OutlierDetector::fit(&d, c).is_err());
+        c.contamination = -0.1;
+        assert!(OutlierDetector::fit(&d, c).is_err());
+    }
+
+    #[test]
+    fn flags_gross_anomalies_and_keeps_inliers() {
+        let d = blob_with_anomalies();
+        let det = OutlierDetector::fit(&d, OutlierConfig::new(20)).unwrap();
+        let far = UncertainPoint::new(vec![30.0, 30.0], vec![0.05, 0.05]).unwrap();
+        let central = UncertainPoint::new(vec![0.0, 0.0], vec![0.05, 0.05]).unwrap();
+        assert!(det.is_outlier(&far).unwrap());
+        assert!(!det.is_outlier(&central).unwrap());
+        assert!(det.score(&central).unwrap() > det.score(&far).unwrap());
+    }
+
+    #[test]
+    fn detect_rate_tracks_contamination() {
+        let d = blob_with_anomalies();
+        let mut config = OutlierConfig::new(20);
+        config.contamination = 0.05;
+        let det = OutlierDetector::fit(&d, config).unwrap();
+        let mask = det.detect(&d).unwrap();
+        let rate = mask.iter().filter(|&&m| m).count() as f64 / mask.len() as f64;
+        assert!(rate <= 0.10, "rate {rate}");
+        // The injected anomalies are caught.
+        assert!(mask[mask.len() - 1]);
+        assert!(mask[mask.len() - 2]);
+    }
+
+    #[test]
+    fn large_own_error_reduces_surprise() {
+        // A displaced measurement flagged as anomalous when exact becomes
+        // unsurprising when its recorded error says "could be anywhere".
+        let d = blob_with_anomalies();
+        let det = OutlierDetector::fit(&d, OutlierConfig::new(20)).unwrap();
+        let displaced_exact = UncertainPoint::new(vec![6.0, 6.0], vec![0.0, 0.0]).unwrap();
+        let displaced_noisy = UncertainPoint::new(vec![6.0, 6.0], vec![8.0, 8.0]).unwrap();
+        let s_exact = det.score(&displaced_exact).unwrap();
+        let s_noisy = det.score(&displaced_noisy).unwrap();
+        assert!(
+            s_noisy > s_exact,
+            "noisy {s_noisy} should score higher (less anomalous) than exact {s_exact}"
+        );
+    }
+
+    #[test]
+    fn query_error_can_be_disabled() {
+        let d = blob_with_anomalies();
+        let mut config = OutlierConfig::new(20);
+        config.use_query_error = false;
+        let det = OutlierDetector::fit(&d, config).unwrap();
+        let p_exact = UncertainPoint::new(vec![6.0, 6.0], vec![0.0, 0.0]).unwrap();
+        let p_noisy = UncertainPoint::new(vec![6.0, 6.0], vec![8.0, 8.0]).unwrap();
+        // Without query convolution both score identically.
+        assert_eq!(det.score(&p_exact).unwrap(), det.score(&p_noisy).unwrap());
+    }
+}

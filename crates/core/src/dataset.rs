@@ -1,0 +1,569 @@
+//! Datasets of uncertain points.
+
+use crate::error::{Result, UdmError};
+use crate::label::ClassLabel;
+use crate::point::UncertainPoint;
+use crate::stats::DimensionSummary;
+use crate::subspace::Subspace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A collection of [`UncertainPoint`]s of uniform dimensionality — the data
+/// set `D` of the paper, with optional class labels attached to the points
+/// for supervised tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertainDataset {
+    dim: usize,
+    points: Vec<UncertainPoint>,
+}
+
+impl UncertainDataset {
+    /// Creates an empty dataset of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            points: Vec::new(),
+        }
+    }
+
+    /// Creates a dataset from points, validating uniform dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::EmptyDataset`] if `points` is empty (use
+    /// [`UncertainDataset::new`] for an intentionally empty set) and
+    /// [`UdmError::DimensionMismatch`] on ragged input.
+    pub fn from_points(points: Vec<UncertainPoint>) -> Result<Self> {
+        let dim = points.first().ok_or(UdmError::EmptyDataset)?.dim();
+        for p in &points {
+            if p.dim() != dim {
+                return Err(UdmError::DimensionMismatch {
+                    expected: dim,
+                    actual: p.dim(),
+                });
+            }
+        }
+        Ok(Self { dim, points })
+    }
+
+    /// Dimensionality `d` shared by every point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Immutable access to the points.
+    #[inline]
+    pub fn points(&self) -> &[UncertainPoint] {
+        &self.points
+    }
+
+    /// The `i`-th point.
+    #[inline]
+    pub fn point(&self, i: usize) -> &UncertainPoint {
+        &self.points[i]
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, UncertainPoint> {
+        self.points.iter()
+    }
+
+    /// Appends a point, validating dimensionality.
+    pub fn push(&mut self, point: UncertainPoint) -> Result<()> {
+        if point.dim() != self.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: point.dim(),
+            });
+        }
+        self.points.push(point);
+        Ok(())
+    }
+
+    /// Appends all points from an iterator, validating each.
+    pub fn extend<I: IntoIterator<Item = UncertainPoint>>(&mut self, iter: I) -> Result<()> {
+        for p in iter {
+            self.push(p)?;
+        }
+        Ok(())
+    }
+
+    /// Column of values along dimension `j`.
+    pub fn column_values(&self, j: usize) -> Result<Vec<f64>> {
+        if j >= self.dim {
+            return Err(UdmError::DimensionOutOfRange {
+                dim: j,
+                dimensionality: self.dim,
+            });
+        }
+        Ok(self.points.iter().map(|p| p.value(j)).collect())
+    }
+
+    /// Column of errors along dimension `j`.
+    pub fn column_errors(&self, j: usize) -> Result<Vec<f64>> {
+        if j >= self.dim {
+            return Err(UdmError::DimensionOutOfRange {
+                dim: j,
+                dimensionality: self.dim,
+            });
+        }
+        Ok(self.points.iter().map(|p| p.error(j)).collect())
+    }
+
+    /// Per-dimension summaries (mean, σ, min, max, RMS error) in one pass
+    /// per column.
+    pub fn summaries(&self) -> Vec<DimensionSummary> {
+        (0..self.dim)
+            .map(|j| {
+                let values: Vec<f64> = self.points.iter().map(|p| p.value(j)).collect();
+                let errors: Vec<f64> = self.points.iter().map(|p| p.error(j)).collect();
+                DimensionSummary::from_column(&values, &errors)
+            })
+            .collect()
+    }
+
+    /// Projects the whole dataset onto a subspace.
+    pub fn project(&self, subspace: Subspace) -> Result<UncertainDataset> {
+        subspace.validate_for(self.dim)?;
+        let points = self
+            .points
+            .iter()
+            .map(|p| p.project(subspace))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(UncertainDataset {
+            dim: subspace.cardinality(),
+            points,
+        })
+    }
+
+    /// Returns a copy with all cell errors forced to zero — the input for
+    /// the paper's unadjusted baseline classifier (§4).
+    #[must_use]
+    pub fn without_errors(&self) -> UncertainDataset {
+        UncertainDataset {
+            dim: self.dim,
+            points: self.points.iter().map(|p| p.without_errors()).collect(),
+        }
+    }
+
+    /// The distinct class labels present, in ascending order.
+    pub fn labels(&self) -> Vec<ClassLabel> {
+        let mut set: Vec<ClassLabel> = Vec::new();
+        for p in &self.points {
+            if let Some(l) = p.label() {
+                if let Err(pos) = set.binary_search(&l) {
+                    set.insert(pos, l);
+                }
+            }
+        }
+        set
+    }
+
+    /// Splits the dataset by class label: the paper's `D_1 … D_k` (points
+    /// with no label are dropped). The returned partition also keeps the
+    /// full dataset's size so priors `|D_i| / |D|` can be formed.
+    pub fn partition_by_class(&self) -> ClassPartition {
+        let mut by_class: BTreeMap<ClassLabel, Vec<UncertainPoint>> = BTreeMap::new();
+        for p in &self.points {
+            if let Some(l) = p.label() {
+                by_class.entry(l).or_default().push(p.clone());
+            }
+        }
+        let classes = by_class
+            .into_iter()
+            .map(|(label, points)| {
+                (
+                    label,
+                    UncertainDataset {
+                        dim: self.dim,
+                        points,
+                    },
+                )
+            })
+            .collect();
+        ClassPartition {
+            total: self.len(),
+            classes,
+        }
+    }
+
+    /// Consumes the dataset, returning its points.
+    pub fn into_points(self) -> Vec<UncertainPoint> {
+        self.points
+    }
+
+    /// Concatenates another dataset of the same dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::DimensionMismatch`] when dimensionalities differ.
+    pub fn concat(&mut self, other: &UncertainDataset) -> Result<()> {
+        if other.dim() != self.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: other.dim(),
+            });
+        }
+        self.points.extend_from_slice(other.points());
+        Ok(())
+    }
+
+    /// Deterministic subsample of `n` points (without replacement) using
+    /// a splitmix64-style index shuffle seeded by `seed`. Returns the
+    /// whole dataset (reordered) when `n >= len`.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::InvalidConfig`] for `n == 0`.
+    pub fn subsample(&self, n: usize, seed: u64) -> Result<UncertainDataset> {
+        if n == 0 {
+            return Err(UdmError::InvalidConfig(
+                "subsample size must be at least 1".into(),
+            ));
+        }
+        let len = self.points.len();
+        let take = n.min(len);
+        // Fisher–Yates with a small inline splitmix64 generator (keeps
+        // udm-core free of a rand dependency).
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut indices: Vec<usize> = (0..len).collect();
+        for i in (1..len).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            indices.swap(i, j);
+        }
+        let points = indices[..take]
+            .iter()
+            .map(|&i| self.points[i].clone())
+            .collect();
+        Ok(UncertainDataset {
+            dim: self.dim,
+            points,
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a UncertainDataset {
+    type Item = &'a UncertainPoint;
+    type IntoIter = std::slice::Iter<'a, UncertainPoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+/// The per-class split `D_1 … D_k` of a labelled dataset (§3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassPartition {
+    total: usize,
+    classes: BTreeMap<ClassLabel, UncertainDataset>,
+}
+
+impl ClassPartition {
+    /// Size of the full dataset `|D|` (including unlabelled points).
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of classes `k`.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The labels, ascending.
+    pub fn labels(&self) -> Vec<ClassLabel> {
+        self.classes.keys().copied().collect()
+    }
+
+    /// The per-class dataset `D_i`.
+    pub fn class(&self, label: ClassLabel) -> Option<&UncertainDataset> {
+        self.classes.get(&label)
+    }
+
+    /// Prior `|D_i| / |D|`; 0 for unknown labels.
+    pub fn prior(&self, label: ClassLabel) -> f64 {
+        match self.classes.get(&label) {
+            Some(d) if self.total > 0 => d.len() as f64 / self.total as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Iterates `(label, D_i)` pairs in ascending label order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassLabel, &UncertainDataset)> {
+        self.classes.iter().map(|(l, d)| (*l, d))
+    }
+}
+
+/// Incremental construction of a dataset from parallel rows, with optional
+/// labels; convenient for loaders and generators.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    dim: usize,
+    points: Vec<UncertainPoint>,
+}
+
+impl DatasetBuilder {
+    /// Starts a builder for `dim`-dimensional data.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            points: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates capacity for `n` rows.
+    #[must_use]
+    pub fn with_capacity(mut self, n: usize) -> Self {
+        self.points.reserve(n);
+        self
+    }
+
+    /// Adds a labelled row.
+    pub fn add_row(
+        &mut self,
+        values: Vec<f64>,
+        errors: Vec<f64>,
+        label: Option<ClassLabel>,
+    ) -> Result<()> {
+        if values.len() != self.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: values.len(),
+            });
+        }
+        let mut p = UncertainPoint::new(values, errors)?;
+        if let Some(l) = label {
+            p = p.with_label(l);
+        }
+        self.points.push(p);
+        Ok(())
+    }
+
+    /// Adds an exact (zero-error) labelled row.
+    pub fn add_exact_row(&mut self, values: Vec<f64>, label: Option<ClassLabel>) -> Result<()> {
+        let errors = vec![0.0; values.len()];
+        self.add_row(values, errors, label)
+    }
+
+    /// Number of rows added so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> UncertainDataset {
+        UncertainDataset {
+            dim: self.dim,
+            points: self.points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labelled(values: &[f64], errors: &[f64], label: u32) -> UncertainPoint {
+        UncertainPoint::new(values.to_vec(), errors.to_vec())
+            .unwrap()
+            .with_label(ClassLabel(label))
+    }
+
+    fn sample() -> UncertainDataset {
+        UncertainDataset::from_points(vec![
+            labelled(&[0.0, 0.0], &[0.1, 0.1], 0),
+            labelled(&[1.0, 1.0], &[0.2, 0.2], 1),
+            labelled(&[2.0, 0.0], &[0.0, 0.3], 0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_points_validates_uniform_dim() {
+        let ragged = vec![
+            UncertainPoint::exact(vec![1.0]).unwrap(),
+            UncertainPoint::exact(vec![1.0, 2.0]).unwrap(),
+        ];
+        assert!(matches!(
+            UncertainDataset::from_points(ragged),
+            Err(UdmError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_points_rejects_empty() {
+        assert!(matches!(
+            UncertainDataset::from_points(vec![]),
+            Err(UdmError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn push_validates_dim() {
+        let mut d = UncertainDataset::new(2);
+        assert!(d.push(UncertainPoint::exact(vec![1.0]).unwrap()).is_err());
+        assert!(d
+            .push(UncertainPoint::exact(vec![1.0, 2.0]).unwrap())
+            .is_ok());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn columns_extract_values_and_errors() {
+        let d = sample();
+        assert_eq!(d.column_values(0).unwrap(), vec![0.0, 1.0, 2.0]);
+        assert_eq!(d.column_errors(1).unwrap(), vec![0.1, 0.2, 0.3]);
+        assert!(d.column_values(2).is_err());
+    }
+
+    #[test]
+    fn summaries_per_dimension() {
+        let d = sample();
+        let s = d.summaries();
+        assert_eq!(s.len(), 2);
+        assert!((s[0].mean - 1.0).abs() < 1e-12);
+        assert_eq!(s[0].min, 0.0);
+        assert_eq!(s[0].max, 2.0);
+    }
+
+    #[test]
+    fn project_reduces_dim() {
+        let d = sample();
+        let p = d.project(Subspace::from_dims(&[1]).unwrap()).unwrap();
+        assert_eq!(p.dim(), 1);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.point(1).values(), &[1.0]);
+    }
+
+    #[test]
+    fn project_validates_subspace() {
+        let d = sample();
+        assert!(d.project(Subspace::from_dims(&[5]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn without_errors_zeroes_all() {
+        let d = sample().without_errors();
+        assert!(d.iter().all(|p| p.is_exact()));
+    }
+
+    #[test]
+    fn labels_sorted_unique() {
+        let d = sample();
+        assert_eq!(d.labels(), vec![ClassLabel(0), ClassLabel(1)]);
+    }
+
+    #[test]
+    fn partition_by_class() {
+        let d = sample();
+        let part = d.partition_by_class();
+        assert_eq!(part.total(), 3);
+        assert_eq!(part.num_classes(), 2);
+        assert_eq!(part.class(ClassLabel(0)).unwrap().len(), 2);
+        assert_eq!(part.class(ClassLabel(1)).unwrap().len(), 1);
+        assert!((part.prior(ClassLabel(0)) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(part.prior(ClassLabel(9)), 0.0);
+    }
+
+    #[test]
+    fn partition_drops_unlabelled() {
+        let mut d = sample();
+        d.push(UncertainPoint::exact(vec![9.0, 9.0]).unwrap())
+            .unwrap();
+        let part = d.partition_by_class();
+        assert_eq!(part.total(), 4); // total includes unlabelled
+        let labelled: usize = part.iter().map(|(_, ds)| ds.len()).sum();
+        assert_eq!(labelled, 3);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = DatasetBuilder::new(2).with_capacity(2);
+        b.add_row(vec![1.0, 2.0], vec![0.1, 0.2], Some(ClassLabel(0)))
+            .unwrap();
+        b.add_exact_row(vec![3.0, 4.0], None).unwrap();
+        assert_eq!(b.len(), 2);
+        let d = b.build();
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.point(0).label(), Some(ClassLabel(0)));
+        assert!(d.point(1).is_exact());
+    }
+
+    #[test]
+    fn builder_validates_dim() {
+        let mut b = DatasetBuilder::new(3);
+        assert!(b.add_exact_row(vec![1.0], None).is_err());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn concat_appends_and_validates() {
+        let mut a = sample();
+        let b = sample();
+        a.concat(&b).unwrap();
+        assert_eq!(a.len(), 6);
+        let wrong = UncertainDataset::new(5);
+        assert!(a.concat(&wrong).is_err());
+    }
+
+    #[test]
+    fn subsample_is_deterministic_without_replacement() {
+        let d = UncertainDataset::from_points(
+            (0..100)
+                .map(|i| UncertainPoint::exact(vec![i as f64]).unwrap())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let a = d.subsample(30, 9).unwrap();
+        let b = d.subsample(30, 9).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        // no duplicates
+        let mut vals: Vec<f64> = a.iter().map(|p| p.value(0)).collect();
+        vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        vals.dedup();
+        assert_eq!(vals.len(), 30);
+        // different seed, different sample
+        let c = d.subsample(30, 10).unwrap();
+        assert_ne!(a, c);
+        // oversized request returns everything
+        assert_eq!(d.subsample(500, 1).unwrap().len(), 100);
+        assert!(d.subsample(0, 1).is_err());
+    }
+
+    #[test]
+    fn into_iterator_for_reference() {
+        let d = sample();
+        let mut n = 0;
+        for _p in &d {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Error types shared across the `udm` workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, UdmError>;
+
+/// The error type for all fallible operations in the `udm` crates.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum UdmError {
+    /// Two objects that must agree on dimensionality do not.
+    DimensionMismatch {
+        /// Dimensionality that was expected (e.g. the dataset's).
+        expected: usize,
+        /// Dimensionality that was supplied.
+        actual: usize,
+    },
+    /// An operation that requires at least one point was given none.
+    EmptyDataset,
+    /// A value (coordinate, error, bandwidth, …) was not finite or was
+    /// otherwise out of its legal domain.
+    InvalidValue {
+        /// Name of the offending quantity.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A subspace referenced a dimension outside the dataset.
+    DimensionOutOfRange {
+        /// The referenced dimension index.
+        dim: usize,
+        /// The dataset dimensionality.
+        dimensionality: usize,
+    },
+    /// A subspace exceeding the bitmask capacity was requested.
+    SubspaceCapacityExceeded {
+        /// The requested dimension index.
+        dim: usize,
+    },
+    /// A class label was referenced that the model was not trained on.
+    UnknownLabel(u32),
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+    /// Failure parsing external data (CSV and friends).
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Description of the failure.
+        message: String,
+    },
+    /// Wrapped I/O error (stringified so the error stays `Clone + PartialEq`).
+    Io(String),
+}
+
+impl fmt::Display for UdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UdmError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            UdmError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            UdmError::InvalidValue { what, value } => {
+                write!(f, "invalid value for {what}: {value}")
+            }
+            UdmError::DimensionOutOfRange {
+                dim,
+                dimensionality,
+            } => write!(
+                f,
+                "dimension {dim} out of range for dimensionality {dimensionality}"
+            ),
+            UdmError::SubspaceCapacityExceeded { dim } => write!(
+                f,
+                "dimension {dim} exceeds the subspace bitmask capacity of {} dimensions",
+                crate::subspace::Subspace::MAX_DIMS
+            ),
+            UdmError::UnknownLabel(l) => write!(f, "unknown class label {l}"),
+            UdmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            UdmError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            UdmError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UdmError {}
+
+impl From<std::io::Error> for UdmError {
+    fn from(e: std::io::Error) -> Self {
+        UdmError::Io(e.to_string())
+    }
+}
+
+/// Checks that `value` is finite, returning [`UdmError::InvalidValue`]
+/// tagged with `what` otherwise.
+pub fn ensure_finite(what: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(UdmError::InvalidValue { what, value })
+    }
+}
+
+/// Checks that `value` is finite and non-negative.
+pub fn ensure_non_negative(what: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(UdmError::InvalidValue { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = UdmError::DimensionMismatch {
+            expected: 3,
+            actual: 5,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 3, got 5");
+    }
+
+    #[test]
+    fn display_empty() {
+        assert!(UdmError::EmptyDataset.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn display_invalid_value() {
+        let e = UdmError::InvalidValue {
+            what: "bandwidth",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("bandwidth"));
+    }
+
+    #[test]
+    fn ensure_finite_accepts_normal() {
+        assert_eq!(ensure_finite("x", 1.5).unwrap(), 1.5);
+        assert_eq!(ensure_finite("x", -1.5).unwrap(), -1.5);
+        assert_eq!(ensure_finite("x", 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ensure_finite_rejects_nan_and_inf() {
+        assert!(ensure_finite("x", f64::NAN).is_err());
+        assert!(ensure_finite("x", f64::INFINITY).is_err());
+        assert!(ensure_finite("x", f64::NEG_INFINITY).is_err());
+    }
+
+    #[test]
+    fn ensure_non_negative_rejects_negative() {
+        assert!(ensure_non_negative("err", -0.1).is_err());
+        assert_eq!(ensure_non_negative("err", 0.0).unwrap(), 0.0);
+        assert_eq!(ensure_non_negative("err", 2.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: UdmError = io.into();
+        assert!(matches!(e, UdmError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UdmError>();
+    }
+}

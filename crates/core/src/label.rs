@@ -1,0 +1,77 @@
+//! Class labels for supervised mining tasks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An opaque class label `l_i` as used by the paper's classification
+/// problem (§3): the data set `D` has `k` class labels `l_1 … l_k`.
+///
+/// Labels are small integers; the newtype prevents accidental mixing with
+/// dimension indices or counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClassLabel(pub u32);
+
+impl ClassLabel {
+    /// Returns the raw integer id of the label.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the label usable as an index into per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ClassLabel {
+    fn from(v: u32) -> Self {
+        ClassLabel(v)
+    }
+}
+
+impl From<ClassLabel> for u32 {
+    fn from(l: ClassLabel) -> Self {
+        l.0
+    }
+}
+
+impl fmt::Display for ClassLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32() {
+        let l = ClassLabel::from(7u32);
+        assert_eq!(l.id(), 7);
+        assert_eq!(u32::from(l), 7);
+        assert_eq!(l.index(), 7);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ClassLabel(3).to_string(), "l3");
+    }
+
+    #[test]
+    fn ordering_follows_id() {
+        assert!(ClassLabel(1) < ClassLabel(2));
+        assert_eq!(ClassLabel(4), ClassLabel(4));
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(ClassLabel(0), "a");
+        m.insert(ClassLabel(1), "b");
+        assert_eq!(m[&ClassLabel(1)], "b");
+    }
+}

@@ -1,0 +1,288 @@
+//! Uncertain points: values paired with per-dimension error estimates.
+
+use crate::error::{ensure_finite, ensure_non_negative, Result, UdmError};
+use crate::label::ClassLabel;
+use crate::subspace::Subspace;
+use serde::{Deserialize, Serialize};
+
+/// A `d`-dimensional record `X_i` together with its per-dimension error
+/// estimate `ψ_j(X_i)`.
+///
+/// Following the paper (§2), the error value `ψ_j(X_i)` is interpreted as a
+/// *standard deviation*: e.g. the standard deviation of repeated physical
+/// measurements, of an imputation procedure, or of a privacy-preserving
+/// perturbation. The paper makes "the most general assumption in which the
+/// error is defined by both the row and the field", so each cell carries its
+/// own error.
+///
+/// Invariants (enforced by [`UncertainPoint::new`]):
+/// * `values.len() == errors.len()`,
+/// * every value is finite,
+/// * every error is finite and non-negative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertainPoint {
+    values: Vec<f64>,
+    errors: Vec<f64>,
+    label: Option<ClassLabel>,
+    /// Arrival time stamp `T_i` for streaming scenarios (§2.1). Points in
+    /// static datasets default to 0.
+    timestamp: u64,
+}
+
+impl UncertainPoint {
+    /// Creates a new validated uncertain point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UdmError::DimensionMismatch`] if `values` and `errors`
+    /// disagree in length and [`UdmError::InvalidValue`] if any entry is
+    /// non-finite or any error is negative.
+    pub fn new(values: Vec<f64>, errors: Vec<f64>) -> Result<Self> {
+        if values.len() != errors.len() {
+            return Err(UdmError::DimensionMismatch {
+                expected: values.len(),
+                actual: errors.len(),
+            });
+        }
+        for &v in &values {
+            ensure_finite("point value", v)?;
+        }
+        for &e in &errors {
+            ensure_non_negative("point error", e)?;
+        }
+        Ok(Self {
+            values,
+            errors,
+            label: None,
+            timestamp: 0,
+        })
+    }
+
+    /// Creates a point whose cells are all *exact* (every `ψ_j = 0`).
+    pub fn exact(values: Vec<f64>) -> Result<Self> {
+        let errors = vec![0.0; values.len()];
+        Self::new(values, errors)
+    }
+
+    /// Attaches a class label, consuming and returning the point
+    /// (builder style).
+    #[must_use]
+    pub fn with_label(mut self, label: ClassLabel) -> Self {
+        self.label = Some(label);
+        self
+    }
+
+    /// Attaches an arrival timestamp, consuming and returning the point.
+    #[must_use]
+    pub fn with_timestamp(mut self, ts: u64) -> Self {
+        self.timestamp = ts;
+        self
+    }
+
+    /// The dimensionality `d` of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The coordinate vector `X_i`.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The error vector `ψ(X_i)`.
+    #[inline]
+    pub fn errors(&self) -> &[f64] {
+        &self.errors
+    }
+
+    /// The value along dimension `j` (`x_i^j`).
+    #[inline]
+    pub fn value(&self, j: usize) -> f64 {
+        self.values[j]
+    }
+
+    /// The error along dimension `j` (`ψ_j(X_i)`).
+    #[inline]
+    pub fn error(&self, j: usize) -> f64 {
+        self.errors[j]
+    }
+
+    /// The class label, if the point is labelled.
+    #[inline]
+    pub fn label(&self) -> Option<ClassLabel> {
+        self.label
+    }
+
+    /// The arrival timestamp `T_i`.
+    #[inline]
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    /// Returns `true` if every cell of the point is exact (`ψ ≡ 0`).
+    pub fn is_exact(&self) -> bool {
+        self.errors.iter().all(|&e| e == 0.0)
+    }
+
+    /// Returns a copy of the point with all errors forced to zero.
+    ///
+    /// This is how the paper's *unadjusted* baseline classifier is built:
+    /// "exactly the same algorithm … except that all the entries in the data
+    /// were assumed to have an error of zero" (§4).
+    #[must_use]
+    pub fn without_errors(&self) -> Self {
+        Self {
+            values: self.values.clone(),
+            errors: vec![0.0; self.values.len()],
+            label: self.label,
+            timestamp: self.timestamp,
+        }
+    }
+
+    /// Projects the point onto a subspace `S`, keeping the relative order of
+    /// dimensions. Used to evaluate subspace densities `g(x, S, D)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UdmError::DimensionOutOfRange`] if `S` references a
+    /// dimension `≥ self.dim()`.
+    pub fn project(&self, subspace: Subspace) -> Result<UncertainPoint> {
+        let mut values = Vec::with_capacity(subspace.cardinality());
+        let mut errors = Vec::with_capacity(subspace.cardinality());
+        for dim in subspace.dims() {
+            if dim >= self.dim() {
+                return Err(UdmError::DimensionOutOfRange {
+                    dim,
+                    dimensionality: self.dim(),
+                });
+            }
+            values.push(self.values[dim]);
+            errors.push(self.errors[dim]);
+        }
+        Ok(UncertainPoint {
+            values,
+            errors,
+            label: self.label,
+            timestamp: self.timestamp,
+        })
+    }
+
+    /// Squared Euclidean distance between the *values* of two points,
+    /// ignoring errors. The error-adjusted variant lives in
+    /// `udm-microcluster::distance` (Eq. 5 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if dimensionalities differ.
+    pub fn squared_euclidean(&self, other: &UncertainPoint) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(values: &[f64], errors: &[f64]) -> UncertainPoint {
+        UncertainPoint::new(values.to_vec(), errors.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        let e = UncertainPoint::new(vec![1.0, 2.0], vec![0.1]).unwrap_err();
+        assert!(matches!(e, UdmError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn new_rejects_nan_value() {
+        assert!(UncertainPoint::new(vec![f64::NAN], vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_negative_error() {
+        assert!(UncertainPoint::new(vec![1.0], vec![-0.5]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_infinite_error() {
+        assert!(UncertainPoint::new(vec![1.0], vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn exact_points_have_zero_errors() {
+        let p = UncertainPoint::exact(vec![3.0, 4.0]).unwrap();
+        assert!(p.is_exact());
+        assert_eq!(p.errors(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn builder_label_and_timestamp() {
+        let p = pt(&[1.0], &[0.1])
+            .with_label(ClassLabel(2))
+            .with_timestamp(42);
+        assert_eq!(p.label(), Some(ClassLabel(2)));
+        assert_eq!(p.timestamp(), 42);
+    }
+
+    #[test]
+    fn without_errors_zeroes_psi_only() {
+        let p = pt(&[1.0, 2.0], &[0.5, 0.7]).with_label(ClassLabel(1));
+        let q = p.without_errors();
+        assert_eq!(q.values(), p.values());
+        assert!(q.is_exact());
+        assert_eq!(q.label(), Some(ClassLabel(1)));
+    }
+
+    #[test]
+    fn project_selects_dims_in_order() {
+        let p = pt(&[10.0, 20.0, 30.0, 40.0], &[1.0, 2.0, 3.0, 4.0]);
+        let s = Subspace::from_dims(&[1, 3]).unwrap();
+        let q = p.project(s).unwrap();
+        assert_eq!(q.values(), &[20.0, 40.0]);
+        assert_eq!(q.errors(), &[2.0, 4.0]);
+        assert_eq!(q.dim(), 2);
+    }
+
+    #[test]
+    fn project_out_of_range_errors() {
+        let p = pt(&[1.0], &[0.0]);
+        let s = Subspace::from_dims(&[2]).unwrap();
+        assert!(matches!(
+            p.project(s),
+            Err(UdmError::DimensionOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn project_full_space_is_identity_on_values() {
+        let p = pt(&[1.0, 2.0], &[0.3, 0.4]);
+        let s = Subspace::full(2).unwrap();
+        let q = p.project(s).unwrap();
+        assert_eq!(q.values(), p.values());
+        assert_eq!(q.errors(), p.errors());
+    }
+
+    #[test]
+    fn squared_euclidean_matches_hand_computation() {
+        let a = pt(&[0.0, 0.0], &[0.0, 0.0]);
+        let b = pt(&[3.0, 4.0], &[9.0, 9.0]);
+        assert_eq!(a.squared_euclidean(&b), 25.0);
+    }
+
+    #[test]
+    fn zero_dimensional_point_is_legal() {
+        let p = UncertainPoint::exact(vec![]).unwrap();
+        assert_eq!(p.dim(), 0);
+        assert!(p.is_exact());
+    }
+}

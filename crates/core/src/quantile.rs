@@ -1,0 +1,163 @@
+//! Order statistics: quantiles, median, interquartile range.
+//!
+//! Used by the robust Silverman bandwidth rule (`udm-kde`), which guards
+//! against heavy-tailed columns by taking `min(σ, IQR/1.34)`.
+
+use crate::error::{Result, UdmError};
+
+/// Computes the `q`-quantile (`0 ≤ q ≤ 1`) of a sample using linear
+/// interpolation between order statistics (type-7 / the spreadsheet
+/// convention). The input need not be sorted.
+///
+/// # Errors
+///
+/// [`UdmError::EmptyDataset`] for empty input and
+/// [`UdmError::InvalidValue`] for a non-finite sample value or a `q`
+/// outside `[0, 1]`.
+pub fn quantile(sample: &[f64], q: f64) -> Result<f64> {
+    if sample.is_empty() {
+        return Err(UdmError::EmptyDataset);
+    }
+    if !(q.is_finite() && (0.0..=1.0).contains(&q)) {
+        return Err(UdmError::InvalidValue {
+            what: "quantile level",
+            value: q,
+        });
+    }
+    let mut sorted = sample.to_vec();
+    for &v in &sorted {
+        if !v.is_finite() {
+            return Err(UdmError::InvalidValue {
+                what: "sample value",
+                value: v,
+            });
+        }
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    Ok(quantile_sorted_unchecked(&sorted, q))
+}
+
+/// Like [`quantile`] but assumes `sorted` is already ascending and finite;
+/// use when taking several quantiles of the same sample.
+pub fn quantile_sorted_unchecked(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The median (0.5-quantile).
+pub fn median(sample: &[f64]) -> Result<f64> {
+    quantile(sample, 0.5)
+}
+
+/// The interquartile range `Q3 − Q1`.
+pub fn interquartile_range(sample: &[f64]) -> Result<f64> {
+    if sample.is_empty() {
+        return Err(UdmError::EmptyDataset);
+    }
+    let mut sorted = sample.to_vec();
+    for &v in &sorted {
+        if !v.is_finite() {
+            return Err(UdmError::InvalidValue {
+                what: "sample value",
+                value: v,
+            });
+        }
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    Ok(quantile_sorted_unchecked(&sorted, 0.75) - quantile_sorted_unchecked(&sorted, 0.25))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn extremes_are_min_max() {
+        let xs = [5.0, -1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), -1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn interpolates_between_order_stats() {
+        // quartiles of 1..=5: Q1 = 2, Q3 = 4 under type-7
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.25).unwrap(), 2.0);
+        assert_eq!(quantile(&xs, 0.75).unwrap(), 4.0);
+        assert_eq!(interquartile_range(&xs).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.3).unwrap(), 7.0);
+        assert_eq!(interquartile_range(&[7.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&xs).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+        assert!(quantile(&[f64::NAN], 0.5).is_err());
+        assert!(interquartile_range(&[]).is_err());
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let xs = [2.0, 8.0, 4.0, 6.0, 0.0, 10.0];
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let v = quantile(&xs, i as f64 / 10.0).unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn quantile_within_range(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q in 0.0f64..=1.0,
+        ) {
+            let v = quantile(&xs, q).unwrap();
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min && v <= max);
+        }
+
+        #[test]
+        fn iqr_non_negative(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            prop_assert!(interquartile_range(&xs).unwrap() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Feature scaling for uncertain data.
+//!
+//! Scaling uncertain data must transform values *and* their errors
+//! consistently: if dimension `j` is rescaled by `x ↦ (x − μ_j)/σ_j`, then a
+//! standard deviation `ψ_j` on that dimension becomes `ψ_j/σ_j` (shift does
+//! not affect a standard deviation; scale does). Both scalers here follow
+//! that rule, which keeps the error-based kernels of `udm-kde`
+//! scale-equivariant.
+
+use crate::dataset::UncertainDataset;
+use crate::error::{Result, UdmError};
+use crate::point::UncertainPoint;
+use serde::{Deserialize, Serialize};
+
+/// Common interface for fitted scalers.
+pub trait Scaler {
+    /// Fits scaler parameters to the dataset.
+    fn fit(dataset: &UncertainDataset) -> Result<Self>
+    where
+        Self: Sized;
+
+    /// Transforms a single point.
+    fn transform_point(&self, point: &UncertainPoint) -> Result<UncertainPoint>;
+
+    /// Transforms a whole dataset.
+    fn transform(&self, dataset: &UncertainDataset) -> Result<UncertainDataset> {
+        let points = dataset
+            .iter()
+            .map(|p| self.transform_point(p))
+            .collect::<Result<Vec<_>>>()?;
+        UncertainDataset::from_points(points)
+    }
+}
+
+/// Z-score standardization: `x ↦ (x − μ)/σ`, `ψ ↦ ψ/σ`.
+///
+/// Dimensions with zero variance are passed through centred but unscaled
+/// (scale factor 1), so constant columns do not produce NaNs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// The fitted per-dimension means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The fitted per-dimension standard deviations (1.0 where the column
+    /// was constant).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Applies the inverse transform to a point in scaled space.
+    pub fn inverse_transform_point(&self, point: &UncertainPoint) -> Result<UncertainPoint> {
+        if point.dim() != self.means.len() {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.means.len(),
+                actual: point.dim(),
+            });
+        }
+        let values = point
+            .values()
+            .iter()
+            .zip(self.means.iter().zip(self.stds.iter()))
+            .map(|(&v, (&m, &s))| v * s + m)
+            .collect();
+        let errors = point
+            .errors()
+            .iter()
+            .zip(self.stds.iter())
+            .map(|(&e, &s)| e * s)
+            .collect();
+        let mut q = UncertainPoint::new(values, errors)?;
+        if let Some(l) = point.label() {
+            q = q.with_label(l);
+        }
+        Ok(q.with_timestamp(point.timestamp()))
+    }
+}
+
+impl Scaler for StandardScaler {
+    fn fit(dataset: &UncertainDataset) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(UdmError::EmptyDataset);
+        }
+        let summaries = dataset.summaries();
+        let means = summaries.iter().map(|s| s.mean).collect();
+        let stds = summaries
+            .iter()
+            .map(|s| if s.std > 0.0 { s.std } else { 1.0 })
+            .collect();
+        Ok(StandardScaler { means, stds })
+    }
+
+    fn transform_point(&self, point: &UncertainPoint) -> Result<UncertainPoint> {
+        if point.dim() != self.means.len() {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.means.len(),
+                actual: point.dim(),
+            });
+        }
+        let values = point
+            .values()
+            .iter()
+            .zip(self.means.iter().zip(self.stds.iter()))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect();
+        let errors = point
+            .errors()
+            .iter()
+            .zip(self.stds.iter())
+            .map(|(&e, &s)| e / s)
+            .collect();
+        let mut q = UncertainPoint::new(values, errors)?;
+        if let Some(l) = point.label() {
+            q = q.with_label(l);
+        }
+        Ok(q.with_timestamp(point.timestamp()))
+    }
+}
+
+/// Min-max scaling to `[0, 1]`: `x ↦ (x − min)/(max − min)`,
+/// `ψ ↦ ψ/(max − min)`.
+///
+/// Constant columns are mapped to 0.0 with unscaled errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// The fitted per-dimension minima.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// The fitted per-dimension ranges (1.0 where the column was constant).
+    pub fn ranges(&self) -> &[f64] {
+        &self.ranges
+    }
+}
+
+impl Scaler for MinMaxScaler {
+    fn fit(dataset: &UncertainDataset) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(UdmError::EmptyDataset);
+        }
+        let summaries = dataset.summaries();
+        let mins = summaries.iter().map(|s| s.min).collect();
+        let ranges = summaries
+            .iter()
+            .map(|s| {
+                let r = s.max - s.min;
+                if r > 0.0 {
+                    r
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(MinMaxScaler { mins, ranges })
+    }
+
+    fn transform_point(&self, point: &UncertainPoint) -> Result<UncertainPoint> {
+        if point.dim() != self.mins.len() {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.mins.len(),
+                actual: point.dim(),
+            });
+        }
+        let values = point
+            .values()
+            .iter()
+            .zip(self.mins.iter().zip(self.ranges.iter()))
+            .map(|(&v, (&lo, &r))| (v - lo) / r)
+            .collect();
+        let errors = point
+            .errors()
+            .iter()
+            .zip(self.ranges.iter())
+            .map(|(&e, &r)| e / r)
+            .collect();
+        let mut q = UncertainPoint::new(values, errors)?;
+        if let Some(l) = point.label() {
+            q = q.with_label(l);
+        }
+        Ok(q.with_timestamp(point.timestamp()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::ClassLabel;
+
+    fn dataset() -> UncertainDataset {
+        UncertainDataset::from_points(vec![
+            UncertainPoint::new(vec![0.0, 10.0], vec![1.0, 2.0])
+                .unwrap()
+                .with_label(ClassLabel(0)),
+            UncertainPoint::new(vec![2.0, 20.0], vec![0.5, 1.0]).unwrap(),
+            UncertainPoint::new(vec![4.0, 30.0], vec![0.0, 0.0]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn standard_scaler_centres_and_scales() {
+        let d = dataset();
+        let sc = StandardScaler::fit(&d).unwrap();
+        let t = sc.transform(&d).unwrap();
+        let s = t.summaries();
+        for dim in &s {
+            assert!(dim.mean.abs() < 1e-12);
+            assert!((dim.std - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_scales_errors_consistently() {
+        let d = dataset();
+        let sc = StandardScaler::fit(&d).unwrap();
+        let t = sc.transform(&d).unwrap();
+        // dim 0 values (0,2,4): population std = sqrt(8/3)
+        let sigma = (8.0f64 / 3.0).sqrt();
+        assert!((t.point(0).error(0) - 1.0 / sigma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_scaler_preserves_labels_and_timestamps() {
+        let d = dataset();
+        let sc = StandardScaler::fit(&d).unwrap();
+        let t = sc.transform(&d).unwrap();
+        assert_eq!(t.point(0).label(), Some(ClassLabel(0)));
+        assert_eq!(t.point(1).label(), None);
+    }
+
+    #[test]
+    fn standard_scaler_inverse_roundtrips() {
+        let d = dataset();
+        let sc = StandardScaler::fit(&d).unwrap();
+        let t = sc.transform(&d).unwrap();
+        for (orig, scaled) in d.iter().zip(t.iter()) {
+            let back = sc.inverse_transform_point(scaled).unwrap();
+            for j in 0..d.dim() {
+                assert!((back.value(j) - orig.value(j)).abs() < 1e-9);
+                assert!((back.error(j) - orig.error(j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn standard_scaler_constant_column_is_safe() {
+        let d = UncertainDataset::from_points(vec![
+            UncertainPoint::new(vec![5.0], vec![0.1]).unwrap(),
+            UncertainPoint::new(vec![5.0], vec![0.2]).unwrap(),
+        ])
+        .unwrap();
+        let sc = StandardScaler::fit(&d).unwrap();
+        let t = sc.transform(&d).unwrap();
+        assert_eq!(t.point(0).value(0), 0.0);
+        assert!(t.point(0).value(0).is_finite());
+        assert_eq!(t.point(0).error(0), 0.1);
+    }
+
+    #[test]
+    fn standard_scaler_rejects_empty_and_mismatched() {
+        assert!(StandardScaler::fit(&UncertainDataset::new(2)).is_err());
+        let d = dataset();
+        let sc = StandardScaler::fit(&d).unwrap();
+        let wrong = UncertainPoint::exact(vec![1.0]).unwrap();
+        assert!(sc.transform_point(&wrong).is_err());
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let d = dataset();
+        let sc = MinMaxScaler::fit(&d).unwrap();
+        let t = sc.transform(&d).unwrap();
+        for p in t.iter() {
+            for j in 0..t.dim() {
+                assert!((0.0..=1.0).contains(&p.value(j)));
+            }
+        }
+        assert_eq!(t.point(0).value(0), 0.0);
+        assert_eq!(t.point(2).value(0), 1.0);
+    }
+
+    #[test]
+    fn minmax_scales_errors_by_range() {
+        let d = dataset();
+        let sc = MinMaxScaler::fit(&d).unwrap();
+        let t = sc.transform(&d).unwrap();
+        // dim 1 range = 20, first point error 2.0 -> 0.1
+        assert!((t.point(0).error(1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_constant_column_is_safe() {
+        let d = UncertainDataset::from_points(vec![
+            UncertainPoint::new(vec![7.0], vec![0.3]).unwrap(),
+            UncertainPoint::new(vec![7.0], vec![0.3]).unwrap(),
+        ])
+        .unwrap();
+        let sc = MinMaxScaler::fit(&d).unwrap();
+        let t = sc.transform(&d).unwrap();
+        assert_eq!(t.point(0).value(0), 0.0);
+        assert_eq!(t.point(0).error(0), 0.3);
+    }
+}

@@ -1,0 +1,314 @@
+//! Numerically stable streaming statistics.
+//!
+//! Bandwidth selection (Silverman's rule, `udm-kde`), dataset summaries and
+//! the noise-injection model (`udm-data`) all need means and variances.
+//! [`RunningStats`] implements Welford's online algorithm so a single pass
+//! suffices and catastrophic cancellation is avoided even for data with a
+//! large common offset.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online accumulator for mean/variance/min/max of a scalar stream.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation into the accumulator.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Builds an accumulator from a slice in one pass.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Number of observations folded in.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 for an empty accumulator.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divide by `n`); 0 when `n < 1`.
+    ///
+    /// The paper's micro-cluster algebra (Lemma 1) uses population
+    /// conventions — `CF2/r − (CF1/r)²` — so this is the default.
+    #[inline]
+    pub fn variance_population(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+
+    /// Sample variance (divide by `n − 1`); 0 when `n < 2`.
+    #[inline]
+    pub fn variance_sample(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    #[inline]
+    pub fn std_population(&self) -> f64 {
+        self.variance_population().sqrt()
+    }
+
+    /// Sample standard deviation.
+    #[inline]
+    pub fn std_sample(&self) -> f64 {
+        self.variance_sample().sqrt()
+    }
+
+    /// Smallest observation; `+∞` when empty.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` when empty.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel
+    /// combination), so statistics can be computed on shards and combined.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Per-dimension summary of a dataset: the quantities the rest of the
+/// workspace needs most often (bandwidth rules, scaling, noise injection).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimensionSummary {
+    /// Mean of the dimension's values.
+    pub mean: f64,
+    /// Population standard deviation of the values (`σ` in the paper's
+    /// noise model, where perturbation scale is drawn from `U[0, 2f]·σ`).
+    pub std: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Root-mean-square of the recorded errors `ψ_j` on this dimension.
+    pub rms_error: f64,
+}
+
+impl DimensionSummary {
+    /// Builds a summary from parallel slices of values and errors.
+    pub fn from_column(values: &[f64], errors: &[f64]) -> Self {
+        let vs = RunningStats::from_slice(values);
+        let mean_sq_err = if errors.is_empty() {
+            0.0
+        } else {
+            errors.iter().map(|e| e * e).sum::<f64>() / errors.len() as f64
+        };
+        DimensionSummary {
+            mean: vs.mean(),
+            std: vs.std_population(),
+            min: vs.min(),
+            max: vs.max(),
+            rms_error: mean_sq_err.sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance_population(), 0.0);
+        assert_eq!(s.variance_sample(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = RunningStats::from_slice(&[5.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance_population(), 0.0);
+        assert_eq!(s.variance_sample(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn matches_textbook_values() {
+        // values 2,4,4,4,5,5,7,9: mean 5, population variance 4.
+        let s = RunningStats::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_close(s.mean(), 5.0, 1e-12);
+        assert_close(s.variance_population(), 4.0, 1e-12);
+        assert_close(s.std_population(), 2.0, 1e-12);
+        assert_close(s.variance_sample(), 32.0 / 7.0, 1e-12);
+    }
+
+    #[test]
+    fn stable_under_large_offset() {
+        let offset = 1e9;
+        let s = RunningStats::from_slice(&[offset + 1.0, offset + 2.0, offset + 3.0]);
+        assert_close(s.mean(), offset + 2.0, 1e-3);
+        assert_close(s.variance_population(), 2.0 / 3.0, 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = RunningStats::from_slice(&xs);
+        let mut left = RunningStats::from_slice(&xs[..37]);
+        let right = RunningStats::from_slice(&xs[37..]);
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_close(left.mean(), whole.mean(), 1e-10);
+        assert_close(
+            left.variance_population(),
+            whole.variance_population(),
+            1e-10,
+        );
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::from_slice(&[1.0, 2.0]);
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let s = RunningStats::from_slice(&[3.0, -1.0, 7.0, 2.0]);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 7.0);
+    }
+
+    #[test]
+    fn dimension_summary_from_column() {
+        let summary = DimensionSummary::from_column(&[1.0, 2.0, 3.0], &[0.0, 3.0, 4.0]);
+        assert_close(summary.mean, 2.0, 1e-12);
+        assert_close(summary.std, (2.0f64 / 3.0).sqrt(), 1e-12);
+        assert_eq!(summary.min, 1.0);
+        assert_eq!(summary.max, 3.0);
+        // rms of (0,3,4) = sqrt(25/3)
+        assert_close(summary.rms_error, (25.0f64 / 3.0).sqrt(), 1e-12);
+    }
+
+    #[test]
+    fn dimension_summary_empty_errors() {
+        let summary = DimensionSummary::from_column(&[1.0], &[]);
+        assert_eq!(summary.rms_error, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn welford_matches_naive(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+            let s = RunningStats::from_slice(&xs);
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!((s.mean() - mean).abs() < 1e-6);
+            prop_assert!((s.variance_population() - var).abs() < 1e-6);
+        }
+
+        #[test]
+        fn merge_is_order_insensitive(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            ys in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        ) {
+            let a = RunningStats::from_slice(&xs);
+            let b = RunningStats::from_slice(&ys);
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+            prop_assert!((ab.variance_population() - ba.variance_population()).abs() < 1e-9);
+            prop_assert_eq!(ab.count(), ba.count());
+        }
+
+        #[test]
+        fn variance_is_non_negative(xs in proptest::collection::vec(-1e6f64..1e6, 0..100)) {
+            let s = RunningStats::from_slice(&xs);
+            prop_assert!(s.variance_population() >= 0.0);
+            prop_assert!(s.variance_sample() >= 0.0);
+        }
+    }
+}

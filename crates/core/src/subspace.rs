@@ -1,0 +1,418 @@
+//! Subspaces: sets of dimensions over which densities are evaluated.
+//!
+//! The paper's classifier (§3) repeatedly computes the joint density of the
+//! data over *subsets of dimensions* `S ⊆ {1, …, d}` and enumerates
+//! candidate subspaces with an Apriori-style roll-up: `C_{i+1}` is obtained
+//! by joining the frequent `i`-dimensional set `L_i` with the 1-dimensional
+//! set `L_1`. [`Subspace`] is the cheap value type that makes this
+//! enumeration allocation-free: a 64-bit bitmask of dimension indices.
+
+use crate::error::{Result, UdmError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of dimension indices represented as a 64-bit bitmask.
+///
+/// Supports datasets with up to [`Subspace::MAX_DIMS`] dimensions, which
+/// comfortably covers the paper's datasets (the widest, ionosphere, has 34
+/// quantitative dimensions).
+///
+/// # Example
+///
+/// ```
+/// use udm_core::Subspace;
+///
+/// let s = Subspace::from_dims(&[0, 2]).unwrap();
+/// let t = Subspace::singleton(4).unwrap();
+/// let joined = s.join(t).unwrap();
+/// assert_eq!(joined.dims().collect::<Vec<_>>(), vec![0, 2, 4]);
+/// assert!(joined.overlaps(s));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Subspace(u64);
+
+impl Subspace {
+    /// Maximum number of dimensions a subspace can reference.
+    pub const MAX_DIMS: usize = 64;
+
+    /// The empty subspace.
+    pub const EMPTY: Subspace = Subspace(0);
+
+    /// Creates a subspace containing the single dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UdmError::SubspaceCapacityExceeded`] if
+    /// `dim >= Self::MAX_DIMS`.
+    pub fn singleton(dim: usize) -> Result<Self> {
+        if dim >= Self::MAX_DIMS {
+            return Err(UdmError::SubspaceCapacityExceeded { dim });
+        }
+        Ok(Subspace(1u64 << dim))
+    }
+
+    /// Creates a subspace from an explicit list of dimension indices.
+    /// Duplicates are collapsed.
+    pub fn from_dims(dims: &[usize]) -> Result<Self> {
+        let mut mask = 0u64;
+        for &d in dims {
+            if d >= Self::MAX_DIMS {
+                return Err(UdmError::SubspaceCapacityExceeded { dim: d });
+            }
+            mask |= 1u64 << d;
+        }
+        Ok(Subspace(mask))
+    }
+
+    /// The full space `{0, …, d-1}`.
+    pub fn full(d: usize) -> Result<Self> {
+        if d > Self::MAX_DIMS {
+            return Err(UdmError::SubspaceCapacityExceeded { dim: d - 1 });
+        }
+        if d == Self::MAX_DIMS {
+            return Ok(Subspace(u64::MAX));
+        }
+        Ok(Subspace((1u64 << d) - 1))
+    }
+
+    /// Raw bitmask accessor (stable across program runs; bit `j` ⇔ dim `j`).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a subspace from a raw bitmask.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        Subspace(bits)
+    }
+
+    /// Number of dimensions in the subspace (`|S|`).
+    #[inline]
+    pub fn cardinality(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` if the subspace contains no dimensions.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` if dimension `dim` is a member of the subspace.
+    #[inline]
+    pub fn contains(self, dim: usize) -> bool {
+        dim < Self::MAX_DIMS && (self.0 >> dim) & 1 == 1
+    }
+
+    /// Set union `S ∪ T`.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: Subspace) -> Subspace {
+        Subspace(self.0 | other.0)
+    }
+
+    /// Set intersection `S ∩ T`.
+    #[inline]
+    #[must_use]
+    pub fn intersection(self, other: Subspace) -> Subspace {
+        Subspace(self.0 & other.0)
+    }
+
+    /// Set difference `S \ T`.
+    #[inline]
+    #[must_use]
+    pub fn difference(self, other: Subspace) -> Subspace {
+        Subspace(self.0 & !other.0)
+    }
+
+    /// `true` if the two subspaces share at least one dimension.
+    ///
+    /// The classifier's final selection step repeatedly picks the highest
+    /// accuracy subspace and "removes all sets in L which *overlap* with sets
+    /// in N" (Fig. 3) — this is that predicate.
+    #[inline]
+    pub fn overlaps(self, other: Subspace) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// `true` if `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: Subspace) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Inserts a dimension, returning the enlarged subspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UdmError::SubspaceCapacityExceeded`] for out-of-capacity
+    /// dimensions.
+    pub fn with_dim(self, dim: usize) -> Result<Subspace> {
+        if dim >= Self::MAX_DIMS {
+            return Err(UdmError::SubspaceCapacityExceeded { dim });
+        }
+        Ok(Subspace(self.0 | (1u64 << dim)))
+    }
+
+    /// Iterates member dimensions in increasing order.
+    #[inline]
+    pub fn dims(self) -> SubspaceIter {
+        SubspaceIter(self.0)
+    }
+
+    /// The Apriori-style join used by the roll-up (Fig. 3): extends an
+    /// `i`-dimensional subspace by a single dimension drawn from a
+    /// 1-dimensional subspace, producing an `(i+1)`-dimensional candidate.
+    ///
+    /// Returns `None` when the singleton is already a member (the join would
+    /// not grow the subspace) — the roll-up must skip such candidates.
+    pub fn join(self, singleton: Subspace) -> Option<Subspace> {
+        debug_assert_eq!(singleton.cardinality(), 1);
+        if self.overlaps(singleton) {
+            None
+        } else {
+            Some(self.union(singleton))
+        }
+    }
+
+    /// Enumerates all `i-1`-dimensional subsets obtained by dropping exactly
+    /// one member dimension. Used to check the Apriori property.
+    pub fn proper_subsets_one_smaller(self) -> impl Iterator<Item = Subspace> {
+        self.dims()
+            .map(move |d| Subspace(self.0 & !(1u64 << d)))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    /// Validates that all member dimensions are `< dimensionality`.
+    pub fn validate_for(self, dimensionality: usize) -> Result<()> {
+        match self.dims().next_back_max() {
+            Some(max) if max >= dimensionality => Err(UdmError::DimensionOutOfRange {
+                dim: max,
+                dimensionality,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for Subspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.dims().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the member dimensions of a [`Subspace`], ascending.
+#[derive(Debug, Clone)]
+pub struct SubspaceIter(u64);
+
+impl SubspaceIter {
+    /// Returns the largest member dimension without consuming the iterator
+    /// state semantics (helper for validation).
+    fn next_back_max(&self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros() as usize)
+        }
+    }
+}
+
+impl Iterator for SubspaceIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let d = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(d)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SubspaceIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_and_contains() {
+        let s = Subspace::singleton(5).unwrap();
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.cardinality(), 1);
+    }
+
+    #[test]
+    fn singleton_out_of_capacity() {
+        assert!(Subspace::singleton(64).is_err());
+        assert!(Subspace::singleton(63).is_ok());
+    }
+
+    #[test]
+    fn from_dims_collapses_duplicates() {
+        let s = Subspace::from_dims(&[1, 3, 1, 3]).unwrap();
+        assert_eq!(s.cardinality(), 2);
+        assert_eq!(s.dims().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn full_space() {
+        let s = Subspace::full(6).unwrap();
+        assert_eq!(s.cardinality(), 6);
+        assert_eq!(s.dims().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+        let all = Subspace::full(64).unwrap();
+        assert_eq!(all.cardinality(), 64);
+        assert!(Subspace::full(65).is_err());
+    }
+
+    #[test]
+    fn full_zero_is_empty() {
+        assert!(Subspace::full(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Subspace::from_dims(&[0, 1, 2]).unwrap();
+        let b = Subspace::from_dims(&[2, 3]).unwrap();
+        assert_eq!(a.union(b), Subspace::from_dims(&[0, 1, 2, 3]).unwrap());
+        assert_eq!(a.intersection(b), Subspace::from_dims(&[2]).unwrap());
+        assert_eq!(a.difference(b), Subspace::from_dims(&[0, 1]).unwrap());
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(Subspace::from_dims(&[4]).unwrap()));
+    }
+
+    #[test]
+    fn subset_predicate() {
+        let a = Subspace::from_dims(&[1, 2]).unwrap();
+        let b = Subspace::from_dims(&[0, 1, 2]).unwrap();
+        assert!(a.is_subset_of(b));
+        assert!(!b.is_subset_of(a));
+        assert!(Subspace::EMPTY.is_subset_of(a));
+    }
+
+    #[test]
+    fn join_grows_by_one() {
+        let a = Subspace::from_dims(&[0, 2]).unwrap();
+        let s = Subspace::singleton(4).unwrap();
+        let joined = a.join(s).unwrap();
+        assert_eq!(joined.cardinality(), 3);
+        assert!(joined.contains(4));
+    }
+
+    #[test]
+    fn join_with_member_is_none() {
+        let a = Subspace::from_dims(&[0, 2]).unwrap();
+        assert!(a.join(Subspace::singleton(2).unwrap()).is_none());
+    }
+
+    #[test]
+    fn proper_subsets() {
+        let a = Subspace::from_dims(&[1, 3, 5]).unwrap();
+        let subs: Vec<_> = a.proper_subsets_one_smaller().collect();
+        assert_eq!(subs.len(), 3);
+        for s in subs {
+            assert_eq!(s.cardinality(), 2);
+            assert!(s.is_subset_of(a));
+        }
+    }
+
+    #[test]
+    fn validate_for_dimensionality() {
+        let s = Subspace::from_dims(&[0, 5]).unwrap();
+        assert!(s.validate_for(6).is_ok());
+        assert!(matches!(
+            s.validate_for(5),
+            Err(UdmError::DimensionOutOfRange { dim: 5, .. })
+        ));
+        assert!(Subspace::EMPTY.validate_for(0).is_ok());
+    }
+
+    #[test]
+    fn display_sorted() {
+        let s = Subspace::from_dims(&[4, 0, 2]).unwrap();
+        assert_eq!(s.to_string(), "{0,2,4}");
+        assert_eq!(Subspace::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn iterator_is_exact_size() {
+        let s = Subspace::from_dims(&[0, 63]).unwrap();
+        let it = s.dims();
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.collect::<Vec<_>>(), vec![0, 63]);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let s = Subspace::from_dims(&[7, 9]).unwrap();
+        assert_eq!(Subspace::from_bits(s.bits()), s);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_subspace() -> impl Strategy<Value = Subspace> {
+        proptest::collection::vec(0usize..16, 0..8)
+            .prop_map(|dims| Subspace::from_dims(&dims).unwrap())
+    }
+
+    proptest! {
+        #[test]
+        fn union_laws(a in arb_subspace(), b in arb_subspace()) {
+            prop_assert_eq!(a.union(b), b.union(a));
+            prop_assert_eq!(a.union(a), a);
+            prop_assert!(a.is_subset_of(a.union(b)));
+            prop_assert!(b.is_subset_of(a.union(b)));
+        }
+
+        #[test]
+        fn intersection_laws(a in arb_subspace(), b in arb_subspace()) {
+            prop_assert_eq!(a.intersection(b), b.intersection(a));
+            prop_assert!(a.intersection(b).is_subset_of(a));
+            prop_assert_eq!(a.overlaps(b), !a.intersection(b).is_empty());
+        }
+
+        #[test]
+        fn difference_partitions(a in arb_subspace(), b in arb_subspace()) {
+            let diff = a.difference(b);
+            prop_assert!(!diff.overlaps(b));
+            prop_assert_eq!(diff.union(a.intersection(b)), a);
+        }
+
+        #[test]
+        fn cardinality_inclusion_exclusion(a in arb_subspace(), b in arb_subspace()) {
+            prop_assert_eq!(
+                a.union(b).cardinality() + a.intersection(b).cardinality(),
+                a.cardinality() + b.cardinality()
+            );
+        }
+
+        #[test]
+        fn dims_roundtrip(a in arb_subspace()) {
+            let dims: Vec<usize> = a.dims().collect();
+            prop_assert_eq!(Subspace::from_dims(&dims).unwrap(), a);
+            prop_assert_eq!(dims.len(), a.cardinality());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Partially aggregated data (the paper's fourth motivating use case):
+//! "many demographic data sets only include the statistics of household
+//! income over different localities rather than the precise income for
+//! individuals."
+//!
+//! [`aggregate_groups`] turns groups of raw records into single uncertain
+//! records: the aggregate's value per dimension is the group mean and its
+//! error is the group's standard deviation — exactly the `ψ` the
+//! error-based machinery expects, so aggregated data plugs straight into
+//! density estimation and classification.
+
+use udm_core::{ClassLabel, Result, RunningStats, UdmError, UncertainDataset, UncertainPoint};
+
+/// How group labels are decided when members disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupLabelPolicy {
+    /// The group's label is its members' majority label (ties broken by
+    /// the smaller label id); unlabelled members abstain.
+    Majority,
+    /// Aggregates carry no label.
+    Drop,
+}
+
+/// Aggregates consecutive groups of `group_size` points into uncertain
+/// pseudo-records (mean value, std-deviation error per dimension). A
+/// trailing partial group is aggregated as well.
+///
+/// # Example
+///
+/// ```
+/// use udm_core::{UncertainDataset, UncertainPoint};
+/// use udm_data::aggregate::{aggregate_groups, GroupLabelPolicy};
+///
+/// let raw = UncertainDataset::from_points(vec![
+///     UncertainPoint::exact(vec![1.0]).unwrap(),
+///     UncertainPoint::exact(vec![3.0]).unwrap(),
+/// ]).unwrap();
+/// let agg = aggregate_groups(&raw, 2, GroupLabelPolicy::Drop).unwrap();
+/// assert_eq!(agg.point(0).value(0), 2.0);    // group mean
+/// assert_eq!(agg.point(0).error(0), 1.0);    // group std becomes ψ
+/// ```
+///
+/// # Errors
+///
+/// [`UdmError::InvalidConfig`] for `group_size == 0`;
+/// [`UdmError::EmptyDataset`] for empty input.
+pub fn aggregate_groups(
+    data: &UncertainDataset,
+    group_size: usize,
+    labels: GroupLabelPolicy,
+) -> Result<UncertainDataset> {
+    if group_size == 0 {
+        return Err(UdmError::InvalidConfig(
+            "group_size must be at least 1".into(),
+        ));
+    }
+    if data.is_empty() {
+        return Err(UdmError::EmptyDataset);
+    }
+    let mut out = UncertainDataset::new(data.dim());
+    for group in data.points().chunks(group_size) {
+        let mut stats = vec![RunningStats::new(); data.dim()];
+        let mut votes: std::collections::BTreeMap<ClassLabel, usize> = Default::default();
+        for p in group {
+            for (j, st) in stats.iter_mut().enumerate() {
+                st.push(p.value(j));
+            }
+            if let Some(l) = p.label() {
+                *votes.entry(l).or_insert(0) += 1;
+            }
+        }
+        let values: Vec<f64> = stats.iter().map(|s| s.mean()).collect();
+        let errors: Vec<f64> = stats.iter().map(|s| s.std_population()).collect();
+        let mut point = UncertainPoint::new(values, errors)?;
+        if let GroupLabelPolicy::Majority = labels {
+            if let Some((&label, _)) = votes.iter().max_by_key(|(_, &c)| c) {
+                point = point.with_label(label);
+            }
+        }
+        out.push(point)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw() -> UncertainDataset {
+        UncertainDataset::from_points(vec![
+            UncertainPoint::exact(vec![1.0, 10.0])
+                .unwrap()
+                .with_label(ClassLabel(0)),
+            UncertainPoint::exact(vec![3.0, 10.0])
+                .unwrap()
+                .with_label(ClassLabel(0)),
+            UncertainPoint::exact(vec![2.0, 10.0])
+                .unwrap()
+                .with_label(ClassLabel(1)),
+            UncertainPoint::exact(vec![100.0, 20.0])
+                .unwrap()
+                .with_label(ClassLabel(1)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregates_mean_and_std() {
+        let agg = aggregate_groups(&raw(), 3, GroupLabelPolicy::Majority).unwrap();
+        assert_eq!(agg.len(), 2); // group of 3 + trailing group of 1
+        let g = agg.point(0);
+        assert!((g.value(0) - 2.0).abs() < 1e-12);
+        // std of (1,3,2) = sqrt(2/3)
+        assert!((g.error(0) - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // constant dimension has zero error
+        assert_eq!(g.error(1), 0.0);
+    }
+
+    #[test]
+    fn majority_label_wins() {
+        let agg = aggregate_groups(&raw(), 3, GroupLabelPolicy::Majority).unwrap();
+        assert_eq!(agg.point(0).label(), Some(ClassLabel(0)));
+        assert_eq!(agg.point(1).label(), Some(ClassLabel(1)));
+    }
+
+    #[test]
+    fn drop_policy_removes_labels() {
+        let agg = aggregate_groups(&raw(), 2, GroupLabelPolicy::Drop).unwrap();
+        assert!(agg.iter().all(|p| p.label().is_none()));
+    }
+
+    #[test]
+    fn trailing_singleton_group_has_zero_error() {
+        let agg = aggregate_groups(&raw(), 3, GroupLabelPolicy::Majority).unwrap();
+        let tail = agg.point(1);
+        assert_eq!(tail.values(), &[100.0, 20.0]);
+        assert!(tail.is_exact());
+    }
+
+    #[test]
+    fn group_size_one_is_identity_on_values() {
+        let agg = aggregate_groups(&raw(), 1, GroupLabelPolicy::Majority).unwrap();
+        assert_eq!(agg.len(), 4);
+        for (a, b) in agg.iter().zip(raw().iter()) {
+            assert_eq!(a.values(), b.values());
+            assert!(a.is_exact());
+            assert_eq!(a.label(), b.label());
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(aggregate_groups(&raw(), 0, GroupLabelPolicy::Drop).is_err());
+        let empty = UncertainDataset::new(2);
+        assert!(aggregate_groups(&empty, 2, GroupLabelPolicy::Drop).is_err());
+    }
+
+    #[test]
+    fn aggregated_data_supports_density_mining() {
+        // The whole point: aggregates are valid uncertain points.
+        let agg = aggregate_groups(&raw(), 2, GroupLabelPolicy::Majority).unwrap();
+        assert_eq!(agg.dim(), 2);
+        assert!(agg.iter().any(|p| !p.is_exact()));
+    }
+}

@@ -1,0 +1,350 @@
+//! CSV I/O for uncertain datasets.
+//!
+//! Canonical row layout: `v_1,…,v_d[,e_1,…,e_d][,label]`. Files written by
+//! this module start with a self-describing header comment:
+//!
+//! ```text
+//! #udm,dim=3,errors=1,labels=1
+//! ```
+//!
+//! [`read_csv`] uses that header when present; otherwise the caller must
+//! supply an explicit [`CsvSchema`].
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use udm_core::{ClassLabel, Result, UdmError, UncertainDataset, UncertainPoint};
+
+/// Describes the column layout of a CSV file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsvSchema {
+    /// Number of value columns `d`.
+    pub dim: usize,
+    /// Whether `d` error columns follow the values.
+    pub has_errors: bool,
+    /// Whether a trailing integer label column is present.
+    pub has_labels: bool,
+}
+
+impl CsvSchema {
+    fn columns(&self) -> usize {
+        self.dim * (1 + self.has_errors as usize) + self.has_labels as usize
+    }
+
+    fn header(&self) -> String {
+        format!(
+            "#udm,dim={},errors={},labels={}",
+            self.dim, self.has_errors as u8, self.has_labels as u8
+        )
+    }
+
+    fn parse_header(line: &str) -> Option<CsvSchema> {
+        let rest = line.strip_prefix("#udm,")?;
+        let mut dim = None;
+        let mut errors = None;
+        let mut labels = None;
+        for field in rest.split(',') {
+            let (key, value) = field.split_once('=')?;
+            match key.trim() {
+                "dim" => dim = value.trim().parse::<usize>().ok(),
+                "errors" => errors = value.trim().parse::<u8>().ok(),
+                "labels" => labels = value.trim().parse::<u8>().ok(),
+                _ => {}
+            }
+        }
+        Some(CsvSchema {
+            dim: dim?,
+            has_errors: errors? != 0,
+            has_labels: labels? != 0,
+        })
+    }
+}
+
+/// Writes a dataset to a writer in the canonical layout, with header.
+///
+/// Errors are written whenever any point carries a non-zero error; labels
+/// whenever any point is labelled.
+pub fn write_csv<W: Write>(writer: W, data: &UncertainDataset) -> Result<()> {
+    let schema = CsvSchema {
+        dim: data.dim(),
+        has_errors: data.iter().any(|p| !p.is_exact()),
+        has_labels: data.iter().any(|p| p.label().is_some()),
+    };
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{}", schema.header())?;
+    let mut line = String::new();
+    for p in data.iter() {
+        line.clear();
+        for (i, v) in p.values().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{v}"));
+        }
+        if schema.has_errors {
+            for e in p.errors() {
+                line.push_str(&format!(",{e}"));
+            }
+        }
+        if schema.has_labels {
+            let l = p.label().map(|l| l.id()).unwrap_or(u32::MAX);
+            line.push_str(&format!(",{l}"));
+        }
+        writeln!(w, "{line}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a dataset to a file. See [`write_csv`].
+pub fn write_csv_file(path: &Path, data: &UncertainDataset) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_csv(f, data)
+}
+
+/// Reads a dataset from a reader. `schema` overrides any header; when
+/// `None`, the `#udm` header is required.
+pub fn read_csv<R: std::io::Read>(
+    reader: R,
+    schema: Option<CsvSchema>,
+) -> Result<UncertainDataset> {
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let mut schema = schema;
+    let mut data: Option<UncertainDataset> = None;
+
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            if schema.is_none() {
+                schema = CsvSchema::parse_header(trimmed);
+            }
+            continue;
+        }
+        let schema = schema.ok_or(UdmError::Parse {
+            line: line_no,
+            message: "no schema: missing #udm header and no explicit schema given".into(),
+        })?;
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != schema.columns() {
+            return Err(UdmError::Parse {
+                line: line_no,
+                message: format!(
+                    "expected {} columns, found {}",
+                    schema.columns(),
+                    fields.len()
+                ),
+            });
+        }
+        let parse_f64 = |s: &str| -> Result<f64> {
+            s.trim().parse::<f64>().map_err(|e| UdmError::Parse {
+                line: line_no,
+                message: format!("bad number {s:?}: {e}"),
+            })
+        };
+        let values = fields[..schema.dim]
+            .iter()
+            .map(|s| parse_f64(s))
+            .collect::<Result<Vec<_>>>()?;
+        let errors = if schema.has_errors {
+            fields[schema.dim..2 * schema.dim]
+                .iter()
+                .map(|s| parse_f64(s))
+                .collect::<Result<Vec<_>>>()?
+        } else {
+            vec![0.0; schema.dim]
+        };
+        let mut point = UncertainPoint::new(values, errors)?;
+        if schema.has_labels {
+            let raw = fields[schema.columns() - 1].trim();
+            let id = raw.parse::<u32>().map_err(|e| UdmError::Parse {
+                line: line_no,
+                message: format!("bad label {raw:?}: {e}"),
+            })?;
+            if id != u32::MAX {
+                point = point.with_label(ClassLabel(id));
+            }
+        }
+        match &mut data {
+            Some(d) => d.push(point)?,
+            None => {
+                let mut d = UncertainDataset::new(schema.dim);
+                d.push(point)?;
+                data = Some(d);
+            }
+        }
+    }
+    data.ok_or(UdmError::EmptyDataset)
+}
+
+/// Reads a dataset from a file. See [`read_csv`].
+pub fn read_csv_file(path: &Path, schema: Option<CsvSchema>) -> Result<UncertainDataset> {
+    let f = std::fs::File::open(path)?;
+    read_csv(f, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> UncertainDataset {
+        UncertainDataset::from_points(vec![
+            UncertainPoint::new(vec![1.5, -2.0], vec![0.1, 0.0])
+                .unwrap()
+                .with_label(ClassLabel(0)),
+            UncertainPoint::new(vec![3.25, 4.0], vec![0.0, 0.5])
+                .unwrap()
+                .with_label(ClassLabel(1)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_with_errors_and_labels() {
+        let d = sample();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &d).unwrap();
+        let back = read_csv(&buf[..], None).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn roundtrip_exact_unlabelled() {
+        let d = UncertainDataset::from_points(vec![
+            UncertainPoint::exact(vec![1.0]).unwrap(),
+            UncertainPoint::exact(vec![2.0]).unwrap(),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &d).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("#udm,dim=1,errors=0,labels=0"));
+        let back = read_csv(&buf[..], None).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn explicit_schema_overrides_missing_header() {
+        let csv = "1.0,2.0,7\n3.0,4.0,9\n";
+        let schema = CsvSchema {
+            dim: 2,
+            has_errors: false,
+            has_labels: true,
+        };
+        let d = read_csv(csv.as_bytes(), Some(schema)).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.point(0).label(), Some(ClassLabel(7)));
+    }
+
+    #[test]
+    fn missing_schema_is_parse_error() {
+        let e = read_csv("1.0,2.0\n".as_bytes(), None).unwrap_err();
+        assert!(matches!(e, UdmError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn wrong_column_count_reports_line() {
+        let csv = "#udm,dim=2,errors=0,labels=0\n1.0,2.0\n1.0\n";
+        let e = read_csv(csv.as_bytes(), None).unwrap_err();
+        assert!(matches!(e, UdmError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let csv = "#udm,dim=1,errors=0,labels=0\nabc\n";
+        let e = read_csv(csv.as_bytes(), None).unwrap_err();
+        assert!(matches!(e, UdmError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let csv = "#udm,dim=1,errors=0,labels=0\n\n# comment\n5.0\n";
+        let d = read_csv(csv.as_bytes(), None).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.point(0).value(0), 5.0);
+    }
+
+    #[test]
+    fn empty_input_is_empty_dataset_error() {
+        let e = read_csv("#udm,dim=1,errors=0,labels=0\n".as_bytes(), None).unwrap_err();
+        assert!(matches!(e, UdmError::EmptyDataset));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = sample();
+        let dir = std::env::temp_dir().join("udm_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.csv");
+        write_csv_file(&path, &d).unwrap();
+        let back = read_csv_file(&path, None).unwrap();
+        assert_eq!(back, d);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unlabelled_sentinel_roundtrips_among_labelled() {
+        let d = UncertainDataset::from_points(vec![
+            UncertainPoint::exact(vec![0.0])
+                .unwrap()
+                .with_label(ClassLabel(1)),
+            UncertainPoint::exact(vec![1.0]).unwrap(), // unlabelled
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &d).unwrap();
+        let back = read_csv(&buf[..], None).unwrap();
+        assert_eq!(back.point(1).label(), None);
+        assert_eq!(back.point(0).label(), Some(ClassLabel(1)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_dataset() -> impl Strategy<Value = UncertainDataset> {
+        (1usize..5).prop_flat_map(|dim| {
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(-1e6f64..1e6, dim..=dim),
+                    proptest::collection::vec(0.0f64..1e3, dim..=dim),
+                    proptest::option::of(0u32..6),
+                ),
+                1..30,
+            )
+            .prop_map(move |rows| {
+                let mut d = UncertainDataset::new(dim);
+                for (vs, es, label) in rows {
+                    let mut p = UncertainPoint::new(vs, es).unwrap();
+                    if let Some(l) = label {
+                        p = p.with_label(ClassLabel(l));
+                    }
+                    d.push(p).unwrap();
+                }
+                d
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn csv_roundtrip_is_exact(d in arb_dataset()) {
+            let mut buf = Vec::new();
+            write_csv(&mut buf, &d).unwrap();
+            let back = read_csv(&buf[..], None).unwrap();
+            prop_assert_eq!(back, d);
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Missing data and imputation with error tracking.
+//!
+//! The paper's introduction lists imputation as a primary source of
+//! quantified uncertainty: "in the case of missing data, imputation
+//! procedures can be used to estimate the missing values. If such
+//! procedures are used, then the statistical error of imputation for a
+//! given entry is often known a-priori."
+//!
+//! This module provides that pipeline: a missingness model that knocks
+//! out cells ([`MissingnessModel`]), an incomplete-data container
+//! ([`IncompleteDataset`]), and imputers that fill the holes *and record
+//! the imputation error* as the cell's ψ — producing an
+//! [`UncertainDataset`] ready for the error-adjusted machinery.
+
+use crate::synth::standard_normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use udm_core::{ClassLabel, Result, RunningStats, UdmError, UncertainDataset, UncertainPoint};
+
+/// A dataset with holes: `None` cells are missing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncompleteDataset {
+    dim: usize,
+    rows: Vec<IncompleteRow>,
+}
+
+/// One row of an [`IncompleteDataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncompleteRow {
+    /// Cell values; `None` = missing.
+    pub values: Vec<Option<f64>>,
+    /// Class label, if any.
+    pub label: Option<ClassLabel>,
+}
+
+impl IncompleteDataset {
+    /// Creates an empty incomplete dataset of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        IncompleteDataset { dim, rows: Vec::new() }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[IncompleteRow] {
+        &self.rows
+    }
+
+    /// Appends a row, validating arity.
+    pub fn push(&mut self, row: IncompleteRow) -> Result<()> {
+        if row.values.len() != self.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: row.values.len(),
+            });
+        }
+        for v in row.values.iter().flatten() {
+            if !v.is_finite() {
+                return Err(UdmError::InvalidValue {
+                    what: "cell value",
+                    value: *v,
+                });
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Fraction of missing cells.
+    pub fn missing_fraction(&self) -> f64 {
+        let total = self.rows.len() * self.dim;
+        if total == 0 {
+            return 0.0;
+        }
+        let missing = self
+            .rows
+            .iter()
+            .flat_map(|r| r.values.iter())
+            .filter(|v| v.is_none())
+            .count();
+        missing as f64 / total as f64
+    }
+}
+
+/// How cells go missing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MissingnessModel {
+    /// Missing completely at random: each cell is knocked out
+    /// independently with probability `rate`.
+    Mcar {
+        /// Per-cell missingness probability in `[0, 1)`.
+        rate: f64,
+    },
+    /// Entire dimensions are unreliable: cells of the listed dimensions
+    /// are knocked out with probability `rate`, others never.
+    PerDimension {
+        /// Per-cell missingness probability for the affected dimensions.
+        rate: f64,
+        /// Bitmask of affected dimensions (bit `j` = dimension `j`).
+        dims: u64,
+    },
+}
+
+impl MissingnessModel {
+    fn validate(&self) -> Result<()> {
+        let rate = match self {
+            MissingnessModel::Mcar { rate } | MissingnessModel::PerDimension { rate, .. } => {
+                *rate
+            }
+        };
+        if !(rate.is_finite() && (0.0..1.0).contains(&rate)) {
+            return Err(UdmError::InvalidValue {
+                what: "missingness rate",
+                value: rate,
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies the model to a complete dataset, deterministically under
+    /// `seed`.
+    pub fn apply(&self, data: &UncertainDataset, seed: u64) -> Result<IncompleteDataset> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = IncompleteDataset::new(data.dim());
+        for p in data.iter() {
+            let values = (0..data.dim())
+                .map(|j| {
+                    let knocked = match self {
+                        MissingnessModel::Mcar { rate } => rng.gen::<f64>() < *rate,
+                        MissingnessModel::PerDimension { rate, dims } => {
+                            (dims >> j) & 1 == 1 && rng.gen::<f64>() < *rate
+                        }
+                    };
+                    if knocked {
+                        None
+                    } else {
+                        Some(p.value(j))
+                    }
+                })
+                .collect();
+            out.push(IncompleteRow {
+                values,
+                label: p.label(),
+            })?;
+        }
+        Ok(out)
+    }
+}
+
+/// Mean imputation with error tracking: a missing cell of dimension `j`
+/// is filled with the column mean of the *observed* values and its error
+/// is recorded as the column's observed standard deviation — the a-priori
+/// standard error of mean imputation. Observed cells keep ψ = 0.
+///
+/// # Example
+///
+/// ```
+/// use udm_data::imputation::{impute_mean, IncompleteDataset, IncompleteRow};
+///
+/// let mut inc = IncompleteDataset::new(1);
+/// inc.push(IncompleteRow { values: vec![Some(2.0)], label: None }).unwrap();
+/// inc.push(IncompleteRow { values: vec![Some(4.0)], label: None }).unwrap();
+/// inc.push(IncompleteRow { values: vec![None], label: None }).unwrap();
+/// let imputed = impute_mean(&inc).unwrap();
+/// assert_eq!(imputed.point(2).value(0), 3.0); // column mean
+/// assert!(imputed.point(2).error(0) > 0.0);   // imputation error recorded
+/// ```
+///
+/// # Errors
+///
+/// [`UdmError::EmptyDataset`] if the input is empty or some column has no
+/// observed value at all.
+pub fn impute_mean(data: &IncompleteDataset) -> Result<UncertainDataset> {
+    if data.is_empty() {
+        return Err(UdmError::EmptyDataset);
+    }
+    let mut col_stats = vec![RunningStats::new(); data.dim()];
+    for row in data.rows() {
+        for (j, v) in row.values.iter().enumerate() {
+            if let Some(v) = v {
+                col_stats[j].push(*v);
+            }
+        }
+    }
+    for (j, st) in col_stats.iter().enumerate() {
+        if st.count() == 0 {
+            return Err(UdmError::InvalidConfig(format!(
+                "column {j} has no observed values to impute from"
+            )));
+        }
+    }
+    let mut out = UncertainDataset::new(data.dim());
+    for row in data.rows() {
+        let mut values = Vec::with_capacity(data.dim());
+        let mut errors = Vec::with_capacity(data.dim());
+        for (j, v) in row.values.iter().enumerate() {
+            match v {
+                Some(v) => {
+                    values.push(*v);
+                    errors.push(0.0);
+                }
+                None => {
+                    values.push(col_stats[j].mean());
+                    errors.push(col_stats[j].std_population());
+                }
+            }
+        }
+        let mut p = UncertainPoint::new(values, errors)?;
+        if let Some(l) = row.label {
+            p = p.with_label(l);
+        }
+        out.push(p)?;
+    }
+    Ok(out)
+}
+
+/// Stochastic ("hot-deck style") mean imputation: like [`impute_mean`]
+/// but the filled value is drawn from `N(mean_j, σ_j²)` instead of being
+/// the mean itself, which preserves column variance. The recorded error
+/// is still `σ_j`. Deterministic under `seed`.
+pub fn impute_stochastic(data: &IncompleteDataset, seed: u64) -> Result<UncertainDataset> {
+    let deterministic = impute_mean(data)?;
+    // Re-draw only the imputed cells (those with ψ > 0).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = UncertainDataset::new(data.dim());
+    for p in deterministic.iter() {
+        let mut values = p.values().to_vec();
+        for (j, slot) in values.iter_mut().enumerate() {
+            if p.error(j) > 0.0 {
+                *slot = p.value(j) + p.error(j) * standard_normal(&mut rng);
+            }
+        }
+        let mut q = UncertainPoint::new(values, p.errors().to_vec())?;
+        if let Some(l) = p.label() {
+            q = q.with_label(l);
+        }
+        out.push(q)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> UncertainDataset {
+        UncertainDataset::from_points(
+            (0..n)
+                .map(|i| {
+                    UncertainPoint::exact(vec![i as f64, (i * 2) as f64])
+                        .unwrap()
+                        .with_label(ClassLabel((i % 2) as u32))
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mcar_rate_respected() {
+        let d = complete(2000);
+        let inc = MissingnessModel::Mcar { rate: 0.3 }.apply(&d, 1).unwrap();
+        let frac = inc.missing_fraction();
+        assert!((frac - 0.3).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn mcar_zero_rate_keeps_everything() {
+        let d = complete(50);
+        let inc = MissingnessModel::Mcar { rate: 0.0 }.apply(&d, 1).unwrap();
+        assert_eq!(inc.missing_fraction(), 0.0);
+    }
+
+    #[test]
+    fn per_dimension_only_affects_listed_dims() {
+        let d = complete(500);
+        let inc = MissingnessModel::PerDimension {
+            rate: 0.5,
+            dims: 0b01, // only dimension 0
+        }
+        .apply(&d, 2)
+        .unwrap();
+        for row in inc.rows() {
+            assert!(row.values[1].is_some());
+        }
+        let dim0_missing = inc
+            .rows()
+            .iter()
+            .filter(|r| r.values[0].is_none())
+            .count();
+        assert!(dim0_missing > 150 && dim0_missing < 350);
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        let d = complete(5);
+        assert!(MissingnessModel::Mcar { rate: 1.0 }.apply(&d, 0).is_err());
+        assert!(MissingnessModel::Mcar { rate: -0.1 }.apply(&d, 0).is_err());
+        assert!(MissingnessModel::Mcar { rate: f64::NAN }.apply(&d, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = complete(100);
+        let a = MissingnessModel::Mcar { rate: 0.2 }.apply(&d, 9).unwrap();
+        let b = MissingnessModel::Mcar { rate: 0.2 }.apply(&d, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn impute_mean_fills_with_observed_mean_and_std() {
+        let mut inc = IncompleteDataset::new(1);
+        for v in [2.0, 4.0, 9.0] {
+            inc.push(IncompleteRow {
+                values: vec![Some(v)],
+                label: None,
+            })
+            .unwrap();
+        }
+        inc.push(IncompleteRow {
+            values: vec![None],
+            label: Some(ClassLabel(1)),
+        })
+        .unwrap();
+        let imputed = impute_mean(&inc).unwrap();
+        let p = imputed.point(3);
+        assert!((p.value(0) - 5.0).abs() < 1e-12);
+        // population std of (2,4,9): sqrt(26/3 ... ) compute: mean 5, devs (-3,-1,4), ssq 26, /3
+        assert!((p.error(0) - (26.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(p.label(), Some(ClassLabel(1)));
+        // observed rows keep psi = 0
+        assert!(imputed.point(0).is_exact());
+    }
+
+    #[test]
+    fn impute_mean_rejects_fully_missing_column() {
+        let mut inc = IncompleteDataset::new(2);
+        inc.push(IncompleteRow {
+            values: vec![Some(1.0), None],
+            label: None,
+        })
+        .unwrap();
+        assert!(impute_mean(&inc).is_err());
+    }
+
+    #[test]
+    fn impute_mean_rejects_empty() {
+        assert!(impute_mean(&IncompleteDataset::new(1)).is_err());
+    }
+
+    #[test]
+    fn stochastic_imputation_preserves_errors_and_spreads_values() {
+        let d = complete(400);
+        let inc = MissingnessModel::Mcar { rate: 0.4 }.apply(&d, 3).unwrap();
+        let det = impute_mean(&inc).unwrap();
+        let sto = impute_stochastic(&inc, 4).unwrap();
+        assert_eq!(det.len(), sto.len());
+        // Errors identical; imputed values differ for most imputed cells.
+        let mut differing = 0;
+        let mut imputed_cells = 0;
+        for (a, b) in det.iter().zip(sto.iter()) {
+            for j in 0..2 {
+                assert_eq!(a.error(j), b.error(j));
+                if a.error(j) > 0.0 {
+                    imputed_cells += 1;
+                    if (a.value(j) - b.value(j)).abs() > 1e-12 {
+                        differing += 1;
+                    }
+                } else {
+                    assert_eq!(a.value(j), b.value(j));
+                }
+            }
+        }
+        assert!(imputed_cells > 0);
+        assert_eq!(differing, imputed_cells);
+    }
+
+    #[test]
+    fn pipeline_feeds_error_adjusted_mining() {
+        // The end-to-end motivation: missing -> imputed-with-errors ->
+        // usable uncertain dataset.
+        let d = complete(100);
+        let inc = MissingnessModel::Mcar { rate: 0.25 }.apply(&d, 5).unwrap();
+        let imputed = impute_mean(&inc).unwrap();
+        assert_eq!(imputed.len(), 100);
+        assert!(imputed.iter().any(|p| !p.is_exact()));
+        assert!(imputed.iter().any(|p| p.is_exact()));
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut inc = IncompleteDataset::new(2);
+        assert!(inc
+            .push(IncompleteRow {
+                values: vec![Some(1.0)],
+                label: None
+            })
+            .is_err());
+        assert!(inc
+            .push(IncompleteRow {
+                values: vec![Some(f64::NAN), None],
+                label: None
+            })
+            .is_err());
+    }
+}

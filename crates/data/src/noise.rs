@@ -1,0 +1,304 @@
+//! The paper's error-injection model (§4).
+//!
+//! "For each entry, the standard deviation parameter of the normal
+//! distribution was chosen from a uniform distribution in the range
+//! `[0, 2·f]·σ`, where `σ` is the standard deviation of that dimension in
+//! the underlying data" — then the entry is displaced by a zero-mean
+//! normal with that standard deviation, and the chosen standard deviation
+//! is recorded as the cell's error estimate `ψ`.
+//!
+//! At `f = 3` the majority of entries are distorted by up to 3 column
+//! standard deviations, which reduces an error-oblivious classifier to
+//! near-random performance — the regime where the error-adjusted method
+//! shows its advantage.
+
+use crate::synth::standard_normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use udm_core::{Result, UdmError, UncertainDataset, UncertainPoint};
+
+/// How per-cell error standard deviations are chosen during injection.
+///
+/// # Example
+///
+/// ```
+/// use udm_core::{UncertainDataset, UncertainPoint};
+/// use udm_data::ErrorModel;
+///
+/// let clean = UncertainDataset::from_points(
+///     (0..50).map(|i| UncertainPoint::exact(vec![i as f64]).unwrap()).collect(),
+/// ).unwrap();
+/// let noisy = ErrorModel::paper(1.5).apply(&clean, 7).unwrap();
+/// assert_eq!(noisy.len(), 50);
+/// assert!(noisy.iter().any(|p| !p.is_exact())); // errors were recorded
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ErrorModel {
+    /// The paper's model: `ψ ~ U[0, 2f]·σ_j` per cell, value displaced by
+    /// `N(0, ψ²)`. The field is the error level `f`.
+    PaperUniform {
+        /// The error level `f` (the paper sweeps 0–3).
+        f: f64,
+    },
+    /// Every cell of dimension `j` gets the same fixed error `ψ_j`; values
+    /// are displaced by `N(0, ψ_j²)`.
+    FixedPerDimension {
+        /// Fixed error per dimension.
+        psis: Vec<f64>,
+    },
+    /// Heteroscedastic variant: like the paper's model but only a fraction
+    /// `p` of cells is perturbed (the rest stay exact) — models data where
+    /// only some sources are unreliable.
+    SparseUniform {
+        /// The error level `f` for perturbed cells.
+        f: f64,
+        /// Probability that a cell is perturbed at all.
+        p: f64,
+    },
+}
+
+impl ErrorModel {
+    /// The paper's model at error level `f`.
+    pub fn paper(f: f64) -> Self {
+        ErrorModel::PaperUniform { f }
+    }
+
+    fn validate(&self) -> Result<()> {
+        match self {
+            ErrorModel::PaperUniform { f } => {
+                if !(f.is_finite() && *f >= 0.0) {
+                    return Err(UdmError::InvalidValue {
+                        what: "error level f",
+                        value: *f,
+                    });
+                }
+            }
+            ErrorModel::FixedPerDimension { psis } => {
+                if psis.iter().any(|&p| !(p.is_finite() && p >= 0.0)) {
+                    return Err(UdmError::InvalidConfig(
+                        "fixed per-dimension errors must be finite and non-negative".into(),
+                    ));
+                }
+            }
+            ErrorModel::SparseUniform { f, p } => {
+                if !(f.is_finite() && *f >= 0.0) {
+                    return Err(UdmError::InvalidValue {
+                        what: "error level f",
+                        value: *f,
+                    });
+                }
+                if !(p.is_finite() && (0.0..=1.0).contains(p)) {
+                    return Err(UdmError::InvalidValue {
+                        what: "perturbation probability p",
+                        value: *p,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the model to a dataset, returning a perturbed copy whose
+    /// cells carry the injected error estimates. Labels and timestamps are
+    /// preserved. Deterministic under `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures; [`UdmError::EmptyDataset`] when the
+    /// input has no points (column σ would be undefined).
+    pub fn apply(&self, data: &UncertainDataset, seed: u64) -> Result<UncertainDataset> {
+        self.validate()?;
+        if data.is_empty() {
+            return Err(UdmError::EmptyDataset);
+        }
+        if let ErrorModel::FixedPerDimension { psis } = self {
+            if psis.len() != data.dim() {
+                return Err(UdmError::DimensionMismatch {
+                    expected: data.dim(),
+                    actual: psis.len(),
+                });
+            }
+        }
+        let sigmas: Vec<f64> = data.summaries().iter().map(|s| s.std).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = UncertainDataset::new(data.dim());
+        for p in data.iter() {
+            let mut values = Vec::with_capacity(data.dim());
+            let mut errors = Vec::with_capacity(data.dim());
+            for j in 0..data.dim() {
+                let psi = match self {
+                    ErrorModel::PaperUniform { f } => rng.gen::<f64>() * 2.0 * f * sigmas[j],
+                    ErrorModel::FixedPerDimension { psis } => psis[j],
+                    ErrorModel::SparseUniform { f, p } => {
+                        if rng.gen::<f64>() < *p {
+                            rng.gen::<f64>() * 2.0 * f * sigmas[j]
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                let displaced = p.value(j)
+                    + if psi > 0.0 {
+                        psi * standard_normal(&mut rng)
+                    } else {
+                        0.0
+                    };
+                values.push(displaced);
+                errors.push(psi);
+            }
+            let mut q = UncertainPoint::new(values, errors)?;
+            if let Some(l) = p.label() {
+                q = q.with_label(l);
+            }
+            out.push(q.with_timestamp(p.timestamp()))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udm_core::ClassLabel;
+
+    fn base(n: usize) -> UncertainDataset {
+        UncertainDataset::from_points(
+            (0..n)
+                .map(|i| {
+                    UncertainPoint::exact(vec![i as f64, (i % 7) as f64])
+                        .unwrap()
+                        .with_label(ClassLabel((i % 2) as u32))
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_f_is_identity_on_values() {
+        let d = base(50);
+        let noisy = ErrorModel::paper(0.0).apply(&d, 1).unwrap();
+        for (a, b) in d.iter().zip(noisy.iter()) {
+            assert_eq!(a.values(), b.values());
+            assert!(b.is_exact());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = base(50);
+        let a = ErrorModel::paper(1.5).apply(&d, 7).unwrap();
+        let b = ErrorModel::paper(1.5).apply(&d, 7).unwrap();
+        assert_eq!(a, b);
+        let c = ErrorModel::paper(1.5).apply(&d, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let d = base(20);
+        let noisy = ErrorModel::paper(2.0).apply(&d, 3).unwrap();
+        for (a, b) in d.iter().zip(noisy.iter()) {
+            assert_eq!(a.label(), b.label());
+        }
+    }
+
+    #[test]
+    fn errors_within_uniform_bound() {
+        let d = base(200);
+        let f = 1.2;
+        let sigmas: Vec<f64> = d.summaries().iter().map(|s| s.std).collect();
+        let noisy = ErrorModel::paper(f).apply(&d, 5).unwrap();
+        for p in noisy.iter() {
+            for (j, &sigma) in sigmas.iter().enumerate() {
+                assert!(p.error(j) >= 0.0);
+                assert!(p.error(j) <= 2.0 * f * sigma + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_error_scales_with_f() {
+        let d = base(500);
+        let mean_err = |f: f64| {
+            let noisy = ErrorModel::paper(f).apply(&d, 11).unwrap();
+            noisy.iter().map(|p| p.error(0)).sum::<f64>() / noisy.len() as f64
+        };
+        let e1 = mean_err(0.5);
+        let e2 = mean_err(2.0);
+        // expected mean psi = f * sigma, so ratio ≈ 4
+        assert!((e2 / e1 - 4.0).abs() < 0.5, "ratio {}", e2 / e1);
+    }
+
+    #[test]
+    fn displacement_statistics_match_recorded_errors() {
+        // Displacement of each cell should be ~N(0, psi^2): check the
+        // aggregate z-scores have roughly unit variance.
+        let d = base(2000);
+        let noisy = ErrorModel::paper(1.0).apply(&d, 13).unwrap();
+        let mut zs = Vec::new();
+        for (orig, pert) in d.iter().zip(noisy.iter()) {
+            let psi = pert.error(0);
+            if psi > 1e-9 {
+                zs.push((pert.value(0) - orig.value(0)) / psi);
+            }
+        }
+        let n = zs.len() as f64;
+        let mean = zs.iter().sum::<f64>() / n;
+        let var = zs.iter().map(|z| (z - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "z mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "z var {var}");
+    }
+
+    #[test]
+    fn fixed_model_uses_given_psis() {
+        let d = base(30);
+        let noisy = ErrorModel::FixedPerDimension {
+            psis: vec![0.5, 0.0],
+        }
+        .apply(&d, 2)
+        .unwrap();
+        for (orig, p) in d.iter().zip(noisy.iter()) {
+            assert_eq!(p.error(0), 0.5);
+            assert_eq!(p.error(1), 0.0);
+            // zero-psi dimension is undisplaced
+            assert_eq!(p.value(1), orig.value(1));
+        }
+    }
+
+    #[test]
+    fn fixed_model_validates_dim() {
+        let d = base(5);
+        assert!(ErrorModel::FixedPerDimension { psis: vec![0.1] }
+            .apply(&d, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn sparse_model_leaves_fraction_exact() {
+        let d = base(1000);
+        let noisy = ErrorModel::SparseUniform { f: 1.0, p: 0.3 }
+            .apply(&d, 17)
+            .unwrap();
+        let perturbed_cells = noisy
+            .iter()
+            .flat_map(|p| p.errors().iter().copied())
+            .filter(|&e| e > 0.0)
+            .count();
+        let frac = perturbed_cells as f64 / (1000.0 * 2.0);
+        assert!((frac - 0.3).abs() < 0.05, "fraction {frac}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let d = base(5);
+        assert!(ErrorModel::paper(-1.0).apply(&d, 0).is_err());
+        assert!(ErrorModel::paper(f64::NAN).apply(&d, 0).is_err());
+        assert!(ErrorModel::SparseUniform { f: 1.0, p: 1.5 }
+            .apply(&d, 0)
+            .is_err());
+        let empty = UncertainDataset::new(1);
+        assert!(ErrorModel::paper(1.0).apply(&empty, 0).is_err());
+    }
+}

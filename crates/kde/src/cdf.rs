@@ -1,0 +1,220 @@
+//! Closed-form CDF and interval-mass queries for one-dimensional
+//! error-based Gaussian mixtures.
+//!
+//! Because both the standard and the error-based kernels are Gaussians,
+//! the mixture CDF is a weighted sum of normal CDFs and can be evaluated
+//! exactly (to `erf` precision) — no quadrature required. This backs
+//! probability queries such as "what is the probability mass of the
+//! error-adjusted density below a threshold", which uncertain-data
+//! applications use for range predicates.
+
+use crate::estimator::ErrorKde;
+use udm_core::{Result, UdmError};
+
+/// `Φ(z)`, the standard normal CDF, via a high-accuracy `erf`
+/// approximation (Abramowitz & Stegun 7.1.26; |error| < 1.5e-7).
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// The error function `erf(x)` (A&S 7.1.26 polynomial approximation).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// CDF of a 1-D error-adjusted KDE at `x`: the average of per-point
+/// normal CDFs with standard deviations `√(h² + ψ_i²)`.
+///
+/// # Errors
+///
+/// [`UdmError::InvalidConfig`] if the estimator is not one-dimensional.
+pub fn kde_cdf(kde: &ErrorKde<'_>, x: f64) -> Result<f64> {
+    if kde.data().dim() != 1 {
+        return Err(UdmError::InvalidConfig(
+            "closed-form CDF requires a 1-dimensional estimator".into(),
+        ));
+    }
+    let h = kde.bandwidths()[0];
+    let mut total = 0.0;
+    for p in kde.data().iter() {
+        let psi = if kde.is_error_adjusted() { p.error(0) } else { 0.0 };
+        let sd = (h * h + psi * psi).sqrt();
+        total += if sd > 0.0 {
+            standard_normal_cdf((x - p.value(0)) / sd)
+        } else if x >= p.value(0) {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    Ok(total / kde.data().len() as f64)
+}
+
+/// Probability mass of the mixture in `[lo, hi]`.
+///
+/// # Errors
+///
+/// Same conditions as [`kde_cdf`]; additionally rejects `lo > hi`.
+pub fn kde_interval_mass(kde: &ErrorKde<'_>, lo: f64, hi: f64) -> Result<f64> {
+    if lo > hi {
+        return Err(UdmError::InvalidValue {
+            what: "interval bounds (lo > hi)",
+            value: lo - hi,
+        });
+    }
+    Ok((kde_cdf(kde, hi)? - kde_cdf(kde, lo)?).max(0.0))
+}
+
+/// Inverts the CDF by bisection: the `q`-quantile of the mixture.
+///
+/// # Errors
+///
+/// Same conditions as [`kde_cdf`]; rejects `q` outside `(0, 1)`.
+pub fn kde_quantile(kde: &ErrorKde<'_>, q: f64) -> Result<f64> {
+    if !(q.is_finite() && q > 0.0 && q < 1.0) {
+        return Err(UdmError::InvalidValue {
+            what: "quantile level",
+            value: q,
+        });
+    }
+    if kde.data().dim() != 1 {
+        return Err(UdmError::InvalidConfig(
+            "closed-form quantile requires a 1-dimensional estimator".into(),
+        ));
+    }
+    // Bracket: widest point ± enough deviations.
+    let h = kde.bandwidths()[0];
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for p in kde.data().iter() {
+        let sd = (h * h + p.error(0) * p.error(0)).sqrt();
+        lo = lo.min(p.value(0) - 10.0 * sd - 1.0);
+        hi = hi.max(p.value(0) + 10.0 * sd + 1.0);
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if kde_cdf(kde, mid)? < q {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::KdeConfig;
+    use udm_core::{UncertainDataset, UncertainPoint};
+
+    fn noisy_1d() -> UncertainDataset {
+        UncertainDataset::from_points(vec![
+            UncertainPoint::new(vec![0.0], vec![0.5]).unwrap(),
+            UncertainPoint::new(vec![2.0], vec![0.0]).unwrap(),
+            UncertainPoint::new(vec![5.0], vec![1.5]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // The A&S polynomial has absolute error < 1.5e-7, also at 0.
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        for z in [0.5, 1.0, 2.5] {
+            let s = standard_normal_cdf(z) + standard_normal_cdf(-z);
+            assert!((s - 1.0).abs() < 1e-7, "z={z}");
+        }
+    }
+
+    #[test]
+    fn cdf_limits_and_monotonicity() {
+        let d = noisy_1d();
+        let kde = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
+        assert!(kde_cdf(&kde, -100.0).unwrap() < 1e-6);
+        assert!(kde_cdf(&kde, 100.0).unwrap() > 1.0 - 1e-6);
+        let mut last = -1.0;
+        for i in -20..=20 {
+            let v = kde_cdf(&kde, i as f64 * 0.5).unwrap();
+            assert!(v >= last - 1e-12);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn cdf_matches_quadrature_of_pdf() {
+        let d = noisy_1d();
+        let kde = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
+        let by_quadrature = crate::quadrature::trapezoid(
+            |x| kde.density(&[x]).unwrap(),
+            -30.0,
+            3.0,
+            60_001,
+        );
+        let closed_form = kde_cdf(&kde, 3.0).unwrap();
+        assert!(
+            (by_quadrature - closed_form).abs() < 1e-5,
+            "{by_quadrature} vs {closed_form}"
+        );
+    }
+
+    #[test]
+    fn interval_mass_totals_one() {
+        let d = noisy_1d();
+        let kde = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
+        let m = kde_interval_mass(&kde, -100.0, 100.0).unwrap();
+        assert!((m - 1.0).abs() < 1e-6);
+        assert!(kde_interval_mass(&kde, 5.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = noisy_1d();
+        let kde = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
+        for q in [0.1, 0.5, 0.9] {
+            let x = kde_quantile(&kde, q).unwrap();
+            let back = kde_cdf(&kde, x).unwrap();
+            assert!((back - q).abs() < 1e-6, "q={q}: cdf(quantile)={back}");
+        }
+        assert!(kde_quantile(&kde, 0.0).is_err());
+        assert!(kde_quantile(&kde, 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_multidimensional_estimators() {
+        let d = UncertainDataset::from_points(vec![
+            UncertainPoint::exact(vec![0.0, 1.0]).unwrap(),
+            UncertainPoint::exact(vec![1.0, 0.0]).unwrap(),
+        ])
+        .unwrap();
+        let kde = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
+        assert!(kde_cdf(&kde, 0.0).is_err());
+        assert!(kde_quantile(&kde, 0.5).is_err());
+    }
+
+    #[test]
+    fn unadjusted_cdf_ignores_errors() {
+        let d = noisy_1d();
+        let adj = ErrorKde::fit(&d, KdeConfig::error_adjusted()).unwrap();
+        let unadj = ErrorKde::fit(&d, KdeConfig::unadjusted()).unwrap();
+        // Just left of the precise point at 2.0, the adjusted mixture has
+        // fatter tails from the noisy points, so CDFs differ.
+        let a = kde_cdf(&adj, 1.0).unwrap();
+        let u = kde_cdf(&unadj, 1.0).unwrap();
+        assert!((a - u).abs() > 1e-4, "{a} vs {u}");
+    }
+}

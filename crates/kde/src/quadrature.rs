@@ -1,0 +1,99 @@
+//! Simple numeric integration helpers.
+//!
+//! Used by the test suites (and available to examples) to verify that
+//! kernels and density estimates integrate to 1, and to compute mass in an
+//! interval when comparing error-adjusted and unadjusted densities.
+
+/// Composite trapezoidal rule for `∫_a^b f(x) dx` with `n ≥ 2` samples.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `a >= b`.
+pub fn trapezoid<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n >= 2, "trapezoid needs at least 2 samples");
+    assert!(a < b, "integration bounds must satisfy a < b");
+    let h = (b - a) / (n - 1) as f64;
+    let mut sum = 0.5 * (f(a) + f(b));
+    for i in 1..n - 1 {
+        sum += f(a + h * i as f64);
+    }
+    sum * h
+}
+
+/// Composite 2-D trapezoidal rule over the rectangle `[ax,bx] × [ay,by]`.
+pub fn trapezoid2d<F: Fn(f64, f64) -> f64>(
+    f: F,
+    (ax, bx): (f64, f64),
+    (ay, by): (f64, f64),
+    nx: usize,
+    ny: usize,
+) -> f64 {
+    assert!(nx >= 2 && ny >= 2, "trapezoid2d needs at least 2x2 samples");
+    let hx = (bx - ax) / (nx - 1) as f64;
+    let hy = (by - ay) / (ny - 1) as f64;
+    let mut total = 0.0;
+    for i in 0..nx {
+        let x = ax + hx * i as f64;
+        let wx = if i == 0 || i == nx - 1 { 0.5 } else { 1.0 };
+        for j in 0..ny {
+            let y = ay + hy * j as f64;
+            let wy = if j == 0 || j == ny - 1 { 0.5 } else { 1.0 };
+            total += wx * wy * f(x, y);
+        }
+    }
+    total * hx * hy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_constant() {
+        let v = trapezoid(|_| 2.0, 0.0, 3.0, 100);
+        assert!((v - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrates_linear_exactly() {
+        let v = trapezoid(|x| x, 0.0, 1.0, 2);
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrates_quadratic() {
+        let v = trapezoid(|x| x * x, 0.0, 1.0, 10_001);
+        assert!((v - 1.0 / 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn integrates_sine_over_period() {
+        let v = trapezoid(|x| x.sin(), 0.0, std::f64::consts::PI, 10_001);
+        assert!((v - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 samples")]
+    fn rejects_tiny_n() {
+        trapezoid(|_| 1.0, 0.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "a < b")]
+    fn rejects_inverted_bounds() {
+        trapezoid(|_| 1.0, 1.0, 0.0, 10);
+    }
+
+    #[test]
+    fn trapezoid2d_constant() {
+        let v = trapezoid2d(|_, _| 3.0, (0.0, 2.0), (0.0, 5.0), 50, 50);
+        assert!((v - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trapezoid2d_separable_product() {
+        // ∫∫ x·y over [0,1]² = 1/4
+        let v = trapezoid2d(|x, y| x * y, (0.0, 1.0), (0.0, 1.0), 101, 101);
+        assert!((v - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,403 @@
+//! Micro-cluster kernel density estimation (Eqs. 9–10).
+//!
+//! Each micro-cluster contributes one error-based kernel centred at its
+//! centroid with width `√(h² + Δ(C)²)` (Eq. 9), weighted by its member
+//! count (Eq. 10):
+//!
+//! ```text
+//! f^Q(x) = (1/N) · Σ_i n(C_i) · Q'_h(x − c(C_i), Δ(C_i))
+//! ```
+//!
+//! Evaluation cost is `O(q·|S|)` per query — independent of the original
+//! data size `N`, which is the entire point of the compression (§2.1).
+
+use crate::feature::MicroCluster;
+use crate::pseudo::PseudoPoint;
+use udm_core::{Result, Subspace, UdmError};
+use udm_kde::{ErrorKernelForm, GaussianErrorKernel, KdeConfig};
+
+/// Density estimator over micro-cluster summaries.
+///
+/// Built once from a slice of clusters (one pre-processing step, as in
+/// §3); queries can then be evaluated over any subspace without touching
+/// the original data.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MicroClusterKde {
+    pseudos: Vec<PseudoPoint>,
+    bandwidths: Vec<f64>,
+    kernel: GaussianErrorKernel,
+    total_n: u64,
+    dim: usize,
+}
+
+impl MicroClusterKde {
+    /// Fits the estimator from micro-cluster statistics.
+    ///
+    /// Bandwidths follow the configured rule using the *global* column
+    /// standard deviations reconstructed from the aggregated cluster
+    /// statistics (`Σ CF1`, `Σ CF2`, `Σ n`), and `N = Σ n(C_i)` — i.e. the
+    /// same `1.06·σ·N^{−1/5}` the exact estimator would use, recovered
+    /// without a second pass over the data.
+    ///
+    /// `config.error_adjusted` selects whether pseudo-point errors include
+    /// the `EF2` term (Lemma 1) or only the within-cluster spread, which is
+    /// the unadjusted baseline's behaviour.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::EmptyDataset`] when `clusters` is empty or all empty;
+    /// [`UdmError::DimensionMismatch`] on ragged dimensionality.
+    pub fn fit(clusters: &[MicroCluster], config: KdeConfig) -> Result<Self> {
+        let non_empty: Vec<&MicroCluster> = clusters.iter().filter(|c| !c.is_empty()).collect();
+        let first = non_empty.first().ok_or(UdmError::EmptyDataset)?;
+        let dim = first.dim();
+        for c in &non_empty {
+            if c.dim() != dim {
+                return Err(UdmError::DimensionMismatch {
+                    expected: dim,
+                    actual: c.dim(),
+                });
+            }
+        }
+
+        // Aggregate global statistics to recover per-dimension sigma and N.
+        let mut agg = MicroCluster::new(dim);
+        for c in &non_empty {
+            agg.merge(c)?;
+        }
+        let total_n = agg.n();
+        let sigmas: Vec<f64> = (0..dim).map(|j| agg.variance(j).sqrt()).collect();
+        let bandwidths = config
+            .bandwidth
+            .bandwidths_from_sigmas(&sigmas, total_n as usize)?;
+
+        let pseudos = non_empty
+            .iter()
+            .map(|c| PseudoPoint::from_cluster(c, config.error_adjusted))
+            .collect::<Result<Vec<_>>>()?;
+
+        Ok(MicroClusterKde {
+            pseudos,
+            bandwidths,
+            kernel: GaussianErrorKernel::new(config.form),
+            total_n,
+            dim,
+        })
+    }
+
+    /// Fits with explicitly supplied per-dimension bandwidths (used by the
+    /// classifier so class-conditional densities and the global density
+    /// share one bandwidth vector, keeping Eq. 11's ratio consistent).
+    pub fn fit_with_bandwidths(
+        clusters: &[MicroCluster],
+        bandwidths: Vec<f64>,
+        form: ErrorKernelForm,
+        error_adjusted: bool,
+    ) -> Result<Self> {
+        let non_empty: Vec<&MicroCluster> = clusters.iter().filter(|c| !c.is_empty()).collect();
+        let first = non_empty.first().ok_or(UdmError::EmptyDataset)?;
+        let dim = first.dim();
+        if bandwidths.len() != dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: dim,
+                actual: bandwidths.len(),
+            });
+        }
+        for &h in &bandwidths {
+            if !(h.is_finite() && h > 0.0) {
+                return Err(UdmError::InvalidValue {
+                    what: "bandwidth",
+                    value: h,
+                });
+            }
+        }
+        let mut total_n = 0;
+        let mut pseudos = Vec::with_capacity(non_empty.len());
+        for c in &non_empty {
+            if c.dim() != dim {
+                return Err(UdmError::DimensionMismatch {
+                    expected: dim,
+                    actual: c.dim(),
+                });
+            }
+            total_n += c.n();
+            pseudos.push(PseudoPoint::from_cluster(c, error_adjusted)?);
+        }
+        Ok(MicroClusterKde {
+            pseudos,
+            bandwidths,
+            kernel: GaussianErrorKernel::new(form),
+            total_n,
+            dim,
+        })
+    }
+
+    /// Dimensionality of the estimator.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of original points represented (`N`).
+    pub fn total_points(&self) -> u64 {
+        self.total_n
+    }
+
+    /// Number of pseudo-points (micro-clusters) in the mixture.
+    pub fn num_pseudo_points(&self) -> usize {
+        self.pseudos.len()
+    }
+
+    /// The fitted (or supplied) per-dimension bandwidths.
+    pub fn bandwidths(&self) -> &[f64] {
+        &self.bandwidths
+    }
+
+    /// Density at `x` over the full dimensionality (Eq. 10).
+    pub fn density(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        self.density_subspace(x, Subspace::full(self.dim)?)
+    }
+
+    /// Density at `x` over subspace `S` — the compressed analogue of the
+    /// exact `g(x, S, D)`. `x` is in full-dimensional coordinates.
+    pub fn density_subspace(&self, x: &[f64], subspace: Subspace) -> Result<f64> {
+        self.density_subspace_with_error(x, None, subspace)
+    }
+
+    /// Like [`Self::density_subspace`], but additionally convolves each
+    /// kernel with the *query point's own* error `ψ(x)`:
+    /// the per-dimension kernel variance becomes `h² + Δ² + ψ_j(x)²`.
+    ///
+    /// This is the density of observing the noisy measurement `x` under
+    /// the mixture — the paper's Figure 1 scenario, where the test
+    /// example's own error boundary determines which training structure it
+    /// could plausibly coincide with. With `query_errors = None` (or all
+    /// zeros) it reduces to the plain estimate.
+    pub fn density_subspace_with_error(
+        &self,
+        x: &[f64],
+        query_errors: Option<&[f64]>,
+        subspace: Subspace,
+    ) -> Result<f64> {
+        if x.len() != self.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        if let Some(errs) = query_errors {
+            if errs.len() != self.dim {
+                return Err(UdmError::DimensionMismatch {
+                    expected: self.dim,
+                    actual: errs.len(),
+                });
+            }
+        }
+        subspace.validate_for(self.dim)?;
+        if subspace.is_empty() {
+            return Err(UdmError::InvalidConfig(
+                "cannot evaluate a density over the empty subspace".into(),
+            ));
+        }
+        let mut sum = 0.0;
+        for p in &self.pseudos {
+            let mut prod = p.weight as f64;
+            for j in subspace.dims() {
+                let psi = match query_errors {
+                    Some(errs) => (p.delta[j] * p.delta[j] + errs[j] * errs[j]).sqrt(),
+                    None => p.delta[j],
+                };
+                prod *= self
+                    .kernel
+                    .evaluate(x[j] - p.centroid[j], self.bandwidths[j], psi);
+                if prod == 0.0 {
+                    break;
+                }
+            }
+            sum += prod;
+        }
+        Ok(sum / self.total_n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maintainer::{MaintainerConfig, MicroClusterMaintainer};
+    use udm_core::{UncertainDataset, UncertainPoint};
+    use udm_kde::quadrature::trapezoid;
+    use udm_kde::{BandwidthRule, ErrorKde};
+
+    fn pt(v: f64, e: f64) -> UncertainPoint {
+        UncertainPoint::new(vec![v], vec![e]).unwrap()
+    }
+
+    fn dataset_1d(n: usize) -> UncertainDataset {
+        // deterministic pseudo-random-ish spread with varying errors
+        UncertainDataset::from_points(
+            (0..n)
+                .map(|i| {
+                    let x = (i as f64 * 0.618_033_988_749).fract() * 10.0;
+                    let e = (i % 5) as f64 * 0.1;
+                    pt(x, e)
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_clusters_rejected() {
+        assert!(MicroClusterKde::fit(&[], KdeConfig::default()).is_err());
+        assert!(MicroClusterKde::fit(&[MicroCluster::new(2)], KdeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn singleton_clusters_reproduce_exact_kde() {
+        // One point per cluster (q = N): the micro-cluster density must
+        // equal the exact point-based density: each pseudo-point has zero
+        // bias so Δ = ψ, and bandwidths agree by construction.
+        let d = dataset_1d(40);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(40)).unwrap();
+        let mc = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+        let exact = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
+        for x in [-1.0, 0.0, 2.5, 5.0, 9.9, 12.0] {
+            let a = mc.density(&[x]).unwrap();
+            let b = exact.density(&[x]).unwrap();
+            assert!((a - b).abs() < 1e-9, "x={x}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn compressed_density_approximates_exact() {
+        let d = dataset_1d(500);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(60)).unwrap();
+        let mc = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+        let exact = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
+        // L1-style check over a coarse grid: compression error is bounded.
+        let mut total_abs = 0.0;
+        let mut total = 0.0;
+        for i in 0..100 {
+            let x = -2.0 + 14.0 * i as f64 / 99.0;
+            let a = mc.density(&[x]).unwrap();
+            let b = exact.density(&[x]).unwrap();
+            total_abs += (a - b).abs();
+            total += b;
+        }
+        assert!(
+            total_abs / total < 0.2,
+            "relative L1 error {}",
+            total_abs / total
+        );
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let d = dataset_1d(200);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(20)).unwrap();
+        let mc = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+        let mass = trapezoid(|x| mc.density(&[x]).unwrap(), -40.0, 50.0, 40_001);
+        assert!((mass - 1.0).abs() < 1e-6, "mass={mass}");
+    }
+
+    #[test]
+    fn weighting_by_cluster_size() {
+        // Two clusters: one with 9 points at 0, one with 1 point at 10.
+        let mut big = MicroCluster::new(1);
+        for _ in 0..9 {
+            big.insert(&pt(0.0, 0.0)).unwrap();
+        }
+        let small = MicroCluster::from_point(&pt(10.0, 0.0));
+        let mc = MicroClusterKde::fit_with_bandwidths(
+            &[big, small],
+            vec![1.0],
+            ErrorKernelForm::Normalized,
+            true,
+        )
+        .unwrap();
+        let at_big = mc.density(&[0.0]).unwrap();
+        let at_small = mc.density(&[10.0]).unwrap();
+        assert!((at_big / at_small - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subspace_evaluation_ignores_other_dims() {
+        let points = vec![
+            UncertainPoint::new(vec![0.0, 100.0], vec![0.1, 5.0]).unwrap(),
+            UncertainPoint::new(vec![1.0, -100.0], vec![0.2, 5.0]).unwrap(),
+            UncertainPoint::new(vec![2.0, 0.0], vec![0.0, 5.0]).unwrap(),
+        ];
+        let d = UncertainDataset::from_points(points).unwrap();
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(3)).unwrap();
+        let mc = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+        let s0 = Subspace::singleton(0).unwrap();
+        let a = mc.density_subspace(&[1.0, 999.0], s0).unwrap();
+        let b = mc.density_subspace(&[1.0, -999.0], s0).unwrap();
+        assert!((a - b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unadjusted_excludes_member_errors() {
+        let mut c = MicroCluster::new(1);
+        c.insert(&pt(0.0, 5.0)).unwrap();
+        c.insert(&pt(1.0, 5.0)).unwrap();
+        let adj = MicroClusterKde::fit_with_bandwidths(
+            std::slice::from_ref(&c),
+            vec![0.5],
+            ErrorKernelForm::Normalized,
+            true,
+        )
+        .unwrap();
+        let unadj = MicroClusterKde::fit_with_bandwidths(
+            std::slice::from_ref(&c),
+            vec![0.5],
+            ErrorKernelForm::Normalized,
+            false,
+        )
+        .unwrap();
+        // Adjusted spreads much wider -> lower peak at the centroid.
+        assert!(adj.density(&[0.5]).unwrap() < unadj.density(&[0.5]).unwrap());
+    }
+
+    #[test]
+    fn fit_with_bandwidths_validates() {
+        let c = MicroCluster::from_point(&pt(0.0, 0.0));
+        assert!(MicroClusterKde::fit_with_bandwidths(
+            std::slice::from_ref(&c),
+            vec![1.0, 1.0],
+            ErrorKernelForm::Normalized,
+            true
+        )
+        .is_err());
+        assert!(MicroClusterKde::fit_with_bandwidths(
+            std::slice::from_ref(&c),
+            vec![0.0],
+            ErrorKernelForm::Normalized,
+            true
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn query_arity_validated() {
+        let d = dataset_1d(10);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(4)).unwrap();
+        let mc = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+        assert!(mc.density(&[0.0, 1.0]).is_err());
+        assert!(mc.density_subspace(&[0.0], Subspace::EMPTY).is_err());
+    }
+
+    #[test]
+    fn bandwidths_recovered_from_aggregate_match_exact() {
+        let d = dataset_1d(100);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(100)).unwrap();
+        let mc = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+        let hs = BandwidthRule::Silverman.bandwidths(&d).unwrap();
+        assert!((mc.bandwidths()[0] - hs[0]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,197 @@
+//! Operational diagnostics over micro-cluster summaries.
+//!
+//! The paper sizes `q` by available main memory and argues the summary's
+//! granularity drives downstream quality (Figs. 5, 7). These helpers
+//! quantify that granularity — cluster occupancy balance, spatial radii,
+//! error mass — so operators can tell *before* mining whether a summary
+//! is healthy (e.g. a few clusters holding most of the stream means `q`
+//! or the assignment metric needs attention).
+
+use crate::feature::MicroCluster;
+use crate::pseudo::PseudoPoint;
+use serde::{Deserialize, Serialize};
+use udm_core::{Result, UdmError};
+
+/// Aggregate health report over a set of micro-clusters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryDiagnostics {
+    /// Number of non-empty clusters.
+    pub clusters: usize,
+    /// Total points represented.
+    pub total_points: u64,
+    /// Smallest cluster occupancy.
+    pub min_occupancy: u64,
+    /// Largest cluster occupancy.
+    pub max_occupancy: u64,
+    /// Mean cluster occupancy.
+    pub mean_occupancy: f64,
+    /// Occupancy imbalance: fraction of all points held by the largest
+    /// 10% of clusters (0.1 = perfectly balanced, →1 = degenerate).
+    pub top_decile_share: f64,
+    /// Mean RMS spatial radius (√ of the mean per-dimension variance),
+    /// averaged over clusters.
+    pub mean_radius: f64,
+    /// Mean pseudo-point error ‖Δ(C)‖/√d, averaged over clusters — how
+    /// much smoothing Lemma 1 will inject downstream.
+    pub mean_delta: f64,
+}
+
+impl std::fmt::Display for SummaryDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} clusters / {} points (occupancy {}..{}, mean {:.1}, top-decile share {:.2}); \
+             mean radius {:.3}, mean Δ {:.3}",
+            self.clusters,
+            self.total_points,
+            self.min_occupancy,
+            self.max_occupancy,
+            self.mean_occupancy,
+            self.top_decile_share,
+            self.mean_radius,
+            self.mean_delta
+        )
+    }
+}
+
+/// Computes diagnostics; empty clusters are ignored.
+///
+/// # Errors
+///
+/// [`UdmError::EmptyDataset`] when every cluster is empty.
+pub fn diagnose(clusters: &[MicroCluster]) -> Result<SummaryDiagnostics> {
+    let non_empty: Vec<&MicroCluster> = clusters.iter().filter(|c| !c.is_empty()).collect();
+    if non_empty.is_empty() {
+        return Err(UdmError::EmptyDataset);
+    }
+    let mut occupancies: Vec<u64> = non_empty.iter().map(|c| c.n()).collect();
+    occupancies.sort_unstable();
+    let total_points: u64 = occupancies.iter().sum();
+    let clusters_n = non_empty.len();
+
+    let top_decile_count = (clusters_n as f64 * 0.1).ceil() as usize;
+    let top_decile_points: u64 = occupancies
+        .iter()
+        .rev()
+        .take(top_decile_count.max(1))
+        .sum();
+
+    let mut radius_sum = 0.0;
+    let mut delta_sum = 0.0;
+    for c in &non_empty {
+        let d = c.dim() as f64;
+        let mean_var: f64 = (0..c.dim()).map(|j| c.variance(j)).sum::<f64>() / d;
+        radius_sum += mean_var.sqrt();
+        let pseudo = PseudoPoint::from_cluster(c, true)?;
+        let delta_norm_sq: f64 = pseudo.delta.iter().map(|x| x * x).sum();
+        delta_sum += (delta_norm_sq / d).sqrt();
+    }
+
+    Ok(SummaryDiagnostics {
+        clusters: clusters_n,
+        total_points,
+        min_occupancy: occupancies[0],
+        max_occupancy: occupancies[clusters_n - 1],
+        mean_occupancy: total_points as f64 / clusters_n as f64,
+        top_decile_share: top_decile_points as f64 / total_points as f64,
+        mean_radius: radius_sum / clusters_n as f64,
+        mean_delta: delta_sum / clusters_n as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maintainer::{MaintainerConfig, MicroClusterMaintainer};
+    use udm_core::{UncertainDataset, UncertainPoint};
+
+    fn uniformish(n: usize, psi: f64) -> UncertainDataset {
+        UncertainDataset::from_points(
+            (0..n)
+                .map(|i| {
+                    let x = (i as f64 * 0.618_033_988_749).fract() * 10.0;
+                    UncertainPoint::new(vec![x], vec![psi]).unwrap()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(diagnose(&[]).is_err());
+        assert!(diagnose(&[MicroCluster::new(2)]).is_err());
+    }
+
+    #[test]
+    fn totals_and_occupancy_ranges() {
+        let d = uniformish(500, 0.1);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(20)).unwrap();
+        let diag = diagnose(m.clusters()).unwrap();
+        assert_eq!(diag.clusters, 20);
+        assert_eq!(diag.total_points, 500);
+        assert!(diag.min_occupancy >= 1);
+        assert!(diag.max_occupancy <= 500);
+        assert!((diag.mean_occupancy - 25.0).abs() < 1e-12);
+        assert!(diag.min_occupancy <= diag.max_occupancy);
+    }
+
+    #[test]
+    fn balanced_summary_has_low_decile_share() {
+        let d = uniformish(2000, 0.0);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(20)).unwrap();
+        let diag = diagnose(m.clusters()).unwrap();
+        // Uniform-ish data: top 10% of clusters should hold well under
+        // half the stream.
+        assert!(diag.top_decile_share < 0.5, "{diag:?}");
+        assert!(diag.top_decile_share >= 0.1 - 1e-9);
+    }
+
+    #[test]
+    fn degenerate_summary_detected() {
+        // One dominant mode: most points collapse into few clusters.
+        let mut points: Vec<UncertainPoint> = (0..950)
+            .map(|_| UncertainPoint::exact(vec![0.0]).unwrap())
+            .collect();
+        for i in 0..50 {
+            points.push(UncertainPoint::exact(vec![100.0 + i as f64]).unwrap());
+        }
+        let d = UncertainDataset::from_points(points).unwrap();
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(10)).unwrap();
+        let diag = diagnose(m.clusters()).unwrap();
+        assert!(diag.top_decile_share > 0.5, "{diag:?}");
+    }
+
+    #[test]
+    fn mean_delta_tracks_member_errors() {
+        let clean = uniformish(400, 0.0);
+        let noisy = uniformish(400, 3.0);
+        let mc = |d: &UncertainDataset| {
+            let m = MicroClusterMaintainer::from_dataset(d, MaintainerConfig::new(15)).unwrap();
+            diagnose(m.clusters()).unwrap()
+        };
+        let a = mc(&clean);
+        let b = mc(&noisy);
+        assert!(b.mean_delta > a.mean_delta + 2.0, "{a:?} vs {b:?}");
+        // Radius (value spread) is identical — only the error mass grew.
+        assert!((a.mean_radius - b.mean_radius).abs() < 0.2);
+    }
+
+    #[test]
+    fn display_renders_summary() {
+        let d = uniformish(100, 0.2);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(5)).unwrap();
+        let text = diagnose(m.clusters()).unwrap().to_string();
+        assert!(text.contains("5 clusters / 100 points"), "{text}");
+    }
+
+    #[test]
+    fn radius_tracks_granularity() {
+        let d = uniformish(1000, 0.0);
+        let coarse = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(4)).unwrap();
+        let fine = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(100)).unwrap();
+        let dc = diagnose(coarse.clusters()).unwrap();
+        let df = diagnose(fine.clusters()).unwrap();
+        assert!(dc.mean_radius > df.mean_radius, "{dc:?} vs {df:?}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Pseudo-points: micro-clusters viewed as single weighted uncertain
+//! points with the combined error of Lemma 1.
+
+use crate::feature::MicroCluster;
+use serde::{Deserialize, Serialize};
+use udm_core::{Result, UdmError};
+
+/// A micro-cluster collapsed to one weighted point.
+///
+/// Lemma 1: treating each member `X` as an observation of the cluster's
+/// centroid with bias `X − c(C)` and variance `ψ(X)²`, the pseudo-point's
+/// mean squared error per dimension is
+///
+/// ```text
+/// Δ_j(C)² = CF2x_j/r − (CF1x_j/r)² + EF2_j/r
+///         = within-cluster variance + mean squared member error
+/// ```
+///
+/// The kernel of Eq. 9 uses the corresponding standard error
+/// `Δ_j(C) = √(Δ_j(C)²)` exactly where the point kernel uses `ψ_j`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PseudoPoint {
+    /// Centroid `c(C)`.
+    pub centroid: Vec<f64>,
+    /// Per-dimension standard error `Δ_j(C)`.
+    pub delta: Vec<f64>,
+    /// Weight `n(C)` — the number of original points the pseudo-point
+    /// stands for (Eq. 10 weights kernels by this count).
+    pub weight: u64,
+}
+
+impl PseudoPoint {
+    /// Builds the pseudo-point for a micro-cluster.
+    ///
+    /// When `error_adjusted` is `false` the `EF2` term is dropped, so Δ
+    /// reduces to the pure within-cluster spread — this is the switch used
+    /// by the unadjusted baseline classifier.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::EmptyDataset`] for an empty cluster.
+    pub fn from_cluster(cluster: &MicroCluster, error_adjusted: bool) -> Result<Self> {
+        let centroid = cluster.centroid().ok_or(UdmError::EmptyDataset)?;
+        let delta = (0..cluster.dim())
+            .map(|j| {
+                let mut dsq = cluster.variance(j);
+                if error_adjusted {
+                    dsq += cluster.mean_squared_error(j);
+                }
+                dsq.max(0.0).sqrt()
+            })
+            .collect();
+        Ok(PseudoPoint {
+            centroid,
+            delta,
+            weight: cluster.n(),
+        })
+    }
+
+    /// Dimensionality of the pseudo-point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.centroid.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udm_core::UncertainPoint;
+
+    fn pt(values: &[f64], errors: &[f64]) -> UncertainPoint {
+        UncertainPoint::new(values.to_vec(), errors.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn empty_cluster_is_rejected() {
+        let c = MicroCluster::new(2);
+        assert!(PseudoPoint::from_cluster(&c, true).is_err());
+    }
+
+    #[test]
+    fn lemma1_matches_direct_average() {
+        // Δ_j² must equal the direct average of bias² + ψ² over members.
+        let members = [
+            pt(&[1.0, 10.0], &[0.5, 1.0]),
+            pt(&[3.0, 12.0], &[0.0, 2.0]),
+            pt(&[2.0, 14.0], &[1.5, 0.0]),
+        ];
+        let mut c = MicroCluster::new(2);
+        for m in &members {
+            c.insert(m).unwrap();
+        }
+        let p = PseudoPoint::from_cluster(&c, true).unwrap();
+        let centroid = c.centroid().unwrap();
+        for (j, &centre) in centroid.iter().enumerate() {
+            let direct: f64 = members
+                .iter()
+                .map(|m| {
+                    let bias = m.value(j) - centre;
+                    bias * bias + m.error(j) * m.error(j)
+                })
+                .sum::<f64>()
+                / members.len() as f64;
+            assert!(
+                (p.delta[j] * p.delta[j] - direct).abs() < 1e-9,
+                "dim {j}: {} vs {direct}",
+                p.delta[j] * p.delta[j]
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_cluster_delta_equals_member_error() {
+        let c = MicroCluster::from_point(&pt(&[5.0], &[1.25]));
+        let p = PseudoPoint::from_cluster(&c, true).unwrap();
+        assert_eq!(p.centroid, vec![5.0]);
+        assert!((p.delta[0] - 1.25).abs() < 1e-12);
+        assert_eq!(p.weight, 1);
+    }
+
+    #[test]
+    fn unadjusted_drops_error_term() {
+        let mut c = MicroCluster::new(1);
+        c.insert(&pt(&[0.0], &[3.0])).unwrap();
+        c.insert(&pt(&[2.0], &[3.0])).unwrap();
+        let adj = PseudoPoint::from_cluster(&c, true).unwrap();
+        let unadj = PseudoPoint::from_cluster(&c, false).unwrap();
+        // within-cluster variance = 1 (values 0,2); EF2/n = 9
+        assert!((unadj.delta[0] - 1.0).abs() < 1e-12);
+        assert!((adj.delta[0] - (10.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_singleton_has_zero_delta() {
+        let c = MicroCluster::from_point(&pt(&[7.0, -1.0], &[0.0, 0.0]));
+        let p = PseudoPoint::from_cluster(&c, true).unwrap();
+        assert_eq!(p.delta, vec![0.0, 0.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use udm_core::UncertainPoint;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn lemma1_property(
+            rows in proptest::collection::vec((-100.0f64..100.0, 0.0f64..10.0), 1..40)
+        ) {
+            let points: Vec<UncertainPoint> = rows
+                .iter()
+                .map(|&(v, e)| UncertainPoint::new(vec![v], vec![e]).unwrap())
+                .collect();
+            let mut c = MicroCluster::new(1);
+            for p in &points {
+                c.insert(p).unwrap();
+            }
+            let pseudo = PseudoPoint::from_cluster(&c, true).unwrap();
+            let centroid = c.centroid().unwrap()[0];
+            let direct: f64 = points
+                .iter()
+                .map(|p| {
+                    let bias = p.value(0) - centroid;
+                    bias * bias + p.error(0) * p.error(0)
+                })
+                .sum::<f64>() / points.len() as f64;
+            prop_assert!((pseudo.delta[0].powi(2) - direct).abs() < 1e-5);
+        }
+
+        #[test]
+        fn delta_at_least_unadjusted(
+            rows in proptest::collection::vec((-100.0f64..100.0, 0.0f64..10.0), 1..40)
+        ) {
+            let mut c = MicroCluster::new(1);
+            for &(v, e) in &rows {
+                c.insert(&UncertainPoint::new(vec![v], vec![e]).unwrap()).unwrap();
+            }
+            let adj = PseudoPoint::from_cluster(&c, true).unwrap();
+            let unadj = PseudoPoint::from_cluster(&c, false).unwrap();
+            prop_assert!(adj.delta[0] + 1e-12 >= unadj.delta[0]);
+        }
+    }
+}

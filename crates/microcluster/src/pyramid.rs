@@ -1,0 +1,358 @@
+//! Pyramidal time frame: snapshots of micro-cluster state at
+//! geometrically spaced moments, enabling *horizon queries* over streams.
+//!
+//! The paper's micro-clusters come from the CluStream framework (reference \[2\]),
+//! whose second pillar is the pyramidal time frame: summaries are stored
+//! at timestamps of different *orders* (multiples of `α^i`), keeping only
+//! the most recent few per order. Because the `CFT` statistics of
+//! Definition 1 are **additive**, the summary of any time window
+//! `(t₁, t₂]` can be reconstructed by component-wise *subtraction* of the
+//! snapshot at `t₁` from the snapshot at `t₂` — giving densities and
+//! classifiers "over the last hour" from O(log t) stored summaries.
+//!
+//! Subtraction is exact here because this crate's maintainer never
+//! creates or discards clusters after warm-up (the paper's variation),
+//! so cluster `i` at time `t₁` is always a prefix of cluster `i` at
+//! `t₂ ≥ t₁`.
+
+use crate::feature::MicroCluster;
+use serde::{Deserialize, Serialize};
+use udm_core::{Result, UdmError};
+
+/// Subtracts `earlier` from `later` component-wise: the statistics of
+/// exactly the points that arrived in between.
+///
+/// # Errors
+///
+/// [`UdmError::DimensionMismatch`] on differing dimensionality;
+/// [`UdmError::InvalidConfig`] if `earlier` is not a prefix of `later`
+/// (more points, or larger sums than the later snapshot on any
+/// accumulator — which would produce a physically impossible summary).
+pub fn subtract_clusters(later: &MicroCluster, earlier: &MicroCluster) -> Result<MicroCluster> {
+    if later.dim() != earlier.dim() {
+        return Err(UdmError::DimensionMismatch {
+            expected: later.dim(),
+            actual: earlier.dim(),
+        });
+    }
+    if earlier.n() > later.n() {
+        return Err(UdmError::InvalidConfig(
+            "earlier snapshot has more points than the later one".into(),
+        ));
+    }
+    let dim = later.dim();
+    let mut cf1 = Vec::with_capacity(dim);
+    let mut cf2 = Vec::with_capacity(dim);
+    let mut ef2 = Vec::with_capacity(dim);
+    for j in 0..dim {
+        cf1.push(later.cf1()[j] - earlier.cf1()[j]);
+        let d2 = later.cf2()[j] - earlier.cf2()[j];
+        let e2 = later.ef2()[j] - earlier.ef2()[j];
+        if d2 < -1e-9 || e2 < -1e-9 {
+            return Err(UdmError::InvalidConfig(
+                "earlier snapshot is not a prefix of the later one".into(),
+            ));
+        }
+        cf2.push(d2.max(0.0));
+        ef2.push(e2.max(0.0));
+    }
+    MicroCluster::from_raw(
+        cf2,
+        ef2,
+        cf1,
+        later.n() - earlier.n(),
+        later.last_timestamp(),
+    )
+}
+
+/// Subtracts two whole snapshots (cluster-by-cluster); clusters that were
+/// not yet seeded at the earlier time are passed through unchanged, and
+/// clusters whose window difference is empty are dropped.
+pub fn subtract_snapshots(
+    later: &[MicroCluster],
+    earlier: &[MicroCluster],
+) -> Result<Vec<MicroCluster>> {
+    if earlier.len() > later.len() {
+        return Err(UdmError::InvalidConfig(
+            "earlier snapshot has more clusters than the later one".into(),
+        ));
+    }
+    let mut out = Vec::with_capacity(later.len());
+    for (i, l) in later.iter().enumerate() {
+        let diff = match earlier.get(i) {
+            Some(e) => subtract_clusters(l, e)?,
+            None => l.clone(),
+        };
+        if !diff.is_empty() {
+            out.push(diff);
+        }
+    }
+    Ok(out)
+}
+
+/// A snapshot of the full micro-cluster state at one stream timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedSnapshot {
+    /// Stream time the snapshot was taken at.
+    pub timestamp: u64,
+    /// Micro-cluster statistics at that time.
+    pub clusters: Vec<MicroCluster>,
+}
+
+/// Pyramidal store: keeps up to `capacity` snapshots per order `i`, where
+/// order-`i` snapshots are those taken at timestamps divisible by `αⁱ`
+/// but not `αⁱ⁺¹`. Total storage is `O(capacity · log_α T)` for a stream
+/// of length `T`, yet any horizon is approximated by a stored snapshot
+/// within a factor-`α` timestamp error (the CluStream guarantee).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PyramidalStore {
+    alpha: u64,
+    capacity: usize,
+    /// `orders[i]` = snapshots of order `i`, oldest first.
+    orders: Vec<Vec<TimedSnapshot>>,
+}
+
+impl PyramidalStore {
+    /// Creates a store with base `alpha ≥ 2` keeping `capacity ≥ 1`
+    /// snapshots per order.
+    pub fn new(alpha: u64, capacity: usize) -> Result<Self> {
+        if alpha < 2 {
+            return Err(UdmError::InvalidConfig("alpha must be at least 2".into()));
+        }
+        if capacity == 0 {
+            return Err(UdmError::InvalidConfig(
+                "capacity must be at least 1".into(),
+            ));
+        }
+        Ok(PyramidalStore {
+            alpha,
+            capacity,
+            orders: Vec::new(),
+        })
+    }
+
+    /// The order of a timestamp: the largest `i` with `αⁱ | t` (0 for
+    /// timestamps not divisible by α; `t = 0` is assigned order 0).
+    fn order_of(&self, t: u64) -> usize {
+        if t == 0 {
+            return 0;
+        }
+        let mut order = 0;
+        let mut t = t;
+        while t.is_multiple_of(self.alpha) {
+            order += 1;
+            t /= self.alpha;
+        }
+        order
+    }
+
+    /// Records a snapshot taken at stream time `t`. Snapshots must be
+    /// offered in non-decreasing timestamp order.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::InvalidConfig`] on out-of-order timestamps.
+    pub fn record(&mut self, timestamp: u64, clusters: Vec<MicroCluster>) -> Result<()> {
+        if let Some(last) = self.latest_timestamp() {
+            if timestamp < last {
+                return Err(UdmError::InvalidConfig(format!(
+                    "snapshot at {timestamp} offered after {last}"
+                )));
+            }
+        }
+        let order = self.order_of(timestamp);
+        while self.orders.len() <= order {
+            self.orders.push(Vec::new());
+        }
+        let slot = &mut self.orders[order];
+        slot.push(TimedSnapshot {
+            timestamp,
+            clusters,
+        });
+        if slot.len() > self.capacity {
+            slot.remove(0);
+        }
+        Ok(())
+    }
+
+    /// Most recent timestamp stored, across all orders.
+    pub fn latest_timestamp(&self) -> Option<u64> {
+        self.orders
+            .iter()
+            .flat_map(|o| o.iter().map(|s| s.timestamp))
+            .max()
+    }
+
+    /// Total snapshots currently held.
+    pub fn len(&self) -> usize {
+        self.orders.iter().map(|o| o.len()).sum()
+    }
+
+    /// `true` when no snapshot is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stored snapshot with the largest timestamp `≤ t`, if any.
+    pub fn snapshot_at_or_before(&self, t: u64) -> Option<&TimedSnapshot> {
+        self.orders
+            .iter()
+            .flat_map(|o| o.iter())
+            .filter(|s| s.timestamp <= t)
+            .max_by_key(|s| s.timestamp)
+    }
+
+    /// Approximate summary of the window `(t − horizon, now]`: subtracts
+    /// the best stored snapshot at or before `now − horizon` from the
+    /// most recent snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::EmptyDataset`] when the store is empty.
+    pub fn window_summary(&self, horizon: u64) -> Result<Vec<MicroCluster>> {
+        let latest_ts = self.latest_timestamp().ok_or(UdmError::EmptyDataset)?;
+        let latest = self
+            .snapshot_at_or_before(latest_ts)
+            .expect("latest timestamp exists");
+        let cutoff = latest_ts.saturating_sub(horizon);
+        match self.snapshot_at_or_before(cutoff) {
+            Some(earlier) if earlier.timestamp < latest.timestamp => {
+                subtract_snapshots(&latest.clusters, &earlier.clusters)
+            }
+            // No snapshot before the cutoff: the whole history fits.
+            _ => Ok(latest.clusters.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maintainer::{MaintainerConfig, MicroClusterMaintainer};
+    use udm_core::UncertainPoint;
+
+    fn pt(v: f64, e: f64, t: u64) -> UncertainPoint {
+        UncertainPoint::new(vec![v], vec![e])
+            .unwrap()
+            .with_timestamp(t)
+    }
+
+    #[test]
+    fn subtraction_recovers_window_statistics() {
+        // Stream 100 points, snapshot at 60 and 100; the difference must
+        // equal the statistics of points 60..100 per cluster.
+        let mut m = MicroClusterMaintainer::new(1, MaintainerConfig::new(4)).unwrap();
+        let mut at60 = None;
+        for i in 0..100u64 {
+            m.insert(&pt((i % 13) as f64, 0.1, i)).unwrap();
+            if i == 59 {
+                at60 = Some(m.clusters().to_vec());
+            }
+        }
+        let at100 = m.clusters().to_vec();
+        let window = subtract_snapshots(&at100, &at60.unwrap()).unwrap();
+        let total: u64 = window.iter().map(|c| c.n()).sum();
+        assert_eq!(total, 40);
+        // Every accumulator non-negative and bounded by the later state.
+        for (w, l) in window.iter().zip(at100.iter()) {
+            assert!(w.n() <= l.n());
+            assert!(w.cf2()[0] <= l.cf2()[0] + 1e-9);
+            assert!(w.ef2()[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn subtract_validates_prefix_property() {
+        let mut a = MicroCluster::new(1);
+        a.insert(&pt(1.0, 0.0, 0)).unwrap();
+        let mut b = a.clone();
+        b.insert(&pt(2.0, 0.0, 1)).unwrap();
+        assert!(subtract_clusters(&b, &a).is_ok());
+        assert!(subtract_clusters(&a, &b).is_err()); // reversed
+        let wrong_dim = MicroCluster::new(2);
+        assert!(subtract_clusters(&b, &wrong_dim).is_err());
+    }
+
+    #[test]
+    fn order_assignment() {
+        let store = PyramidalStore::new(2, 3).unwrap();
+        assert_eq!(store.order_of(0), 0);
+        assert_eq!(store.order_of(1), 0);
+        assert_eq!(store.order_of(2), 1);
+        assert_eq!(store.order_of(4), 2);
+        assert_eq!(store.order_of(6), 1);
+        assert_eq!(store.order_of(8), 3);
+    }
+
+    #[test]
+    fn capacity_bounds_total_storage_logarithmically() {
+        let mut store = PyramidalStore::new(2, 2).unwrap();
+        for t in 1..=1024u64 {
+            store.record(t, vec![]).unwrap();
+        }
+        // ≤ capacity × (log2(1024) + 1) = 2 × 11 = 22
+        assert!(store.len() <= 22, "{} snapshots", store.len());
+        // The latest timestamp is always retained.
+        assert_eq!(store.latest_timestamp(), Some(1024));
+    }
+
+    #[test]
+    fn rejects_bad_configuration_and_order() {
+        assert!(PyramidalStore::new(1, 3).is_err());
+        assert!(PyramidalStore::new(2, 0).is_err());
+        let mut store = PyramidalStore::new(2, 2).unwrap();
+        store.record(10, vec![]).unwrap();
+        assert!(store.record(5, vec![]).is_err());
+        assert!(store.record(10, vec![]).is_ok()); // equal is allowed
+    }
+
+    #[test]
+    fn snapshot_lookup_finds_best_at_or_before() {
+        let mut store = PyramidalStore::new(2, 4).unwrap();
+        for t in [1u64, 2, 4, 8, 12, 16] {
+            store.record(t, vec![]).unwrap();
+        }
+        assert_eq!(store.snapshot_at_or_before(9).unwrap().timestamp, 8);
+        assert_eq!(store.snapshot_at_or_before(16).unwrap().timestamp, 16);
+        assert!(store.snapshot_at_or_before(0).is_none());
+    }
+
+    #[test]
+    fn window_summary_end_to_end() {
+        // Phase 1 (t < 500): stream around 0. Phase 2 (t ≥ 500): around 50.
+        // A recent-window summary must be dominated by phase-2 mass.
+        let mut m = MicroClusterMaintainer::new(1, MaintainerConfig::new(6)).unwrap();
+        let mut store = PyramidalStore::new(2, 3).unwrap();
+        for t in 0..1000u64 {
+            let v = if t < 500 { (t % 7) as f64 } else { 50.0 + (t % 7) as f64 };
+            m.insert(&pt(v, 0.1, t)).unwrap();
+            if t > 0 && t % 50 == 0 {
+                store.record(t, m.clusters().to_vec()).unwrap();
+            }
+        }
+        store.record(999, m.clusters().to_vec()).unwrap();
+
+        let recent = store.window_summary(100).unwrap();
+        let total: u64 = recent.iter().map(|c| c.n()).sum();
+        assert!(total <= 150, "window too large: {total}");
+        // Weighted mean of the window sits in phase-2 territory.
+        let weighted_mean: f64 = recent
+            .iter()
+            .map(|c| c.centroid().unwrap()[0] * c.n() as f64)
+            .sum::<f64>()
+            / total as f64;
+        assert!(weighted_mean > 40.0, "mean {weighted_mean}");
+
+        // A full-history horizon returns everything.
+        let all = store.window_summary(10_000).unwrap();
+        let total_all: u64 = all.iter().map(|c| c.n()).sum();
+        assert_eq!(total_all, 1000);
+    }
+
+    #[test]
+    fn empty_store_rejects_queries() {
+        let store = PyramidalStore::new(2, 2).unwrap();
+        assert!(store.is_empty());
+        assert!(store.window_summary(10).is_err());
+    }
+}

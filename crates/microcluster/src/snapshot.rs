@@ -1,0 +1,130 @@
+//! JSON persistence for micro-cluster state.
+//!
+//! Micro-cluster summaries are the durable artifact of the training pass
+//! (§3 computes them once as a pre-processing step); snapshots let a
+//! long-running service restart without replaying the stream.
+
+use crate::feature::MicroCluster;
+use crate::maintainer::{MaintainerConfig, MicroClusterMaintainer};
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+use udm_core::{Result, UdmError};
+
+/// Serializable snapshot of a maintainer: config + cluster statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Maintainer configuration at snapshot time.
+    pub config: MaintainerConfig,
+    /// The micro-cluster sufficient statistics.
+    pub clusters: Vec<MicroCluster>,
+}
+
+impl Snapshot {
+    /// Captures the state of a maintainer.
+    pub fn capture(maintainer: &MicroClusterMaintainer) -> Self {
+        Snapshot {
+            config: *maintainer.config(),
+            clusters: maintainer.clusters().to_vec(),
+        }
+    }
+
+    /// Restores a maintainer from the snapshot.
+    pub fn restore(self) -> Result<MicroClusterMaintainer> {
+        MicroClusterMaintainer::from_clusters(self.clusters, self.config)
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| UdmError::Io(e.to_string()))
+    }
+
+    /// Deserializes from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| UdmError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })
+    }
+
+    /// Writes the snapshot to a file as JSON.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        serde_json::to_writer(&mut w, self).map_err(|e| UdmError::Io(e.to_string()))?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a snapshot from a JSON file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let r = BufReader::new(file);
+        serde_json::from_reader(r).map_err(|e| UdmError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udm_core::UncertainPoint;
+
+    fn trained_maintainer() -> MicroClusterMaintainer {
+        let mut m = MicroClusterMaintainer::new(2, MaintainerConfig::new(4)).unwrap();
+        for i in 0..100 {
+            let p = UncertainPoint::new(
+                vec![(i % 10) as f64, (i % 7) as f64],
+                vec![0.1, 0.2 * (i % 3) as f64],
+            )
+            .unwrap();
+            m.insert(&p).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_state() {
+        let m = trained_maintainer();
+        let snap = Snapshot::capture(&m);
+        let json = snap.to_json().unwrap();
+        let back = Snapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        let restored = back.restore().unwrap();
+        assert_eq!(restored.points_seen(), m.points_seen());
+        assert_eq!(restored.num_clusters(), m.num_clusters());
+        // Behavioural equivalence: same assignments for fresh points.
+        for i in 0..20 {
+            let p = UncertainPoint::new(vec![i as f64 * 0.37, i as f64 * 0.11], vec![0.0, 0.0])
+                .unwrap();
+            assert_eq!(restored.nearest(&p), m.nearest(&p));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = trained_maintainer();
+        let snap = Snapshot::capture(&m);
+        let dir = std::env::temp_dir().join("udm_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        snap.save(&path).unwrap();
+        let loaded = Snapshot::load(&path).unwrap();
+        assert_eq!(loaded, snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        let e = Snapshot::from_json("{not json").unwrap_err();
+        assert!(matches!(e, UdmError::Parse { .. }));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let e = Snapshot::load(Path::new("/nonexistent/udm/state.json")).unwrap_err();
+        assert!(matches!(e, UdmError::Io(_)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Missing data, imputed with error tracking — the paper's second
+//! motivating use case, end to end.
+//!
+//! A complete dataset loses 30% of its cells (MCAR); mean imputation
+//! fills the holes and records the imputation standard error as each
+//! imputed cell's ψ. The error-adjusted classifier then treats imputed
+//! cells as soft evidence, while the unadjusted baseline trusts them as
+//! if they were measured.
+//!
+//! Run with: `cargo run --release --example missing_data`
+
+use udm_classify::{evaluate, ClassifierConfig, DensityClassifier};
+use udm_core::Result;
+use udm_data::imputation::{impute_mean, impute_stochastic, MissingnessModel};
+use udm_data::{stratified_split, UciDataset};
+
+fn main() -> Result<()> {
+    let complete = UciDataset::BreastCancer.generate(600, 3);
+    let split = stratified_split(&complete, 0.3, 4)?;
+
+    println!("breast-cancer stand-in, 600 rows, 30% of training cells knocked out\n");
+    println!("missing%  imputer     adjusted  unadjusted");
+
+    for rate in [0.0, 0.15, 0.3, 0.45] {
+        let incomplete = MissingnessModel::Mcar { rate }.apply(&split.train, 5)?;
+        for (name, imputed) in [
+            ("mean      ", impute_mean(&incomplete)?),
+            ("stochastic", impute_stochastic(&incomplete, 6)?),
+        ] {
+            let adj = DensityClassifier::fit(&imputed, ClassifierConfig::error_adjusted(40))?;
+            let unadj = DensityClassifier::fit(&imputed, ClassifierConfig::unadjusted(40))?;
+            println!(
+                "{:<9.2} {name}  {:<9.4} {:.4}",
+                rate,
+                evaluate(&adj, &split.test)?.accuracy(),
+                evaluate(&unadj, &split.test)?.accuracy(),
+            );
+        }
+    }
+
+    // Show what the imputer actually recorded.
+    let incomplete = MissingnessModel::Mcar { rate: 0.3 }.apply(&split.train, 5)?;
+    let imputed = impute_mean(&incomplete)?;
+    let row = imputed
+        .iter()
+        .find(|p| !p.is_exact())
+        .expect("some row has imputed cells");
+    println!("\nan imputed row (ψ > 0 marks imputed cells):");
+    for j in 0..row.dim() {
+        println!(
+            "  dim {j}: value {:>8.3}  ψ {:>6.3}{}",
+            row.value(j),
+            row.error(j),
+            if row.error(j) > 0.0 { "  <- imputed" } else { "" }
+        );
+    }
+    Ok(())
+}

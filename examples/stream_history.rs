@@ -1,0 +1,55 @@
+//! Horizon queries over an evolving stream: the pyramidal time frame.
+//!
+//! A sensor stream drifts — early readings cluster near one regime, late
+//! readings near another. Snapshots of the (additive) micro-cluster
+//! statistics are stored at pyramidally spaced timestamps; subtracting
+//! two snapshots yields the exact summary of the window between them, so
+//! "density over the last N ticks" needs only O(log T) stored summaries.
+//!
+//! Run with: `cargo run --release --example stream_history`
+
+use udm_core::{Result, UncertainPoint};
+use udm_kde::KdeConfig;
+use udm_microcluster::pyramid::PyramidalStore;
+use udm_microcluster::{MaintainerConfig, MicroClusterKde, MicroClusterMaintainer};
+
+fn reading(t: u64) -> UncertainPoint {
+    // Regime A (t < 6000): values near 0; regime B: values near 40.
+    let base = if t < 6_000 { 0.0 } else { 40.0 };
+    let wobble = ((t as f64) * 0.7).sin() * 2.0;
+    let reliability = 0.1 + ((t % 11) as f64) * 0.05;
+    UncertainPoint::new(vec![base + wobble], vec![reliability])
+        .expect("finite reading")
+        .with_timestamp(t)
+}
+
+fn main() -> Result<()> {
+    let mut maintainer = MicroClusterMaintainer::new(1, MaintainerConfig::new(16))?;
+    let mut store = PyramidalStore::new(2, 3)?;
+
+    for t in 0..10_000u64 {
+        maintainer.insert(&reading(t))?;
+        if t > 0 && t % 250 == 0 {
+            store.record(t, maintainer.clusters().to_vec())?;
+        }
+    }
+    store.record(9_999, maintainer.clusters().to_vec())?;
+
+    println!(
+        "streamed 10000 readings; {} snapshots retained (pyramidal, α=2, cap 3/order)\n",
+        store.len()
+    );
+
+    for horizon in [500u64, 2_000, 5_000, 10_000] {
+        let window = store.window_summary(horizon)?;
+        let total: u64 = window.iter().map(|c| c.n()).sum();
+        let kde = MicroClusterKde::fit(&window, KdeConfig::error_adjusted())?;
+        let near_a = kde.density(&[0.0])?;
+        let near_b = kde.density(&[40.0])?;
+        println!(
+            "last {horizon:>6} ticks: {total:>5} points | density at regime A {near_a:.4}, regime B {near_b:.4} -> {}",
+            if near_b > near_a { "recent regime dominates" } else { "old regime still visible" }
+        );
+    }
+    Ok(())
+}

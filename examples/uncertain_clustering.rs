@@ -1,0 +1,108 @@
+//! Clustering uncertain data (§3's "DBSCAN … direct solution" claim):
+//! error-adjusted DBSCAN and k-means vs their Euclidean baselines.
+//!
+//! The k-means workload recreates the paper's Figure 2 situation at
+//! scale: blobs are separated along dimension 0 but carry a secondary
+//! signature along dimension 1. A quarter of all cells are displaced by a
+//! large, *recorded* error (sparse heteroscedastic noise). A point thrown
+//! along dimension 0 toward the wrong blob fools the Euclidean
+//! assignment; the error-adjusted distance (Eq. 5) discounts the
+//! unreliable dimension and recovers the correct blob from the clean
+//! secondary dimension.
+//!
+//! Run with: `cargo run --release --example uncertain_clustering`
+
+use udm_cluster::{
+    adjusted_rand_index, normalized_mutual_information, Dbscan, DbscanConfig, KMeans,
+    KMeansConfig,
+};
+use udm_core::{ClassLabel, Result, UncertainDataset};
+use udm_data::{ErrorModel, GaussianClassSpec, MixtureGenerator};
+use udm_microcluster::AssignmentDistance;
+
+fn blobs() -> Result<MixtureGenerator> {
+    MixtureGenerator::new(
+        2,
+        vec![
+            GaussianClassSpec {
+                mean: vec![0.0, 0.0],
+                std: vec![0.7, 0.25],
+                weight: 1.0,
+            },
+            GaussianClassSpec {
+                mean: vec![7.0, 2.0],
+                std: vec![0.7, 0.25],
+                weight: 1.0,
+            },
+            GaussianClassSpec {
+                mean: vec![14.0, 4.0],
+                std: vec![0.7, 0.25],
+                weight: 1.0,
+            },
+        ],
+    )
+}
+
+fn truth_of(data: &UncertainDataset) -> Vec<ClassLabel> {
+    data.iter()
+        .map(|p| p.label().expect("generator labels everything"))
+        .collect()
+}
+
+fn main() -> Result<()> {
+    let clean = blobs()?.generate(600, 21);
+
+    // Sparse heteroscedastic noise: 25% of cells displaced, each with a
+    // large recorded error (ψ up to 3 column-σ).
+    let noisy = ErrorModel::SparseUniform { f: 1.5, p: 0.25 }.apply(&clean, 22)?;
+    let truth = truth_of(&noisy);
+    println!("3 blobs, 600 points, sparse noise (25% of cells, up to 3σ)\n");
+
+    for (name, dist) in [
+        ("k-means (error-adjusted)", AssignmentDistance::ErrorAdjusted),
+        ("k-means (euclidean)     ", AssignmentDistance::Euclidean),
+    ] {
+        let mut cfg = KMeansConfig::new(3);
+        cfg.distance = dist;
+        cfg.seed = 5;
+        let result = KMeans::new(cfg)?.run(&noisy)?;
+        let assignments: Vec<Option<usize>> =
+            result.assignments.iter().map(|&a| Some(a)).collect();
+        println!(
+            "{name}: ARI {:.3}  NMI {:.3}  ({} iterations)",
+            adjusted_rand_index(&assignments, &truth),
+            normalized_mutual_information(&assignments, &truth),
+            result.iterations
+        );
+    }
+
+    // DBSCAN with modest fixed per-dimension errors (its density-
+    // connectivity chains through optimistic distances, so the adjusted
+    // variant is only meaningful when errors stay below the inter-blob
+    // gap).
+    let mild = ErrorModel::FixedPerDimension {
+        psis: vec![0.7, 0.2],
+    }
+    .apply(&clean, 23)?;
+    let truth = truth_of(&mild);
+    println!();
+    for (name, adjusted) in [
+        ("DBSCAN  (error-adjusted)", true),
+        ("DBSCAN  (euclidean)     ", false),
+    ] {
+        let cfg = DbscanConfig {
+            eps: 1.1,
+            min_pts: 5,
+            error_adjusted: adjusted,
+        };
+        let result = Dbscan::new(cfg)?.run(&mild)?;
+        println!(
+            "{name}: ARI {:.3}  NMI {:.3}  ({} clusters, {} noise points)",
+            adjusted_rand_index(&result.assignments, &truth),
+            normalized_mutual_information(&result.assignments, &truth),
+            result.num_clusters,
+            result.num_noise()
+        );
+    }
+    Ok(())
+}

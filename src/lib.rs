@@ -1,0 +1,25 @@
+//! # uncertain-dm
+//!
+//! Facade crate for the `udm` workspace: a reproduction of Aggarwal,
+//! *"On Density Based Transforms for Uncertain Data Mining"* (ICDE 2007).
+//!
+//! Re-exports the public APIs of all member crates so applications can
+//! depend on a single crate:
+//!
+//! ```
+//! use uncertain_dm::prelude::*;
+//! ```
+
+pub use udm_classify as classify;
+pub use udm_cluster as cluster;
+pub use udm_core as core;
+pub use udm_data as data;
+pub use udm_kde as kde;
+pub use udm_microcluster as microcluster;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use udm_core::{
+        ClassLabel, DatasetBuilder, Result, Subspace, UdmError, UncertainDataset, UncertainPoint,
+    };
+}

@@ -1,0 +1,101 @@
+//! Integration tests for the clustering extension against generated
+//! workloads with ground truth.
+
+use udm_cluster::{
+    adjusted_rand_index, normalized_mutual_information, purity, Dbscan, DbscanConfig, KMeans,
+    KMeansConfig,
+};
+use udm_core::ClassLabel;
+use udm_data::{ErrorModel, GaussianClassSpec, MixtureGenerator};
+use udm_microcluster::AssignmentDistance;
+
+fn three_blobs(n: usize, seed: u64) -> (udm_core::UncertainDataset, Vec<ClassLabel>) {
+    let g = MixtureGenerator::new(
+        2,
+        vec![
+            GaussianClassSpec::spherical(vec![0.0, 0.0], 0.5, 1.0),
+            GaussianClassSpec::spherical(vec![8.0, 0.0], 0.5, 1.0),
+            GaussianClassSpec::spherical(vec![4.0, 7.0], 0.5, 1.0),
+        ],
+    )
+    .unwrap();
+    let d = g.generate(n, seed);
+    let truth = d.iter().map(|p| p.label().unwrap()).collect();
+    (d, truth)
+}
+
+#[test]
+fn kmeans_recovers_clean_blobs_perfectly() {
+    let (d, truth) = three_blobs(300, 1);
+    let r = KMeans::new(KMeansConfig::new(3)).unwrap().run(&d).unwrap();
+    let assignments: Vec<Option<usize>> = r.assignments.iter().map(|&a| Some(a)).collect();
+    assert!(adjusted_rand_index(&assignments, &truth) > 0.99);
+    assert!(purity(&assignments, &truth) > 0.99);
+}
+
+#[test]
+fn dbscan_recovers_clean_blobs() {
+    let (d, truth) = three_blobs(300, 2);
+    let r = Dbscan::new(DbscanConfig::new(1.0, 4)).unwrap().run(&d).unwrap();
+    assert_eq!(r.num_clusters, 3);
+    assert!(adjusted_rand_index(&r.assignments, &truth) > 0.95);
+}
+
+#[test]
+fn error_adjusted_kmeans_at_least_as_good_under_sparse_noise() {
+    // Averaged over seeds: the adjusted assignment should not lose to
+    // Euclidean when errors are informative.
+    let mut adj_total = 0.0;
+    let mut euc_total = 0.0;
+    for seed in [3, 5, 8, 13] {
+        let (clean, _) = three_blobs(400, seed);
+        let noisy = ErrorModel::SparseUniform { f: 1.2, p: 0.25 }
+            .apply(&clean, seed + 100)
+            .unwrap();
+        let truth: Vec<ClassLabel> = noisy.iter().map(|p| p.label().unwrap()).collect();
+        for (dist, total) in [
+            (AssignmentDistance::ErrorAdjusted, &mut adj_total),
+            (AssignmentDistance::Euclidean, &mut euc_total),
+        ] {
+            let mut cfg = KMeansConfig::new(3);
+            cfg.distance = dist;
+            cfg.seed = seed;
+            let r = KMeans::new(cfg).unwrap().run(&noisy).unwrap();
+            let a: Vec<Option<usize>> = r.assignments.iter().map(|&x| Some(x)).collect();
+            *total += adjusted_rand_index(&a, &truth);
+        }
+    }
+    assert!(
+        adj_total >= euc_total - 0.05,
+        "adjusted {adj_total} vs euclidean {euc_total}"
+    );
+}
+
+#[test]
+fn metrics_are_consistent_across_implementations() {
+    let (d, truth) = three_blobs(200, 7);
+    let r = KMeans::new(KMeansConfig::new(3)).unwrap().run(&d).unwrap();
+    let a: Vec<Option<usize>> = r.assignments.iter().map(|&x| Some(x)).collect();
+    let ari = adjusted_rand_index(&a, &truth);
+    let nmi = normalized_mutual_information(&a, &truth);
+    let pur = purity(&a, &truth);
+    // On a near-perfect clustering all three agree at the top end.
+    assert!(ari > 0.95 && nmi > 0.95 && pur > 0.95, "{ari} {nmi} {pur}");
+}
+
+#[test]
+fn heavy_noise_degrades_euclidean_dbscan_gracefully() {
+    let (clean, _) = three_blobs(300, 9);
+    let noisy = ErrorModel::paper(2.0).apply(&clean, 10).unwrap();
+    let r = Dbscan::new(DbscanConfig {
+        eps: 1.0,
+        min_pts: 4,
+        error_adjusted: false,
+    })
+    .unwrap()
+    .run(&noisy)
+    .unwrap();
+    // At this noise level structure is destroyed: lots of noise points is
+    // the *correct* outcome, not a crash.
+    assert!(r.num_noise() > 50);
+}

@@ -1,0 +1,139 @@
+//! Cross-crate consistency of the density machinery: the compressed
+//! micro-cluster estimator must agree with the exact point-based
+//! estimator in the limits the paper's construction guarantees.
+
+use udm_core::{Subspace, UncertainDataset, UncertainPoint};
+use udm_data::{ErrorModel, UciDataset};
+use udm_kde::quadrature::trapezoid;
+use udm_kde::{ErrorKde, KdeConfig};
+use udm_microcluster::{MaintainerConfig, MicroClusterKde, MicroClusterMaintainer};
+
+fn noisy_1d(n: usize, seed: u64) -> UncertainDataset {
+    let clean = UncertainDataset::from_points(
+        (0..n)
+            .map(|i| {
+                UncertainPoint::exact(vec![((i * 37) % 100) as f64 / 10.0]).unwrap()
+            })
+            .collect(),
+    )
+    .unwrap();
+    ErrorModel::paper(0.8).apply(&clean, seed).unwrap()
+}
+
+#[test]
+fn microcluster_kde_equals_exact_kde_at_full_granularity() {
+    // q = N: every micro-cluster is a single point, Δ = ψ, so Eqs. 9–10
+    // reduce exactly to Eqs. 3–4.
+    let d = noisy_1d(80, 1);
+    let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(80)).unwrap();
+    let compressed = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+    let exact = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
+    for i in 0..50 {
+        let x = -5.0 + 0.4 * i as f64;
+        let a = compressed.density(&[x]).unwrap();
+        let b = exact.density(&[x]).unwrap();
+        assert!((a - b).abs() < 1e-9, "x={x}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn compression_error_shrinks_with_more_clusters() {
+    let d = noisy_1d(400, 2);
+    let exact = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
+    let l1_error = |q: usize| {
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(q)).unwrap();
+        let kde = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+        let mut total = 0.0;
+        for i in 0..80 {
+            let x = -10.0 + 0.35 * i as f64;
+            total += (kde.density(&[x]).unwrap() - exact.density(&[x]).unwrap()).abs();
+        }
+        total
+    };
+    let coarse = l1_error(5);
+    let fine = l1_error(200);
+    assert!(
+        fine < coarse,
+        "error should shrink with q: q=5 -> {coarse}, q=200 -> {fine}"
+    );
+}
+
+#[test]
+fn both_estimators_integrate_to_one_on_noisy_data() {
+    let d = noisy_1d(150, 3);
+    let exact = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
+    let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(25)).unwrap();
+    let compressed = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+    let mass_exact = trapezoid(|x| exact.density(&[x]).unwrap(), -80.0, 90.0, 30_001);
+    let mass_comp = trapezoid(|x| compressed.density(&[x]).unwrap(), -80.0, 90.0, 30_001);
+    assert!((mass_exact - 1.0).abs() < 1e-4, "exact mass {mass_exact}");
+    assert!((mass_comp - 1.0).abs() < 1e-4, "compressed mass {mass_comp}");
+}
+
+#[test]
+fn subspace_density_consistent_with_projection() {
+    // Estimating over a subspace of the full estimator must equal
+    // estimating over the projected dataset (same bandwidth rule).
+    let clean = UciDataset::BreastCancer.generate(120, 4);
+    let d = ErrorModel::paper(1.0).apply(&clean, 5).unwrap();
+    let s = Subspace::from_dims(&[1, 4, 7]).unwrap();
+
+    let full = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
+    let projected_data = d.project(s).unwrap();
+    let projected = ErrorKde::fit(&projected_data, KdeConfig::default()).unwrap();
+
+    let probe = d.point(0);
+    let via_subspace = full.density_subspace(probe.values(), s).unwrap();
+    let proj_probe = probe.project(s).unwrap();
+    let direct = projected.density(proj_probe.values()).unwrap();
+    assert!(
+        (via_subspace - direct).abs() < 1e-12,
+        "{via_subspace} vs {direct}"
+    );
+}
+
+#[test]
+fn unadjusted_estimators_agree_between_crates() {
+    // With errors zeroed, the exact estimator and a q=N micro-cluster
+    // estimator must coincide with the classic Silverman KDE.
+    let d = noisy_1d(60, 6).without_errors();
+    let exact = ErrorKde::fit(&d, KdeConfig::unadjusted()).unwrap();
+    let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(60)).unwrap();
+    let compressed = MicroClusterKde::fit(m.clusters(), KdeConfig::unadjusted()).unwrap();
+    for x in [-1.0, 0.0, 3.3, 7.7, 12.0] {
+        let a = exact.density(&[x]).unwrap();
+        let b = compressed.density(&[x]).unwrap();
+        assert!((a - b).abs() < 1e-9, "x={x}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn query_error_convolution_widens_but_preserves_mass() {
+    let d = noisy_1d(100, 7);
+    let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(20)).unwrap();
+    let kde = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+    let s = Subspace::singleton(0).unwrap();
+    let errs = [3.0];
+    // Convolved density is a proper density too (mass 1 over x).
+    let mass = trapezoid(
+        |x| {
+            kde.density_subspace_with_error(&[x], Some(&errs), s)
+                .unwrap()
+        },
+        -120.0,
+        130.0,
+        30_001,
+    );
+    assert!((mass - 1.0).abs() < 1e-4, "convolved mass {mass}");
+    // And it is flatter: lower peak than the unconvolved density.
+    let peak_plain = (0..200)
+        .map(|i| kde.density(&[-10.0 + 0.1 * i as f64]).unwrap())
+        .fold(0.0f64, f64::max);
+    let peak_conv = (0..200)
+        .map(|i| {
+            kde.density_subspace_with_error(&[-10.0 + 0.1 * i as f64], Some(&errs), s)
+                .unwrap()
+        })
+        .fold(0.0f64, f64::max);
+    assert!(peak_conv < peak_plain);
+}

@@ -1,0 +1,50 @@
+//! Facade-level tests: the `uncertain-dm` crate's re-exports and prelude
+//! must be sufficient for a downstream user to run the full method
+//! without naming internal crates.
+
+use uncertain_dm::prelude::*;
+
+#[test]
+fn prelude_supports_the_readme_quickstart() {
+    let train = UncertainDataset::from_points(vec![
+        UncertainPoint::new(vec![1.0, 2.0], vec![0.1, 0.0])
+            .unwrap()
+            .with_label(ClassLabel(0)),
+        UncertainPoint::new(vec![1.2, 2.2], vec![0.2, 0.1])
+            .unwrap()
+            .with_label(ClassLabel(0)),
+        UncertainPoint::new(vec![5.0, 6.0], vec![0.0, 0.3])
+            .unwrap()
+            .with_label(ClassLabel(1)),
+        UncertainPoint::new(vec![5.5, 6.5], vec![0.4, 0.0])
+            .unwrap()
+            .with_label(ClassLabel(1)),
+    ])
+    .unwrap();
+
+    use uncertain_dm::classify::{Classifier, ClassifierConfig, DensityClassifier};
+    let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(4)).unwrap();
+    let x = UncertainPoint::new(vec![1.1, 2.1], vec![0.3, 0.3]).unwrap();
+    assert_eq!(model.classify(&x).unwrap(), ClassLabel(0));
+}
+
+#[test]
+fn module_reexports_cover_every_crate() {
+    // Touch one item per re-exported crate so renames break this test.
+    let _k = uncertain_dm::kde::KdeConfig::default();
+    let _m = uncertain_dm::microcluster::MaintainerConfig::new(4);
+    let _c = uncertain_dm::classify::ClassifierConfig::default();
+    let _l = uncertain_dm::cluster::KMeansConfig::new(2);
+    let _d = uncertain_dm::data::ErrorModel::paper(1.0);
+    let s = uncertain_dm::core::Subspace::from_dims(&[0, 1]).unwrap();
+    assert_eq!(s.cardinality(), 2);
+}
+
+#[test]
+fn error_type_flows_through_the_facade() {
+    fn helper() -> Result<UncertainPoint> {
+        UncertainPoint::new(vec![1.0], vec![-1.0]) // invalid: negative error
+    }
+    let e = helper().unwrap_err();
+    assert!(matches!(e, UdmError::InvalidValue { .. }));
+}

@@ -1,0 +1,86 @@
+//! Cross-crate integration: streaming maintenance, pyramidal snapshots,
+//! horizon-scoped densities, macro-clustering and outlier detection all
+//! driven from one evolving stream.
+
+use udm_cluster::{macro_cluster, MacroClusterConfig, OutlierConfig, OutlierDetector};
+use udm_core::{UncertainDataset, UncertainPoint};
+use udm_kde::KdeConfig;
+use udm_microcluster::pyramid::PyramidalStore;
+use udm_microcluster::{diagnose, MaintainerConfig, MicroClusterKde, MicroClusterMaintainer};
+
+fn reading(t: u64) -> UncertainPoint {
+    let base = if t < 3_000 { 0.0 } else { 25.0 };
+    let wobble = ((t % 17) as f64 - 8.0) * 0.2;
+    UncertainPoint::new(vec![base + wobble, -base + wobble], vec![0.2, 0.1])
+        .unwrap()
+        .with_timestamp(t)
+}
+
+fn stream_summary() -> (MicroClusterMaintainer, PyramidalStore) {
+    let mut m = MicroClusterMaintainer::new(2, MaintainerConfig::new(12)).unwrap();
+    let mut store = PyramidalStore::new(2, 3).unwrap();
+    for t in 0..6_000u64 {
+        m.insert(&reading(t)).unwrap();
+        if t > 0 && t % 200 == 0 {
+            store.record(t, m.clusters().to_vec()).unwrap();
+        }
+    }
+    store.record(5_999, m.clusters().to_vec()).unwrap();
+    (m, store)
+}
+
+#[test]
+fn horizon_density_reflects_regime_change() {
+    let (_, store) = stream_summary();
+
+    // Recent window: regime B only.
+    let recent = store.window_summary(1_000).unwrap();
+    let kde_recent = MicroClusterKde::fit(&recent, KdeConfig::error_adjusted()).unwrap();
+    let at_b = kde_recent.density(&[25.0, -25.0]).unwrap();
+    let at_a = kde_recent.density(&[0.0, 0.0]).unwrap();
+    assert!(at_b > at_a * 10.0, "recent window: B {at_b} vs A {at_a}");
+
+    // Full history: regime A dominates by count.
+    let all = store.window_summary(1_000_000).unwrap();
+    let total: u64 = all.iter().map(|c| c.n()).sum();
+    assert_eq!(total, 6_000);
+}
+
+#[test]
+fn diagnostics_track_the_stream() {
+    let (m, _) = stream_summary();
+    let diag = diagnose(m.clusters()).unwrap();
+    assert_eq!(diag.total_points, 6_000);
+    assert_eq!(diag.clusters, 12);
+    assert!(diag.mean_occupancy >= 400.0);
+}
+
+#[test]
+fn macro_clustering_the_stream_finds_both_regimes() {
+    let (m, _) = stream_summary();
+    let macro_c = macro_cluster(m.clusters(), MacroClusterConfig::new(2)).unwrap();
+    let a = macro_c
+        .assign(&UncertainPoint::exact(vec![0.0, 0.0]).unwrap())
+        .unwrap();
+    let b = macro_c
+        .assign(&UncertainPoint::exact(vec![25.0, -25.0]).unwrap())
+        .unwrap();
+    assert_ne!(a, b);
+    assert_eq!(macro_c.weights.iter().sum::<u64>(), 6_000);
+    // Regimes are evenly sized.
+    let ratio = macro_c.weights[0] as f64 / macro_c.weights[1] as f64;
+    assert!((0.5..2.0).contains(&ratio), "weights {:?}", macro_c.weights);
+}
+
+#[test]
+fn outlier_detection_on_the_stream() {
+    let points: Vec<UncertainPoint> = (0..4_000).map(reading).collect();
+    let data = UncertainDataset::from_points(points).unwrap();
+    let det = OutlierDetector::fit(&data, OutlierConfig::new(24)).unwrap();
+    // A reading from neither regime is anomalous; regime members are not.
+    assert!(det
+        .is_outlier(&UncertainPoint::new(vec![100.0, 100.0], vec![0.2, 0.1]).unwrap())
+        .unwrap());
+    assert!(!det.is_outlier(&reading(100)).unwrap());
+    assert!(!det.is_outlier(&reading(3_500)).unwrap());
+}

@@ -1,0 +1,153 @@
+//! Integration tests for the paper's *sources of uncertainty* (intro):
+//! imputed missing data and partially aggregated data both produce valid
+//! uncertain datasets that flow through the full mining pipeline.
+
+use udm_classify::{evaluate, Classifier, ClassifierConfig, DensityClassifier};
+use udm_data::aggregate::{aggregate_groups, GroupLabelPolicy};
+use udm_data::imputation::{impute_mean, MissingnessModel};
+use udm_core::UncertainDataset;
+use udm_data::{stratified_split, UciDataset};
+use udm_kde::{ErrorKde, KdeConfig};
+
+/// Sorts points by their first coordinate — a stand-in for the "locality"
+/// grouping real aggregated datasets use (aggregating arbitrary rows of a
+/// multi-modal population would mix distant modes, which no real
+/// demographic aggregation does).
+fn sorted_by_first_dim(data: &UncertainDataset) -> UncertainDataset {
+    let mut points = data.points().to_vec();
+    points.sort_by(|a, b| a.value(0).partial_cmp(&b.value(0)).unwrap());
+    UncertainDataset::from_points(points).unwrap()
+}
+
+#[test]
+fn imputed_data_trains_a_classifier_end_to_end() {
+    let complete = UciDataset::BreastCancer.generate(500, 11);
+    let split = stratified_split(&complete, 0.3, 12).unwrap();
+
+    // Knock out 25% of training cells, impute with error tracking.
+    let incomplete = MissingnessModel::Mcar { rate: 0.25 }
+        .apply(&split.train, 13)
+        .unwrap();
+    assert!(incomplete.missing_fraction() > 0.2);
+    let imputed = impute_mean(&incomplete).unwrap();
+
+    let model = DensityClassifier::fit(&imputed, ClassifierConfig::error_adjusted(30)).unwrap();
+    let report = evaluate(&model, &split.test).unwrap();
+    assert!(
+        report.accuracy() > 0.75,
+        "imputed-data accuracy {}",
+        report.accuracy()
+    );
+}
+
+#[test]
+fn error_adjustment_helps_on_imputed_data() {
+    // The adjusted classifier knows which cells are imputed (ψ = column
+    // σ) and should do at least as well as pretending they're exact.
+    let complete = UciDataset::BreastCancer.generate(600, 21);
+    let split = stratified_split(&complete, 0.3, 22).unwrap();
+    let incomplete = MissingnessModel::Mcar { rate: 0.4 }
+        .apply(&split.train, 23)
+        .unwrap();
+    let imputed = impute_mean(&incomplete).unwrap();
+
+    let adj = DensityClassifier::fit(&imputed, ClassifierConfig::error_adjusted(30)).unwrap();
+    let unadj = DensityClassifier::fit(&imputed, ClassifierConfig::unadjusted(30)).unwrap();
+    let a = evaluate(&adj, &split.test).unwrap().accuracy();
+    let u = evaluate(&unadj, &split.test).unwrap().accuracy();
+    assert!(a >= u - 0.03, "adjusted {a} vs unadjusted {u}");
+}
+
+#[test]
+fn aggregated_data_supports_density_estimation() {
+    // 1-D bimodal population, aggregated by locality (sorted groups):
+    // the aggregate density must remain a faithful coarse picture of the
+    // raw density. (In one dimension, value-sorted grouping is exactly
+    // the "locality" aggregation of the paper's demographic example.)
+    use udm_data::{GaussianClassSpec, MixtureGenerator};
+    let g = MixtureGenerator::new(
+        1,
+        vec![
+            GaussianClassSpec::spherical(vec![0.0], 1.0, 1.0),
+            GaussianClassSpec::spherical(vec![8.0], 1.0, 1.0),
+        ],
+    )
+    .unwrap();
+    let raw = g.generate(600, 31);
+    let aggregated =
+        aggregate_groups(&sorted_by_first_dim(&raw), 10, GroupLabelPolicy::Majority).unwrap();
+    assert_eq!(aggregated.len(), 60);
+
+    let kde_raw = ErrorKde::fit(&raw, KdeConfig::default()).unwrap();
+    let kde_agg = ErrorKde::fit(&aggregated, KdeConfig::default()).unwrap();
+    let mut raw_vals = Vec::new();
+    let mut agg_vals = Vec::new();
+    for i in 0..80 {
+        let x = -4.0 + 16.0 * i as f64 / 79.0;
+        raw_vals.push(kde_raw.density(&[x]).unwrap());
+        agg_vals.push(kde_agg.density(&[x]).unwrap());
+    }
+    let n = raw_vals.len() as f64;
+    let mr = raw_vals.iter().sum::<f64>() / n;
+    let ma = agg_vals.iter().sum::<f64>() / n;
+    let cov: f64 = raw_vals
+        .iter()
+        .zip(&agg_vals)
+        .map(|(r, a)| (r - mr) * (a - ma))
+        .sum();
+    let vr: f64 = raw_vals.iter().map(|r| (r - mr).powi(2)).sum();
+    let va: f64 = agg_vals.iter().map(|a| (a - ma).powi(2)).sum();
+    let corr = cov / (vr.sqrt() * va.sqrt()).max(1e-300);
+    assert!(corr > 0.9, "correlation {corr}");
+    // Both modes survive aggregation: density at the modes beats the
+    // valley between them.
+    let valley = kde_agg.density(&[4.0]).unwrap();
+    assert!(kde_agg.density(&[0.0]).unwrap() > valley);
+    assert!(kde_agg.density(&[8.0]).unwrap() > valley);
+}
+
+#[test]
+fn aggregated_data_trains_a_usable_classifier() {
+    // Train on aggregates only (60 pseudo-records for 600 raw rows) and
+    // classify raw held-out points: far better than random.
+    let raw = UciDataset::BreastCancer.generate(700, 41);
+    let split = stratified_split(&raw, 0.3, 42).unwrap();
+    let aggregated = aggregate_groups(
+        &sorted_by_first_dim(&split.train),
+        5,
+        GroupLabelPolicy::Majority,
+    )
+    .unwrap();
+
+    let model =
+        DensityClassifier::fit(&aggregated, ClassifierConfig::error_adjusted(40)).unwrap();
+    let report = evaluate(&model, &split.test).unwrap();
+    assert!(
+        report.accuracy() > 0.7,
+        "aggregate-trained accuracy {}",
+        report.accuracy()
+    );
+}
+
+#[test]
+fn mixed_pipeline_sources_compose() {
+    // Aggregate, then classify aggregated records themselves.
+    let raw = UciDataset::BreastCancer.generate(800, 51);
+    let aggregated =
+        aggregate_groups(&sorted_by_first_dim(&raw), 4, GroupLabelPolicy::Majority).unwrap();
+    let split = stratified_split(&aggregated, 0.3, 52).unwrap();
+    let model =
+        DensityClassifier::fit(&split.train, ClassifierConfig::error_adjusted(30)).unwrap();
+    let mut correct = 0;
+    let mut n = 0;
+    for p in split.test.iter() {
+        if let Some(actual) = p.label() {
+            n += 1;
+            if model.classify(p).unwrap() == actual {
+                correct += 1;
+            }
+        }
+    }
+    let acc = correct as f64 / n as f64;
+    assert!(acc > 0.7, "aggregate-vs-aggregate accuracy {acc}");
+}
