@@ -17,7 +17,9 @@ fn workload(n: usize) -> udm_core::UncertainDataset {
     )
     .expect("spec is valid");
     let clean = g.generate(n, 7);
-    ErrorModel::paper(0.5).apply(&clean, 8).expect("noise applies")
+    ErrorModel::paper(0.5)
+        .apply(&clean, 8)
+        .expect("noise applies")
 }
 
 fn bench_kmeans(c: &mut Criterion) {

@@ -91,7 +91,10 @@ fn main() {
         c.bandwidth = BandwidthRule::ScaledSilverman(2.0);
         c
     });
-    add("no error adjustment at all", ClassifierConfig::unadjusted(140));
+    add(
+        "no error adjustment at all",
+        ClassifierConfig::unadjusted(140),
+    );
 
     let table = render_table(&["variant", "acc@f=0.5", "acc@f=1.0"], &rows);
     println!("Ablations — adult, q=140, n={n}, seed={seed}");

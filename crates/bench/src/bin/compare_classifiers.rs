@@ -7,8 +7,8 @@
 
 use udm_bench::{render_table, write_results_file, ExperimentConfig};
 use udm_classify::{
-    evaluate, tune_threshold, ClassifierConfig, DensityClassifier, NaiveDensityBayes,
-    NnClassifier, DEFAULT_THRESHOLD_GRID,
+    evaluate, tune_threshold, ClassifierConfig, DensityClassifier, NaiveDensityBayes, NnClassifier,
+    DEFAULT_THRESHOLD_GRID,
 };
 use udm_data::{stratified_split, ErrorModel, UciDataset};
 
@@ -41,9 +41,8 @@ fn main() {
         let adjusted =
             DensityClassifier::fit_parallel(&split.train, ClassifierConfig::error_adjusted(q))
                 .expect("training succeeds");
-        let unadjusted =
-            DensityClassifier::fit(&split.train, ClassifierConfig::unadjusted(q))
-                .expect("training succeeds");
+        let unadjusted = DensityClassifier::fit(&split.train, ClassifierConfig::unadjusted(q))
+            .expect("training succeeds");
         let naive = NaiveDensityBayes::fit(&split.train, ClassifierConfig::error_adjusted(q))
             .expect("training succeeds");
         let nn = NnClassifier::fit(&split.train).expect("training succeeds");
@@ -57,8 +56,7 @@ fn main() {
         .expect("tuning succeeds");
         let mut tuned_cfg = ClassifierConfig::error_adjusted(q);
         tuned_cfg.accuracy_threshold = sweep.best_threshold;
-        let tuned =
-            DensityClassifier::fit(&split.train, tuned_cfg).expect("training succeeds");
+        let tuned = DensityClassifier::fit(&split.train, tuned_cfg).expect("training succeeds");
 
         let acc = |r: udm_classify::EvalReport| format!("{:.4}", r.accuracy());
         rows.push(vec![
@@ -75,7 +73,14 @@ fn main() {
         ]);
     }
     let table = render_table(
-        &["f", "adjusted", "adjusted+tuned", "naive_bayes", "unadjusted", "nn"],
+        &[
+            "f",
+            "adjusted",
+            "adjusted+tuned",
+            "naive_bayes",
+            "unadjusted",
+            "nn",
+        ],
         &rows,
     );
     println!(

@@ -78,8 +78,7 @@ fn main() {
             let mut mc_cfg = MacroClusterConfig::new(3);
             mc_cfg.seed = seed;
             let macro_c = macro_cluster(m.clusters(), mc_cfg).expect("macro-clustering runs");
-            let assignments: Vec<Option<usize>> =
-                noisy.iter().map(|p| macro_c.assign(p)).collect();
+            let assignments: Vec<Option<usize>> = noisy.iter().map(|p| macro_c.assign(p)).collect();
             ari_macro += adjusted_rand_index(&assignments, &truth);
         }
         let k = seeds as f64;

@@ -40,21 +40,9 @@ fn with_anomalies(n: usize, seed: u64) -> (UncertainDataset, Vec<bool>) {
 }
 
 fn precision_recall(mask: &[bool], truth: &[bool]) -> (f64, f64) {
-    let tp = mask
-        .iter()
-        .zip(truth)
-        .filter(|&(&m, &t)| m && t)
-        .count() as f64;
-    let fp = mask
-        .iter()
-        .zip(truth)
-        .filter(|&(&m, &t)| m && !t)
-        .count() as f64;
-    let fne = mask
-        .iter()
-        .zip(truth)
-        .filter(|&(&m, &t)| !m && t)
-        .count() as f64;
+    let tp = mask.iter().zip(truth).filter(|&(&m, &t)| m && t).count() as f64;
+    let fp = mask.iter().zip(truth).filter(|&(&m, &t)| m && !t).count() as f64;
+    let fne = mask.iter().zip(truth).filter(|&(&m, &t)| !m && t).count() as f64;
     let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
     let recall = if tp + fne > 0.0 { tp / (tp + fne) } else { 0.0 };
     (precision, recall)

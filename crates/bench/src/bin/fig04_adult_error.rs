@@ -16,8 +16,8 @@ fn main() {
         ..Default::default()
     };
     let fs = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
-    let rows = accuracy_sweep_error(UciDataset::Adult, &fs, 140, &cfg)
-        .expect("experiment should run");
+    let rows =
+        accuracy_sweep_error(UciDataset::Adult, &fs, 140, &cfg).expect("experiment should run");
     let table = render_table(
         &["f", "adjusted", "unadjusted", "nn"],
         &rows

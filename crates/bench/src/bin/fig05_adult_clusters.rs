@@ -16,8 +16,8 @@ fn main() {
         ..Default::default()
     };
     let qs = [20, 40, 60, 80, 100, 120, 140];
-    let rows = accuracy_sweep_clusters(UciDataset::Adult, &qs, 1.2, &cfg)
-        .expect("experiment should run");
+    let rows =
+        accuracy_sweep_clusters(UciDataset::Adult, &qs, 1.2, &cfg).expect("experiment should run");
     let table = render_table(
         &["q", "adjusted", "unadjusted", "nn"],
         &rows

@@ -28,8 +28,8 @@ fn main() {
                 seed,
                 ..Default::default()
             };
-            let t = testing_time(ds, q, 1.2, test_points, None, &cfg)
-                .expect("experiment should run");
+            let t =
+                testing_time(ds, q, 1.2, test_points, None, &cfg).expect("experiment should run");
             row.push(format!("{:.3e}", t.seconds_per_example));
         }
         rows.push(row);

@@ -150,11 +150,24 @@ fn main() {
     };
     let mut rows10 = Vec::new();
     for &d in &[5usize, 10, 15, 20, 25, 30, 34] {
-        let t80 = testing_time(UciDataset::Ionosphere, 80, 1.2, sizes.test_points, Some(d), &cfg)
-            .expect("fig10");
-        let t140 =
-            testing_time(UciDataset::Ionosphere, 140, 1.2, sizes.test_points, Some(d), &cfg)
-                .expect("fig10");
+        let t80 = testing_time(
+            UciDataset::Ionosphere,
+            80,
+            1.2,
+            sizes.test_points,
+            Some(d),
+            &cfg,
+        )
+        .expect("fig10");
+        let t140 = testing_time(
+            UciDataset::Ionosphere,
+            140,
+            1.2,
+            sizes.test_points,
+            Some(d),
+            &cfg,
+        )
+        .expect("fig10");
         rows10.push(vec![
             format!("{d}"),
             format!("{:.3e}", t80.seconds_per_example),

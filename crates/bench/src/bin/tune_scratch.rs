@@ -24,18 +24,29 @@ fn main() {
     };
 
     let clean_test = std::env::var("CLEAN_TEST").is_ok();
-    println!("dataset={} n={n} seed={seed} clean_test={clean_test}", ds.name());
+    println!(
+        "dataset={} n={n} seed={seed} clean_test={clean_test}",
+        ds.name()
+    );
     println!("f     adj+conv  adj-conv  unadj    nn");
     for f in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
         let clean = ds.generate(cfg.n, cfg.seed);
-        let clean_split = stratified_split(&clean, cfg.test_fraction, cfg.seed ^ 0x5851_F42D).unwrap();
+        let clean_split =
+            stratified_split(&clean, cfg.test_fraction, cfg.seed ^ 0x5851_F42D).unwrap();
         let mut split = clean_split.clone();
-        split.train = ErrorModel::paper(f).apply(&clean_split.train, cfg.seed ^ 0x9E37_79B9).unwrap();
+        split.train = ErrorModel::paper(f)
+            .apply(&clean_split.train, cfg.seed ^ 0x9E37_79B9)
+            .unwrap();
         if !clean_test {
-            split.test = ErrorModel::paper(f).apply(&clean_split.test, cfg.seed ^ 0x1234_5678).unwrap();
+            split.test = ErrorModel::paper(f)
+                .apply(&clean_split.test, cfg.seed ^ 0x1234_5678)
+                .unwrap();
         }
 
-        let thr: f64 = std::env::var("THR").ok().and_then(|v| v.parse().ok()).unwrap_or(0.55);
+        let thr: f64 = std::env::var("THR")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.55);
         let mut c1 = ClassifierConfig::error_adjusted(140);
         c1.convolve_query_error = true;
         c1.accuracy_threshold = thr;

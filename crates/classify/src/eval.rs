@@ -1,5 +1,6 @@
 //! Evaluation harness: accuracy, confusion matrices, timing, parallelism.
 
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 use udm_core::{ClassLabel, Result, UdmError, UncertainDataset, UncertainPoint};
@@ -161,8 +162,9 @@ pub fn evaluate<C: Classifier>(model: &C, test: &UncertainDataset) -> Result<Eva
     })
 }
 
-/// Evaluates a classifier in parallel over `threads` crossbeam-scoped
-/// worker threads (chunked by index), then merges the partial reports.
+/// Evaluates a classifier in parallel with rayon, chunking the test set
+/// by index (`threads` sets the chunk count) and merging the partial
+/// reports in chunk order.
 ///
 /// Produces the same counts as [`evaluate`] for any deterministic
 /// classifier; only `elapsed` (wall-clock) differs.
@@ -178,34 +180,24 @@ pub fn evaluate_parallel<C: Classifier>(
     let points = test.points();
     let chunk = points.len().div_ceil(threads).max(1);
     type Partial = (usize, usize, BTreeMap<(ClassLabel, ClassLabel), usize>);
-    let partials: Vec<Result<Partial>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = points
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move |_| {
-                        let mut n = 0;
-                        let mut correct = 0;
-                        let mut confusion = BTreeMap::new();
-                        for p in slice {
-                            let Some(actual) = p.label() else { continue };
-                            let predicted = model.classify(p)?;
-                            n += 1;
-                            if predicted == actual {
-                                correct += 1;
-                            }
-                            *confusion.entry((actual, predicted)).or_insert(0) += 1;
-                        }
-                        Ok((n, correct, confusion))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
+    let partials: Vec<Result<Partial>> = points
+        .par_chunks(chunk)
+        .map(|slice| {
+            let mut n = 0;
+            let mut correct = 0;
+            let mut confusion = BTreeMap::new();
+            for p in slice {
+                let Some(actual) = p.label() else { continue };
+                let predicted = model.classify(p)?;
+                n += 1;
+                if predicted == actual {
+                    correct += 1;
+                }
+                *confusion.entry((actual, predicted)).or_insert(0) += 1;
+            }
+            Ok((n, correct, confusion))
         })
-        .expect("crossbeam scope failed");
+        .collect();
 
     let mut n = 0;
     let mut correct = 0;
@@ -310,8 +302,8 @@ mod tests {
 
     #[test]
     fn all_unlabelled_is_error() {
-        let d = UncertainDataset::from_points(vec![UncertainPoint::exact(vec![0.0]).unwrap()])
-            .unwrap();
+        let d =
+            UncertainDataset::from_points(vec![UncertainPoint::exact(vec![0.0]).unwrap()]).unwrap();
         assert!(evaluate(&SignClassifier, &d).is_err());
     }
 

@@ -42,7 +42,7 @@ pub mod tune;
 
 pub use config::{ClassifierConfig, Fallback};
 pub use eval::{evaluate, evaluate_parallel, Classifier, EvalReport};
-pub use kfold::{cross_validate, CrossValidationReport};
+pub use kfold::{cross_validate, cross_validate_parallel, CrossValidationReport};
 pub use model::{ClassificationOutcome, DensityClassifier};
 pub use naive::NaiveDensityBayes;
 pub use nn::NnClassifier;

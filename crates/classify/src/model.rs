@@ -4,8 +4,11 @@ use crate::config::{ClassifierConfig, Fallback};
 use crate::eval::Classifier;
 use crate::rollup::{rollup, AccuracyOracle, DiscriminativeSubspace, RollupLimits};
 use crate::subspace_select::select_non_overlapping;
+use rayon::prelude::*;
+use std::cell::OnceCell;
 use std::collections::BTreeMap;
 use udm_core::{ClassLabel, Result, Subspace, UdmError, UncertainDataset, UncertainPoint};
+use udm_kde::KernelColumns;
 use udm_microcluster::{MaintainerConfig, MicroClusterKde, MicroClusterMaintainer};
 
 /// A trained density-based classifier.
@@ -67,6 +70,15 @@ pub struct ClassificationOutcome {
     pub used_fallback: bool,
 }
 
+/// Kernel-column caches for one test point: one per KDE the accuracy
+/// ratio (Eq. 11) touches. Building them costs one full-dimensional
+/// density evaluation each; every subsequent subspace query is pure
+/// multiply-adds over the cached columns.
+struct ColumnSet {
+    global: KernelColumns,
+    per_class: Vec<KernelColumns>,
+}
+
 struct KdeOracle<'a> {
     model: &'a DensityClassifier,
     query: &'a [f64],
@@ -76,6 +88,48 @@ struct KdeOracle<'a> {
     /// convolves every density with the query's error (`None` for the
     /// unadjusted baseline, which pretends all errors are zero).
     query_errors: Option<&'a [f64]>,
+    /// Lazily-built column caches, shared by every subspace the roll-up
+    /// enumerates for this query. `Some(None)` records a failed build, in
+    /// which case each query falls back to the naive per-subspace path.
+    columns: OnceCell<Option<ColumnSet>>,
+}
+
+impl<'a> KdeOracle<'a> {
+    fn new(
+        model: &'a DensityClassifier,
+        query: &'a [f64],
+        query_errors: Option<&'a [f64]>,
+    ) -> Self {
+        KdeOracle {
+            model,
+            query,
+            query_errors,
+            columns: OnceCell::new(),
+        }
+    }
+
+    /// The column caches for this query, built on the first subspace
+    /// evaluation. `None` when any cache failed to build (the naive path
+    /// then serves as the fallback — it performs the same validation and
+    /// surfaces the underlying error per query).
+    fn columns(&self) -> Option<&ColumnSet> {
+        self.columns
+            .get_or_init(|| {
+                let global = self
+                    .model
+                    .global_kde
+                    .kernel_columns(self.query, self.query_errors)
+                    .ok()?;
+                let per_class = self
+                    .model
+                    .class_kdes
+                    .iter()
+                    .map(|kde| kde.kernel_columns(self.query, self.query_errors).ok())
+                    .collect::<Option<Vec<_>>>()?;
+                Some(ColumnSet { global, per_class })
+            })
+            .as_ref()
+    }
 }
 
 impl AccuracyOracle for KdeOracle<'_> {
@@ -84,15 +138,23 @@ impl AccuracyOracle for KdeOracle<'_> {
     }
 
     fn accuracies(&self, subspace: Subspace) -> Result<Vec<f64>> {
-        let global = self.model.global_kde.density_subspace_with_error(
-            self.query,
-            self.query_errors,
-            subspace,
-        )?;
+        // Each density below is bit-for-bit identical between the cached
+        // and naive paths, so which one runs never changes a prediction.
+        let cached = self.columns();
+        let global = match cached {
+            Some(set) => set.global.density(subspace)?,
+            None => self.model.global_kde.density_subspace_with_error(
+                self.query,
+                self.query_errors,
+                subspace,
+            )?,
+        };
         let mut out = Vec::with_capacity(self.model.labels.len());
         for (i, kde) in self.model.class_kdes.iter().enumerate() {
-            let class_density =
-                kde.density_subspace_with_error(self.query, self.query_errors, subspace)?;
+            let class_density = match cached {
+                Some(set) => set.per_class[i].density(subspace)?,
+                None => kde.density_subspace_with_error(self.query, self.query_errors, subspace)?,
+            };
             let a = if global > 0.0 {
                 self.model.priors[i] * class_density / global
             } else {
@@ -155,9 +217,8 @@ impl DensityClassifier {
             let class_data = partition
                 .class(label)
                 .expect("label came from the partition");
-            let q_i = ((q as f64 * class_data.len() as f64 / train.len() as f64).round()
-                as usize)
-                .max(1);
+            let q_i =
+                ((q as f64 * class_data.len() as f64 / train.len() as f64).round() as usize).max(1);
             let m = MicroClusterMaintainer::from_dataset(
                 class_data,
                 MaintainerConfig {
@@ -189,9 +250,10 @@ impl DensityClassifier {
     }
 
     /// Like [`DensityClassifier::fit`], but builds the global and
-    /// per-class micro-cluster summaries on crossbeam-scoped worker
-    /// threads. Produces a model identical to the sequential one (the
-    /// summaries are deterministic functions of their input partition).
+    /// per-class micro-cluster summaries on rayon worker threads.
+    /// Produces a model identical to the sequential one: the summaries
+    /// are deterministic functions of their input partition, and the
+    /// per-class results are merged in label order.
     pub fn fit_parallel(train: &UncertainDataset, config: ClassifierConfig) -> Result<Self> {
         config.validate()?;
         let partition = train.partition_by_class();
@@ -207,8 +269,8 @@ impl DensityClassifier {
         // Global summary + per-class maintainers, concurrently.
         type MaintainerResult = Result<MicroClusterMaintainer>;
         let (global, class_results): (MaintainerResult, Vec<(ClassLabel, MaintainerResult)>) =
-            crossbeam::thread::scope(|scope| {
-                let global_handle = scope.spawn(|_| {
+            rayon::join(
+                || {
                     MicroClusterMaintainer::from_dataset(
                         train,
                         MaintainerConfig {
@@ -216,16 +278,13 @@ impl DensityClassifier {
                             distance: config.distance,
                         },
                     )
-                });
-                let class_handles: Vec<_> = labels
-                    .iter()
-                    .map(|&label| {
-                        let partition = &partition;
-                        scope.spawn(move |_| {
-                            let class_data =
-                                partition.class(label).expect("label from partition");
-                            let q_i = ((q as f64 * class_data.len() as f64
-                                / train.len() as f64)
+                },
+                || {
+                    labels
+                        .par_iter()
+                        .map(|&label| {
+                            let class_data = partition.class(label).expect("label from partition");
+                            let q_i = ((q as f64 * class_data.len() as f64 / train.len() as f64)
                                 .round() as usize)
                                 .max(1);
                             (
@@ -239,17 +298,9 @@ impl DensityClassifier {
                                 ),
                             )
                         })
-                    })
-                    .collect();
-                (
-                    global_handle.join().expect("global training panicked"),
-                    class_handles
-                        .into_iter()
-                        .map(|h| h.join().expect("class training panicked"))
-                        .collect(),
-                )
-            })
-            .expect("crossbeam scope failed");
+                        .collect()
+                },
+            );
 
         let global = global?;
         let mut agg = udm_microcluster::MicroCluster::new(train.dim());
@@ -357,11 +408,7 @@ impl DensityClassifier {
             .iter()
             .position(|&l| l == label)
             .ok_or(UdmError::UnknownLabel(label.id()))?;
-        let oracle = KdeOracle {
-            model: self,
-            query: x.values(),
-            query_errors: self.query_errors_of(x),
-        };
+        let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
         Ok(oracle.accuracies(subspace)?[idx])
     }
 
@@ -376,11 +423,7 @@ impl DensityClassifier {
                 actual: x.dim(),
             });
         }
-        let oracle = KdeOracle {
-            model: self,
-            query: x.values(),
-            query_errors: self.query_errors_of(x),
-        };
+        let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
         let accs = oracle.accuracies(Subspace::full(self.dim)?)?;
         let total: f64 = accs.iter().filter(|a| a.is_finite()).sum();
         Ok(self
@@ -406,11 +449,7 @@ impl DensityClassifier {
                 actual: x.dim(),
             });
         }
-        let oracle = KdeOracle {
-            model: self,
-            query: x.values(),
-            query_errors: self.query_errors_of(x),
-        };
+        let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
         let outcome = rollup(
             &oracle,
             self.dim,
@@ -492,11 +531,8 @@ mod tests {
 
     #[test]
     fn rejects_single_class_training() {
-        let g = MixtureGenerator::new(
-            1,
-            vec![GaussianClassSpec::spherical(vec![0.0], 1.0, 1.0)],
-        )
-        .unwrap();
+        let g = MixtureGenerator::new(1, vec![GaussianClassSpec::spherical(vec![0.0], 1.0, 1.0)])
+            .unwrap();
         let d = g.generate(50, 1);
         assert!(DensityClassifier::fit(&d, ClassifierConfig::default()).is_err());
     }
@@ -506,8 +542,7 @@ mod tests {
         let g = informative_mixture();
         let train = g.generate(600, 10);
         let test = g.generate(200, 11);
-        let model =
-            DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(60)).unwrap();
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(60)).unwrap();
         let mut correct = 0;
         for p in test.iter() {
             if model.classify(p).unwrap() == p.label().unwrap() {
@@ -522,8 +557,7 @@ mod tests {
     fn classify_detailed_reports_subspaces() {
         let g = informative_mixture();
         let train = g.generate(600, 20);
-        let model =
-            DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(60)).unwrap();
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(60)).unwrap();
         // A point deep in class 1 territory.
         let x = UncertainPoint::exact(vec![4.0, 4.0, 0.0]).unwrap();
         let out = model.classify_detailed(&x).unwrap();
@@ -543,8 +577,7 @@ mod tests {
     fn discriminative_dims_have_higher_accuracy() {
         let g = informative_mixture();
         let train = g.generate(800, 30);
-        let model =
-            DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(60)).unwrap();
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(60)).unwrap();
         let x = UncertainPoint::exact(vec![4.0, 4.0, 0.0]).unwrap();
         let informative = model
             .local_accuracy(&x, Subspace::singleton(0).unwrap(), ClassLabel(1))
@@ -570,8 +603,7 @@ mod tests {
 
         let adj =
             DensityClassifier::fit(&noisy_train, ClassifierConfig::error_adjusted(60)).unwrap();
-        let unadj =
-            DensityClassifier::fit(&noisy_train, ClassifierConfig::unadjusted(60)).unwrap();
+        let unadj = DensityClassifier::fit(&noisy_train, ClassifierConfig::unadjusted(60)).unwrap();
 
         let accuracy = |m: &DensityClassifier| {
             let mut c = 0;
@@ -673,13 +705,15 @@ mod tests {
         let train = g.generate(400, 99);
         let seq = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(30)).unwrap();
         let par =
-            DensityClassifier::fit_parallel(&train, ClassifierConfig::error_adjusted(30))
-                .unwrap();
+            DensityClassifier::fit_parallel(&train, ClassifierConfig::error_adjusted(30)).unwrap();
         let test = g.generate(80, 100);
         for p in test.iter() {
             assert_eq!(seq.classify(p).unwrap(), par.classify(p).unwrap());
         }
         assert_eq!(seq.labels(), par.labels());
+        // The parallel fit is *bitwise* identical, not merely equivalent:
+        // the serialized models (exact float round-trip) must match.
+        assert_eq!(seq.to_json().unwrap(), par.to_json().unwrap());
     }
 
     #[test]

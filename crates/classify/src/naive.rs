@@ -66,10 +66,10 @@ impl NaiveDensityBayes {
         let mut log_priors = Vec::with_capacity(labels.len());
         for &label in &labels {
             let class_data = partition.class(label).expect("label from partition");
-            let q_i = ((config.micro_clusters as f64 * class_data.len() as f64
-                / train.len() as f64)
-                .round() as usize)
-                .max(1);
+            let q_i =
+                ((config.micro_clusters as f64 * class_data.len() as f64 / train.len() as f64)
+                    .round() as usize)
+                    .max(1);
             let m = MicroClusterMaintainer::from_dataset(
                 class_data,
                 MaintainerConfig {
@@ -160,11 +160,8 @@ mod tests {
 
     #[test]
     fn rejects_single_class() {
-        let g = MixtureGenerator::new(
-            1,
-            vec![GaussianClassSpec::spherical(vec![0.0], 1.0, 1.0)],
-        )
-        .unwrap();
+        let g = MixtureGenerator::new(1, vec![GaussianClassSpec::spherical(vec![0.0], 1.0, 1.0)])
+            .unwrap();
         let d = g.generate(30, 1);
         assert!(NaiveDensityBayes::fit(&d, ClassifierConfig::error_adjusted(10)).is_err());
     }
@@ -173,8 +170,7 @@ mod tests {
     fn separable_blobs_classify_well() {
         let train = blobs(400, 2);
         let test = blobs(150, 3);
-        let model =
-            NaiveDensityBayes::fit(&train, ClassifierConfig::error_adjusted(30)).unwrap();
+        let model = NaiveDensityBayes::fit(&train, ClassifierConfig::error_adjusted(30)).unwrap();
         let acc = evaluate(&model, &test).unwrap().accuracy();
         assert!(acc > 0.95, "accuracy {acc}");
     }
@@ -182,8 +178,7 @@ mod tests {
     #[test]
     fn log_scores_ordered_and_validated() {
         let train = blobs(300, 4);
-        let model =
-            NaiveDensityBayes::fit(&train, ClassifierConfig::error_adjusted(20)).unwrap();
+        let model = NaiveDensityBayes::fit(&train, ClassifierConfig::error_adjusted(20)).unwrap();
         let x = UncertainPoint::exact(vec![5.0, 5.0]).unwrap();
         let scores = model.log_scores(&x).unwrap();
         assert_eq!(scores.len(), 2);
@@ -209,8 +204,7 @@ mod tests {
     #[test]
     fn far_query_does_not_panic_on_log_zero() {
         let train = blobs(200, 8);
-        let model =
-            NaiveDensityBayes::fit(&train, ClassifierConfig::error_adjusted(20)).unwrap();
+        let model = NaiveDensityBayes::fit(&train, ClassifierConfig::error_adjusted(20)).unwrap();
         let x = UncertainPoint::exact(vec![1e6, -1e6]).unwrap();
         let label = model.classify(&x).unwrap();
         assert!(model.labels().contains(&label));

@@ -96,8 +96,8 @@ mod tests {
 
     #[test]
     fn empty_training_rejected() {
-        let d = UncertainDataset::from_points(vec![UncertainPoint::exact(vec![0.0]).unwrap()])
-            .unwrap();
+        let d =
+            UncertainDataset::from_points(vec![UncertainPoint::exact(vec![0.0]).unwrap()]).unwrap();
         assert!(NnClassifier::fit(&d).is_err()); // present but unlabelled
     }
 
@@ -124,8 +124,7 @@ mod tests {
     #[test]
     fn exact_match_returns_its_label() {
         let train =
-            UncertainDataset::from_points(vec![labelled(&[5.0], 3), labelled(&[7.0], 4)])
-                .unwrap();
+            UncertainDataset::from_points(vec![labelled(&[5.0], 3), labelled(&[7.0], 4)]).unwrap();
         let nn = NnClassifier::fit(&train).unwrap();
         assert_eq!(
             nn.classify(&UncertainPoint::exact(vec![7.0]).unwrap())
@@ -137,23 +136,19 @@ mod tests {
     #[test]
     fn ignores_errors_entirely() {
         // Same values with different recorded errors must classify alike.
-        let train = UncertainDataset::from_points(vec![
-            labelled(&[0.0], 0),
-            labelled(&[10.0], 1),
-        ])
-        .unwrap();
+        let train =
+            UncertainDataset::from_points(vec![labelled(&[0.0], 0), labelled(&[10.0], 1)]).unwrap();
         let nn = NnClassifier::fit(&train).unwrap();
         let precise = UncertainPoint::new(vec![2.0], vec![0.0]).unwrap();
         let noisy = UncertainPoint::new(vec![2.0], vec![50.0]).unwrap();
-        assert_eq!(
-            nn.classify(&precise).unwrap(),
-            nn.classify(&noisy).unwrap()
-        );
+        assert_eq!(nn.classify(&precise).unwrap(), nn.classify(&noisy).unwrap());
     }
 
     #[test]
     fn dimension_mismatch_rejected() {
-        let train = UncertainDataset::from_points(vec![labelled(&[0.0, 1.0], 0), labelled(&[1.0, 0.0], 1)]).unwrap();
+        let train =
+            UncertainDataset::from_points(vec![labelled(&[0.0, 1.0], 0), labelled(&[1.0, 0.0], 1)])
+                .unwrap();
         let nn = NnClassifier::fit(&train).unwrap();
         assert!(nn
             .classify(&UncertainPoint::exact(vec![0.0]).unwrap())

@@ -108,7 +108,10 @@ pub fn rollup<O: AccuracyOracle>(
                 accuracy,
                 label,
             };
-            if best_singleton.map(|b| accuracy > b.accuracy).unwrap_or(true) {
+            if best_singleton
+                .map(|b| accuracy > b.accuracy)
+                .unwrap_or(true)
+            {
                 best_singleton = Some(ds);
             }
             if accuracy > threshold {

@@ -63,7 +63,11 @@ mod tests {
     #[test]
     fn overlapping_lower_accuracy_removed() {
         let sel = select_non_overlapping(
-            vec![ds(&[0, 1], 0.95, 0), ds(&[1, 2], 0.90, 1), ds(&[3], 0.85, 1)],
+            vec![
+                ds(&[0, 1], 0.95, 0),
+                ds(&[1, 2], 0.90, 1),
+                ds(&[3], 0.85, 1),
+            ],
             None,
         );
         // {1,2} overlaps the winner {0,1}; {3} survives.

@@ -126,7 +126,11 @@ mod tests {
             4,
         )
         .unwrap();
-        if sweep.candidates.iter().all(|&(_, a)| a == sweep.best_accuracy) {
+        if sweep
+            .candidates
+            .iter()
+            .all(|&(_, a)| a == sweep.best_accuracy)
+        {
             assert_eq!(sweep.best_threshold, 0.4);
         }
     }
@@ -134,9 +138,7 @@ mod tests {
     #[test]
     fn empty_grid_rejected() {
         let d = blobs(100, 5);
-        assert!(
-            tune_threshold(&d, ClassifierConfig::error_adjusted(10), &[], 0.3, 6).is_err()
-        );
+        assert!(tune_threshold(&d, ClassifierConfig::error_adjusted(10), &[], 0.3, 6).is_err());
     }
 
     #[test]

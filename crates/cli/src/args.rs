@@ -167,9 +167,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                     "--n" => n = parse_num("--n", it.next())?,
                     "--f" => f = parse_num("--f", it.next())?,
                     "--seed" => seed = parse_num("--seed", it.next())?,
-                    "--out" => out = Some(PathBuf::from(
-                        it.next().ok_or_else(|| invalid("--out needs a path"))?,
-                    )),
+                    "--out" => {
+                        out = Some(PathBuf::from(
+                            it.next().ok_or_else(|| invalid("--out needs a path"))?,
+                        ))
+                    }
                     other => return Err(invalid(format!("unknown flag {other:?}"))),
                 }
             }
@@ -193,9 +195,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                 match flag.as_str() {
                     "--q" => q = parse_num("--q", it.next())?,
                     "--euclidean" => euclidean = true,
-                    "--out" => out = Some(PathBuf::from(
-                        it.next().ok_or_else(|| invalid("--out needs a path"))?,
-                    )),
+                    "--out" => {
+                        out = Some(PathBuf::from(
+                            it.next().ok_or_else(|| invalid("--out needs a path"))?,
+                        ))
+                    }
                     other => return Err(invalid(format!("unknown flag {other:?}"))),
                 }
             }
@@ -228,15 +232,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                         if parts.len() != 3 {
                             return Err(invalid("--grid expects LO:HI:N"));
                         }
-                        let lo: f64 = parts[0]
-                            .parse()
-                            .map_err(|_| invalid("--grid: bad LO"))?;
-                        let hi: f64 = parts[1]
-                            .parse()
-                            .map_err(|_| invalid("--grid: bad HI"))?;
-                        let n: usize = parts[2]
-                            .parse()
-                            .map_err(|_| invalid("--grid: bad N"))?;
+                        let lo: f64 = parts[0].parse().map_err(|_| invalid("--grid: bad LO"))?;
+                        let hi: f64 = parts[1].parse().map_err(|_| invalid("--grid: bad HI"))?;
+                        let n: usize = parts[2].parse().map_err(|_| invalid("--grid: bad N"))?;
                         grid = Some((lo, hi, n));
                     }
                     other => return Err(invalid(format!("unknown flag {other:?}"))),
@@ -263,12 +261,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
             let mut nn = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
-                    "--train" => train = Some(PathBuf::from(
-                        it.next().ok_or_else(|| invalid("--train needs a path"))?,
-                    )),
-                    "--test" => test = Some(PathBuf::from(
-                        it.next().ok_or_else(|| invalid("--test needs a path"))?,
-                    )),
+                    "--train" => {
+                        train = Some(PathBuf::from(
+                            it.next().ok_or_else(|| invalid("--train needs a path"))?,
+                        ))
+                    }
+                    "--test" => {
+                        test = Some(PathBuf::from(
+                            it.next().ok_or_else(|| invalid("--test needs a path"))?,
+                        ))
+                    }
                     "--q" => q = parse_num("--q", it.next())?,
                     "--threshold" => threshold = parse_num("--threshold", it.next())?,
                     "--unadjusted" => unadjusted = true,
@@ -300,9 +302,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
             let mut out = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
-                    "--out" => out = Some(PathBuf::from(
-                        it.next().ok_or_else(|| invalid("--out needs a path"))?,
-                    )),
+                    "--out" => {
+                        out = Some(PathBuf::from(
+                            it.next().ok_or_else(|| invalid("--out needs a path"))?,
+                        ))
+                    }
                     other => return Err(invalid(format!("unknown flag {other:?}"))),
                 }
             }
@@ -324,9 +328,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                 match flag.as_str() {
                     "--group" => group = parse_num("--group", it.next())?,
                     "--sort" => sort = true,
-                    "--out" => out = Some(PathBuf::from(
-                        it.next().ok_or_else(|| invalid("--out needs a path"))?,
-                    )),
+                    "--out" => {
+                        out = Some(PathBuf::from(
+                            it.next().ok_or_else(|| invalid("--out needs a path"))?,
+                        ))
+                    }
                     other => return Err(invalid(format!("unknown flag {other:?}"))),
                 }
             }
@@ -405,7 +411,11 @@ mod tests {
         let c = parse(&["generate", "adult"]).unwrap();
         match c {
             Command::Generate {
-                dataset, n, f, seed, out,
+                dataset,
+                n,
+                f,
+                seed,
+                out,
             } => {
                 assert_eq!(dataset, UciDataset::Adult);
                 assert_eq!(n, UciDataset::Adult.default_size());
@@ -416,12 +426,26 @@ mod tests {
             _ => panic!("wrong command"),
         }
         let c = parse(&[
-            "generate", "forest_cover", "--n", "100", "--f", "1.5", "--seed", "3", "--out",
+            "generate",
+            "forest_cover",
+            "--n",
+            "100",
+            "--f",
+            "1.5",
+            "--seed",
+            "3",
+            "--out",
             "x.csv",
         ])
         .unwrap();
         match c {
-            Command::Generate { dataset, n, f, seed, out } => {
+            Command::Generate {
+                dataset,
+                n,
+                f,
+                seed,
+                out,
+            } => {
                 assert_eq!(dataset, UciDataset::ForestCover);
                 assert_eq!(n, 100);
                 assert_eq!(f, 1.5);
@@ -445,7 +469,14 @@ mod tests {
         assert!(parse(&["density", "d.csv"]).is_err());
         let c = parse(&["density", "d.csv", "--at", "1.0,2.5", "--subspace", "0,3"]).unwrap();
         match c {
-            Command::Density { at, subspace, q, unadjusted, grid, .. } => {
+            Command::Density {
+                at,
+                subspace,
+                q,
+                unadjusted,
+                grid,
+                ..
+            } => {
                 assert_eq!(at, vec![1.0, 2.5]);
                 assert_eq!(subspace, vec![0, 3]);
                 assert_eq!(q, 0);
@@ -466,16 +497,35 @@ mod tests {
     fn classify_requires_paths_and_exclusive_baselines() {
         assert!(parse(&["classify", "--train", "a.csv"]).is_err());
         assert!(parse(&[
-            "classify", "--train", "a.csv", "--test", "b.csv", "--unadjusted", "--nn"
+            "classify",
+            "--train",
+            "a.csv",
+            "--test",
+            "b.csv",
+            "--unadjusted",
+            "--nn"
         ])
         .is_err());
         let c = parse(&[
-            "classify", "--train", "a.csv", "--test", "b.csv", "--q", "60", "--threshold",
+            "classify",
+            "--train",
+            "a.csv",
+            "--test",
+            "b.csv",
+            "--q",
+            "60",
+            "--threshold",
             "0.7",
         ])
         .unwrap();
         match c {
-            Command::Classify { q, threshold, unadjusted, nn, .. } => {
+            Command::Classify {
+                q,
+                threshold,
+                unadjusted,
+                nn,
+                ..
+            } => {
                 assert_eq!(q, 60);
                 assert_eq!(threshold, 0.7);
                 assert!(!unadjusted && !nn);
@@ -492,7 +542,9 @@ mod tests {
         assert!(parse(&["cluster", "d.csv", "--dbscan", "1.0,4.5"]).is_err());
         let c = parse(&["cluster", "d.csv", "--dbscan", "1.5,4", "--euclidean"]).unwrap();
         match c {
-            Command::Cluster { dbscan, euclidean, .. } => {
+            Command::Cluster {
+                dbscan, euclidean, ..
+            } => {
                 assert_eq!(dbscan, Some((1.5, 4)));
                 assert!(euclidean);
             }
@@ -504,7 +556,11 @@ mod tests {
     fn convert_and_aggregate_parse() {
         let c = parse(&["convert", "breast_cancer", "raw.data", "--out", "bc.csv"]).unwrap();
         match c {
-            Command::Convert { dataset, input, out } => {
+            Command::Convert {
+                dataset,
+                input,
+                out,
+            } => {
                 assert_eq!(dataset, UciDataset::BreastCancer);
                 assert_eq!(input, PathBuf::from("raw.data"));
                 assert_eq!(out.unwrap(), PathBuf::from("bc.csv"));

@@ -6,8 +6,7 @@ use std::io::Write;
 use std::path::Path;
 use udm_classify::{evaluate, ClassifierConfig, DensityClassifier, NnClassifier};
 use udm_cluster::{
-    adjusted_rand_index, normalized_mutual_information, Dbscan, DbscanConfig, KMeans,
-    KMeansConfig,
+    adjusted_rand_index, normalized_mutual_information, Dbscan, DbscanConfig, KMeans, KMeansConfig,
 };
 use udm_core::{Result, Subspace, UdmError, UncertainDataset};
 use udm_data::csv_io;
@@ -163,7 +162,10 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<()> {
                 let dim = s.dims().next().expect("subspace is non-empty");
                 let kde = ErrorKde::fit(&data, config)?;
                 let g = udm_kde::Grid1D::from_kde(&kde, dim, lo, hi, n)?;
-                writeln!(out, "\n1-D density along dimension {dim} over [{lo}, {hi}]:")?;
+                writeln!(
+                    out,
+                    "\n1-D density along dimension {dim} over [{lo}, {hi}]:"
+                )?;
                 write!(out, "{}", udm_kde::ascii::chart(&g, 8))?;
             }
             Ok(())
@@ -369,7 +371,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!(
             "udm_cli_test_{}_{}",
             std::process::id(),
-            std::thread::current().name().unwrap_or("t").replace("::", "_")
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "_")
         ));
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -397,12 +402,28 @@ mod tests {
         let train = dir.join("train.csv");
         let test = dir.join("test.csv");
         run_cli(&[
-            "generate", "breast_cancer", "--n", "300", "--f", "0.5", "--seed", "1", "--out",
+            "generate",
+            "breast_cancer",
+            "--n",
+            "300",
+            "--f",
+            "0.5",
+            "--seed",
+            "1",
+            "--out",
             train.to_str().unwrap(),
         ])
         .unwrap();
         run_cli(&[
-            "generate", "breast_cancer", "--n", "100", "--f", "0.5", "--seed", "2", "--out",
+            "generate",
+            "breast_cancer",
+            "--n",
+            "100",
+            "--f",
+            "0.5",
+            "--seed",
+            "2",
+            "--out",
             test.to_str().unwrap(),
         ])
         .unwrap();
@@ -433,7 +454,12 @@ mod tests {
         let dir = tmpdir();
         let train = dir.join("train.csv");
         run_cli(&[
-            "generate", "breast_cancer", "--n", "120", "--out", train.to_str().unwrap(),
+            "generate",
+            "breast_cancer",
+            "--n",
+            "120",
+            "--out",
+            train.to_str().unwrap(),
         ])
         .unwrap();
         let out = run_cli(&[
@@ -457,7 +483,14 @@ mod tests {
         let data = dir.join("data.csv");
         let snap = dir.join("snap.json");
         run_cli(&[
-            "generate", "adult", "--n", "200", "--f", "1.0", "--out", data.to_str().unwrap(),
+            "generate",
+            "adult",
+            "--n",
+            "200",
+            "--f",
+            "1.0",
+            "--out",
+            data.to_str().unwrap(),
         ])
         .unwrap();
         let out = run_cli(&[
@@ -480,7 +513,13 @@ mod tests {
         let dir = tmpdir();
         let data = dir.join("data.csv");
         run_cli(&[
-            "generate", "breast_cancer", "--n", "150", "--f", "0.5", "--out",
+            "generate",
+            "breast_cancer",
+            "--n",
+            "150",
+            "--f",
+            "0.5",
+            "--out",
             data.to_str().unwrap(),
         ])
         .unwrap();
@@ -488,7 +527,14 @@ mod tests {
         let exact = run_cli(&["density", data.to_str().unwrap(), "--at", at]).unwrap();
         assert!(exact.contains("exact estimation"), "{exact}");
         let compressed = run_cli(&[
-            "density", data.to_str().unwrap(), "--at", at, "--q", "30", "--subspace", "0,1",
+            "density",
+            data.to_str().unwrap(),
+            "--at",
+            at,
+            "--q",
+            "30",
+            "--subspace",
+            "0,1",
         ])
         .unwrap();
         assert!(compressed.contains("30-cluster"), "{compressed}");
@@ -500,7 +546,12 @@ mod tests {
         let dir = tmpdir();
         let data = dir.join("data.csv");
         run_cli(&[
-            "generate", "adult", "--n", "80", "--out", data.to_str().unwrap(),
+            "generate",
+            "adult",
+            "--n",
+            "80",
+            "--out",
+            data.to_str().unwrap(),
         ])
         .unwrap();
         let out = run_cli(&[
@@ -524,7 +575,12 @@ mod tests {
         let dir = tmpdir();
         let data = dir.join("data.csv");
         run_cli(&[
-            "generate", "adult", "--n", "50", "--out", data.to_str().unwrap(),
+            "generate",
+            "adult",
+            "--n",
+            "50",
+            "--out",
+            data.to_str().unwrap(),
         ])
         .unwrap();
         assert!(run_cli(&["density", data.to_str().unwrap(), "--at", "1.0"]).is_err());
@@ -536,7 +592,12 @@ mod tests {
         let dir = tmpdir();
         let data = dir.join("data.csv");
         run_cli(&[
-            "generate", "breast_cancer", "--n", "200", "--out", data.to_str().unwrap(),
+            "generate",
+            "breast_cancer",
+            "--n",
+            "200",
+            "--out",
+            data.to_str().unwrap(),
         ])
         .unwrap();
         let out = run_cli(&["cluster", data.to_str().unwrap(), "--k", "2"]).unwrap();
@@ -550,11 +611,20 @@ mod tests {
         let dir = tmpdir();
         let data = dir.join("data.csv");
         run_cli(&[
-            "generate", "breast_cancer", "--n", "150", "--out", data.to_str().unwrap(),
+            "generate",
+            "breast_cancer",
+            "--n",
+            "150",
+            "--out",
+            data.to_str().unwrap(),
         ])
         .unwrap();
         let out = run_cli(&[
-            "cluster", data.to_str().unwrap(), "--dbscan", "3.0,4", "--euclidean",
+            "cluster",
+            data.to_str().unwrap(),
+            "--dbscan",
+            "3.0,4",
+            "--euclidean",
         ])
         .unwrap();
         assert!(out.contains("dbscan: eps=3"), "{out}");
@@ -586,11 +656,22 @@ mod tests {
         let dir = tmpdir();
         let data = dir.join("data.csv");
         run_cli(&[
-            "generate", "breast_cancer", "--n", "100", "--out", data.to_str().unwrap(),
+            "generate",
+            "breast_cancer",
+            "--n",
+            "100",
+            "--out",
+            data.to_str().unwrap(),
         ])
         .unwrap();
-        let out = run_cli(&["aggregate", data.to_str().unwrap(), "--group", "10", "--sort"])
-            .unwrap();
+        let out = run_cli(&[
+            "aggregate",
+            data.to_str().unwrap(),
+            "--group",
+            "10",
+            "--sort",
+        ])
+        .unwrap();
         let parsed = csv_io::read_csv(out.as_bytes(), None).unwrap();
         assert_eq!(parsed.len(), 10);
         assert!(parsed.iter().any(|p| !p.is_exact()));

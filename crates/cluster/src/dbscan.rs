@@ -213,7 +213,10 @@ mod tests {
     #[test]
     fn finds_two_blobs_and_noise() {
         let d = two_blobs();
-        let r = Dbscan::new(DbscanConfig::new(0.5, 3)).unwrap().run(&d).unwrap();
+        let r = Dbscan::new(DbscanConfig::new(0.5, 3))
+            .unwrap()
+            .run(&d)
+            .unwrap();
         assert_eq!(r.num_clusters, 2);
         assert_eq!(r.num_noise(), 1);
         // All of blob 1 in one cluster:
@@ -252,13 +255,20 @@ mod tests {
         // pairwise distance collapses the gap; Euclidean keeps them apart.
         let pts: Vec<UncertainPoint> = (0..6)
             .map(|i| {
-                let x = if i < 3 { i as f64 * 0.1 } else { 4.0 + i as f64 * 0.1 };
+                let x = if i < 3 {
+                    i as f64 * 0.1
+                } else {
+                    4.0 + i as f64 * 0.1
+                };
                 UncertainPoint::new(vec![x], vec![3.0]).unwrap()
             })
             .collect();
         let d = UncertainDataset::from_points(pts).unwrap();
 
-        let adjusted = Dbscan::new(DbscanConfig::new(0.8, 3)).unwrap().run(&d).unwrap();
+        let adjusted = Dbscan::new(DbscanConfig::new(0.8, 3))
+            .unwrap()
+            .run(&d)
+            .unwrap();
         assert_eq!(adjusted.num_clusters, 1, "errors should bridge the gap");
 
         let plain = Dbscan::new(DbscanConfig {
@@ -275,7 +285,10 @@ mod tests {
     #[test]
     fn zero_error_adjusted_equals_euclidean() {
         let d = two_blobs(); // all exact points
-        let adj = Dbscan::new(DbscanConfig::new(0.5, 3)).unwrap().run(&d).unwrap();
+        let adj = Dbscan::new(DbscanConfig::new(0.5, 3))
+            .unwrap()
+            .run(&d)
+            .unwrap();
         let euc = Dbscan::new(DbscanConfig {
             eps: 0.5,
             min_pts: 3,
@@ -310,10 +323,15 @@ mod tests {
     fn border_points_join_a_cluster() {
         // A chain where the end point is within eps of a core point but
         // has too few neighbors to be core itself.
-        let pts: Vec<UncertainPoint> =
-            [0.0, 0.1, 0.2, 0.3, 0.85].iter().map(|&x| exact(&[x])).collect();
+        let pts: Vec<UncertainPoint> = [0.0, 0.1, 0.2, 0.3, 0.85]
+            .iter()
+            .map(|&x| exact(&[x]))
+            .collect();
         let d = UncertainDataset::from_points(pts).unwrap();
-        let r = Dbscan::new(DbscanConfig::new(0.6, 4)).unwrap().run(&d).unwrap();
+        let r = Dbscan::new(DbscanConfig::new(0.6, 4))
+            .unwrap()
+            .run(&d)
+            .unwrap();
         assert_eq!(r.num_clusters, 1);
         assert_eq!(r.assignments[4], r.assignments[0]);
     }

@@ -264,8 +264,8 @@ mod tests {
 
     #[test]
     fn k_above_n_rejected() {
-        let d = UncertainDataset::from_points(vec![UncertainPoint::exact(vec![0.0]).unwrap()])
-            .unwrap();
+        let d =
+            UncertainDataset::from_points(vec![UncertainPoint::exact(vec![0.0]).unwrap()]).unwrap();
         assert!(KMeans::new(KMeansConfig::new(2)).unwrap().run(&d).is_err());
     }
 

@@ -245,8 +245,7 @@ mod tests {
                 .map(|i| {
                     let base = if i % 2 == 0 { 0.0 } else { 20.0 };
                     let jitter = ((i * 7) % 10) as f64 * 0.1;
-                    UncertainPoint::new(vec![base + jitter, base - jitter], vec![0.1, 0.2])
-                        .unwrap()
+                    UncertainPoint::new(vec![base + jitter, base - jitter], vec![0.1, 0.2]).unwrap()
                 })
                 .collect(),
         )
@@ -292,11 +291,7 @@ mod tests {
     #[test]
     fn empty_and_invalid_inputs_rejected() {
         assert!(macro_cluster(&[], MacroClusterConfig::new(1)).is_err());
-        assert!(macro_cluster(
-            &[MicroCluster::new(2)],
-            MacroClusterConfig::new(1)
-        )
-        .is_err());
+        assert!(macro_cluster(&[MicroCluster::new(2)], MacroClusterConfig::new(1)).is_err());
         let d = stream_two_blobs(10);
         let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(4)).unwrap();
         assert!(macro_cluster(m.clusters(), MacroClusterConfig::new(0)).is_err());

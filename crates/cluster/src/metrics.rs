@@ -21,7 +21,12 @@ fn contingency(predicted: &[Option<usize>], truth: &[ClassLabel]) -> Contingency
         "predicted and truth must have equal length"
     );
     // Re-map noise to fresh singleton ids after the real clusters.
-    let max_cluster = predicted.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let max_cluster = predicted
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1);
     let mut noise_counter = max_cluster;
     let mut table: BTreeMap<(usize, u32), usize> = BTreeMap::new();
     let mut row: BTreeMap<usize, usize> = BTreeMap::new();
@@ -163,10 +168,7 @@ mod tests {
         let p1 = clusters(&[0, 0, 1, 1]);
         let p2 = clusters(&[1, 1, 0, 0]);
         let t = labels(&[0, 0, 1, 1]);
-        assert_eq!(
-            adjusted_rand_index(&p1, &t),
-            adjusted_rand_index(&p2, &t)
-        );
+        assert_eq!(adjusted_rand_index(&p1, &t), adjusted_rand_index(&p2, &t));
         assert_eq!(
             normalized_mutual_information(&p1, &t),
             normalized_mutual_information(&p2, &t)

@@ -69,8 +69,10 @@ impl OutlierDetector {
     /// training points' own densities.
     pub fn fit(data: &UncertainDataset, config: OutlierConfig) -> Result<Self> {
         config.validate()?;
-        let maintainer =
-            MicroClusterMaintainer::from_dataset(data, MaintainerConfig::new(config.micro_clusters))?;
+        let maintainer = MicroClusterMaintainer::from_dataset(
+            data,
+            MaintainerConfig::new(config.micro_clusters),
+        )?;
         let kde = MicroClusterKde::fit(maintainer.clusters(), KdeConfig::error_adjusted())?;
         let mut densities = Vec::with_capacity(data.len());
         for p in data.iter() {

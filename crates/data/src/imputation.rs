@@ -37,7 +37,10 @@ pub struct IncompleteRow {
 impl IncompleteDataset {
     /// Creates an empty incomplete dataset of dimensionality `dim`.
     pub fn new(dim: usize) -> Self {
-        IncompleteDataset { dim, rows: Vec::new() }
+        IncompleteDataset {
+            dim,
+            rows: Vec::new(),
+        }
     }
 
     /// Dimensionality.
@@ -118,9 +121,7 @@ pub enum MissingnessModel {
 impl MissingnessModel {
     fn validate(&self) -> Result<()> {
         let rate = match self {
-            MissingnessModel::Mcar { rate } | MissingnessModel::PerDimension { rate, .. } => {
-                *rate
-            }
+            MissingnessModel::Mcar { rate } | MissingnessModel::PerDimension { rate, .. } => *rate,
         };
         if !(rate.is_finite() && (0.0..1.0).contains(&rate)) {
             return Err(UdmError::InvalidValue {
@@ -298,11 +299,7 @@ mod tests {
         for row in inc.rows() {
             assert!(row.values[1].is_some());
         }
-        let dim0_missing = inc
-            .rows()
-            .iter()
-            .filter(|r| r.values[0].is_none())
-            .count();
+        let dim0_missing = inc.rows().iter().filter(|r| r.values[0].is_none()).count();
         assert!(dim0_missing > 150 && dim0_missing < 350);
     }
 
@@ -311,7 +308,9 @@ mod tests {
         let d = complete(5);
         assert!(MissingnessModel::Mcar { rate: 1.0 }.apply(&d, 0).is_err());
         assert!(MissingnessModel::Mcar { rate: -0.1 }.apply(&d, 0).is_err());
-        assert!(MissingnessModel::Mcar { rate: f64::NAN }.apply(&d, 0).is_err());
+        assert!(MissingnessModel::Mcar { rate: f64::NAN }
+            .apply(&d, 0)
+            .is_err());
     }
 
     #[test]

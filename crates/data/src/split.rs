@@ -34,11 +34,7 @@ fn validate_fraction(test_fraction: f64) -> Result<()> {
 ///
 /// [`UdmError::InvalidValue`] for a fraction outside `(0, 1)`;
 /// [`UdmError::EmptyDataset`] when fewer than 2 points are available.
-pub fn train_test_split(
-    data: &UncertainDataset,
-    test_fraction: f64,
-    seed: u64,
-) -> Result<Split> {
+pub fn train_test_split(data: &UncertainDataset, test_fraction: f64, seed: u64) -> Result<Split> {
     validate_fraction(test_fraction)?;
     if data.len() < 2 {
         return Err(UdmError::EmptyDataset);
@@ -68,11 +64,7 @@ pub fn train_test_split(
 /// # Errors
 ///
 /// Same conditions as [`train_test_split`].
-pub fn stratified_split(
-    data: &UncertainDataset,
-    test_fraction: f64,
-    seed: u64,
-) -> Result<Split> {
+pub fn stratified_split(data: &UncertainDataset, test_fraction: f64, seed: u64) -> Result<Split> {
     validate_fraction(test_fraction)?;
     if data.len() < 2 {
         return Err(UdmError::EmptyDataset);

@@ -179,10 +179,8 @@ mod tests {
     #[test]
     fn regimes_shift_the_distribution() {
         let d = two_regimes().generate();
-        let early: f64 =
-            d.points()[..200].iter().map(|p| p.value(0)).sum::<f64>() / 200.0;
-        let late: f64 =
-            d.points()[200..].iter().map(|p| p.value(0)).sum::<f64>() / 100.0;
+        let early: f64 = d.points()[..200].iter().map(|p| p.value(0)).sum::<f64>() / 200.0;
+        let late: f64 = d.points()[200..].iter().map(|p| p.value(0)).sum::<f64>() / 100.0;
         assert!(early.abs() < 1.0, "early mean {early}");
         assert!((late - 30.0).abs() < 2.0, "late mean {late}");
     }
@@ -190,10 +188,8 @@ mod tests {
     #[test]
     fn error_scales_differ_between_regimes() {
         let d = two_regimes().generate();
-        let early_err: f64 =
-            d.points()[..200].iter().map(|p| p.error(0)).sum::<f64>() / 200.0;
-        let late_err: f64 =
-            d.points()[200..].iter().map(|p| p.error(0)).sum::<f64>() / 100.0;
+        let early_err: f64 = d.points()[..200].iter().map(|p| p.error(0)).sum::<f64>() / 200.0;
+        let late_err: f64 = d.points()[200..].iter().map(|p| p.error(0)).sum::<f64>() / 100.0;
         assert!(late_err > early_err * 3.0, "{early_err} vs {late_err}");
     }
 

@@ -177,16 +177,14 @@ mod tests {
     #[test]
     fn validates_specs() {
         assert!(MixtureGenerator::new(2, vec![]).is_err());
-        assert!(MixtureGenerator::new(
-            2,
-            vec![GaussianClassSpec::spherical(vec![0.0], 1.0, 1.0)]
-        )
-        .is_err());
-        assert!(MixtureGenerator::new(
-            1,
-            vec![GaussianClassSpec::spherical(vec![0.0], 1.0, 0.0)]
-        )
-        .is_err());
+        assert!(
+            MixtureGenerator::new(2, vec![GaussianClassSpec::spherical(vec![0.0], 1.0, 1.0)])
+                .is_err()
+        );
+        assert!(
+            MixtureGenerator::new(1, vec![GaussianClassSpec::spherical(vec![0.0], 1.0, 0.0)])
+                .is_err()
+        );
         assert!(MixtureGenerator::new(
             1,
             vec![GaussianClassSpec {

@@ -55,7 +55,10 @@ pub fn parse_adult<R: Read>(reader: R) -> Result<UncertainDataset> {
         let mut values = Vec::with_capacity(KEEP.len());
         for &k in &KEEP {
             values.push(fields[k].parse::<f64>().map_err(|e| {
-                parse_err(line_no, format!("column {k}: bad number {:?}: {e}", fields[k]))
+                parse_err(
+                    line_no,
+                    format!("column {k}: bad number {:?}: {e}", fields[k]),
+                )
             })?);
         }
         let label = match fields[14].trim_end_matches('.') {
@@ -171,7 +174,10 @@ pub fn parse_covertype<R: Read>(reader: R) -> Result<UncertainDataset> {
             .parse()
             .map_err(|e| parse_err(line_no, format!("bad cover type: {e}")))?;
         if !(1..=7).contains(&cover_type) {
-            return Err(parse_err(line_no, format!("cover type {cover_type} out of range")));
+            return Err(parse_err(
+                line_no,
+                format!("cover type {cover_type} out of range"),
+            ));
         }
         out.push(UncertainPoint::exact(values)?.with_label(ClassLabel(cover_type - 1)))?;
     }
@@ -194,7 +200,10 @@ mod tests {
         let d = parse_adult(raw.as_bytes()).unwrap();
         assert_eq!(d.len(), 2);
         assert_eq!(d.dim(), 6);
-        assert_eq!(d.point(0).values(), &[39.0, 77516.0, 13.0, 2174.0, 0.0, 40.0]);
+        assert_eq!(
+            d.point(0).values(),
+            &[39.0, 77516.0, 13.0, 2174.0, 0.0, 40.0]
+        );
         assert_eq!(d.point(0).label(), Some(ClassLabel(0)));
         assert_eq!(d.point(1).label(), Some(ClassLabel(1)));
     }

@@ -145,7 +145,8 @@ impl BandwidthRule {
                 }
                 Ok(vec![h; d])
             }
-            BandwidthRule::Silverman => Ok(self.per_dim_sigmas(dataset)
+            BandwidthRule::Silverman => Ok(self
+                .per_dim_sigmas(dataset)
                 .into_iter()
                 .map(|s| silverman_bandwidth(s, n))
                 .collect()),

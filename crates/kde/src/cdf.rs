@@ -24,7 +24,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -43,7 +44,11 @@ pub fn kde_cdf(kde: &ErrorKde<'_>, x: f64) -> Result<f64> {
     let h = kde.bandwidths()[0];
     let mut total = 0.0;
     for p in kde.data().iter() {
-        let psi = if kde.is_error_adjusted() { p.error(0) } else { 0.0 };
+        let psi = if kde.is_error_adjusted() {
+            p.error(0)
+        } else {
+            0.0
+        };
         let sd = (h * h + psi * psi).sqrt();
         total += if sd > 0.0 {
             standard_normal_cdf((x - p.value(0)) / sd)
@@ -159,12 +164,8 @@ mod tests {
     fn cdf_matches_quadrature_of_pdf() {
         let d = noisy_1d();
         let kde = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
-        let by_quadrature = crate::quadrature::trapezoid(
-            |x| kde.density(&[x]).unwrap(),
-            -30.0,
-            3.0,
-            60_001,
-        );
+        let by_quadrature =
+            crate::quadrature::trapezoid(|x| kde.density(&[x]).unwrap(), -30.0, 3.0, 60_001);
         let closed_form = kde_cdf(&kde, 3.0).unwrap();
         assert!(
             (by_quadrature - closed_form).abs() < 1e-5,

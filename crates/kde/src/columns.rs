@@ -1,0 +1,218 @@
+//! Factorized kernel-column cache for the subspace roll-up hot path.
+//!
+//! The product form of the error-based density (Eq. 4) factorizes over
+//! dimensions: for a fixed query `x`, the kernel value of point `i` in
+//! dimension `j` does not depend on which subspace is being evaluated.
+//! The roll-up classifier asks for `g(x, S, D)` over *many* subspaces of
+//! the same query, so recomputing `Q'_{h_j}(x_j − X_i^j, ψ_j)` per
+//! subspace repeats the expensive `exp` calls `O(#subspaces)` times.
+//!
+//! [`KernelColumns`] materializes the full `n × d` matrix of
+//! per-dimension kernel evaluations once per query (flat row-major,
+//! SoA-friendly); every subsequent subspace density is then a sum over
+//! rows of a product over the cached columns selected by `S` — no
+//! further kernel evaluations.
+//!
+//! The cached path replicates the naive loop exactly: the running
+//! product starts from the row weight, multiplies the cached values in
+//! ascending dimension order, and short-circuits on `prod == 0.0`
+//! (gradual underflow makes hard zeros common in high dimensions).
+//! Because the cached values come from the *same* kernel calls the naive
+//! loop would make, the result is bit-for-bit identical — the naive
+//! `density_subspace` remains available as the correctness oracle.
+
+use udm_core::{Result, Subspace, UdmError};
+
+/// Per-query cache of kernel evaluations, one row per (pseudo-)point and
+/// one column per dimension.
+///
+/// Built by [`crate::ErrorKde::kernel_columns`] for the exact estimator
+/// and by `MicroClusterKde::kernel_columns` (in `udm-microcluster`) for
+/// the compressed one; both reduce subspace evaluation from
+/// `O(n·|S|)` kernel calls to `O(n·|S|)` multiplications.
+#[derive(Debug, Clone)]
+pub struct KernelColumns {
+    rows: usize,
+    dim: usize,
+    /// Row-major `rows × dim` kernel values.
+    cols: Vec<f64>,
+    /// Per-row weights (`n(C_i)` for micro-clusters); `None` means every
+    /// row weighs 1, as in the point-based estimator.
+    weights: Option<Vec<f64>>,
+    /// Normalization divisor (`N` in Eq. 4 / Eq. 10).
+    norm: f64,
+}
+
+impl KernelColumns {
+    /// Assembles a cache from precomputed kernel values.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::DimensionMismatch`] when `cols.len()` is not a
+    /// multiple of `dim` or `weights` (when given) doesn't match the row
+    /// count; [`UdmError::EmptyDataset`] for zero rows;
+    /// [`UdmError::InvalidValue`] for a non-positive normalizer.
+    pub fn new(dim: usize, cols: Vec<f64>, weights: Option<Vec<f64>>, norm: f64) -> Result<Self> {
+        if dim == 0 || !cols.len().is_multiple_of(dim) {
+            return Err(UdmError::DimensionMismatch {
+                expected: dim.max(1),
+                actual: cols.len(),
+            });
+        }
+        let rows = cols.len() / dim;
+        if rows == 0 {
+            return Err(UdmError::EmptyDataset);
+        }
+        if let Some(w) = &weights {
+            if w.len() != rows {
+                return Err(UdmError::DimensionMismatch {
+                    expected: rows,
+                    actual: w.len(),
+                });
+            }
+        }
+        if !(norm.is_finite() && norm > 0.0) {
+            return Err(UdmError::InvalidValue {
+                what: "normalizer",
+                value: norm,
+            });
+        }
+        Ok(KernelColumns {
+            rows,
+            dim,
+            cols,
+            weights,
+            norm,
+        })
+    }
+
+    /// Number of cached rows (points or pseudo-points).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Full dimensionality of the cache.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Density over `subspace` from the cached columns alone.
+    ///
+    /// Matches the naive estimator bit-for-bit: same multiply order
+    /// (ascending dimension), same starting weight, same
+    /// `prod == 0.0` short-circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::DimensionOutOfRange`] if `subspace` exceeds the
+    /// cached dimensionality; [`UdmError::InvalidConfig`] for the empty
+    /// subspace.
+    pub fn density(&self, subspace: Subspace) -> Result<f64> {
+        subspace.validate_for(self.dim)?;
+        if subspace.is_empty() {
+            return Err(UdmError::InvalidConfig(
+                "cannot evaluate a density over the empty subspace".into(),
+            ));
+        }
+        let mut sum = 0.0;
+        for r in 0..self.rows {
+            let row = &self.cols[r * self.dim..(r + 1) * self.dim];
+            let mut prod = match &self.weights {
+                Some(w) => w[r],
+                None => 1.0,
+            };
+            for j in subspace.dims() {
+                prod *= row[j];
+                if prod == 0.0 {
+                    break;
+                }
+            }
+            sum += prod;
+        }
+        Ok(sum / self.norm)
+    }
+
+    /// Batch evaluation over many subspaces of the same query — the
+    /// roll-up's access pattern. Fails fast on the first invalid
+    /// subspace.
+    pub fn density_many(&self, subspaces: &[Subspace]) -> Result<Vec<f64>> {
+        subspaces.iter().map(|&s| self.density(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_shape_and_norm() {
+        assert!(KernelColumns::new(0, vec![], None, 1.0).is_err());
+        assert!(KernelColumns::new(2, vec![1.0; 3], None, 1.0).is_err());
+        assert!(KernelColumns::new(2, vec![], None, 1.0).is_err());
+        assert!(KernelColumns::new(1, vec![1.0], Some(vec![1.0, 2.0]), 1.0).is_err());
+        assert!(KernelColumns::new(1, vec![1.0], None, 0.0).is_err());
+        assert!(KernelColumns::new(1, vec![1.0], None, f64::NAN).is_err());
+        let c = KernelColumns::new(2, vec![0.5, 0.25, 1.0, 2.0], None, 2.0).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn density_is_weighted_row_products_over_norm() {
+        // rows: [0.5, 0.25], [1.0, 2.0]; weights 3, 1; norm 4
+        let c =
+            KernelColumns::new(2, vec![0.5, 0.25, 1.0, 2.0], Some(vec![3.0, 1.0]), 4.0).unwrap();
+        let full = Subspace::full(2).unwrap();
+        let expected = (3.0 * 0.5 * 0.25 + 1.0 * 2.0) / 4.0;
+        assert_eq!(c.density(full).unwrap(), expected);
+        let s0 = Subspace::singleton(0).unwrap();
+        assert_eq!(c.density(s0).unwrap(), (3.0 * 0.5 + 1.0) / 4.0);
+    }
+
+    #[test]
+    fn rejects_bad_subspaces() {
+        let c = KernelColumns::new(1, vec![1.0], None, 1.0).unwrap();
+        assert!(c.density(Subspace::EMPTY).is_err());
+        assert!(c.density(Subspace::singleton(1).unwrap()).is_err());
+    }
+
+    #[test]
+    fn zero_column_short_circuits_like_naive() {
+        // A hard-zero kernel value (underflow) must zero the whole row
+        // regardless of later columns — including columns that would
+        // produce non-finite garbage if multiplied after the break.
+        let c = KernelColumns::new(
+            3,
+            vec![
+                0.0,
+                f64::INFINITY, // never reached: prod is already 0
+                5.0,
+                1.0,
+                1.0,
+                1.0,
+            ],
+            None,
+            2.0,
+        )
+        .unwrap();
+        let full = Subspace::full(3).unwrap();
+        // Row 0 contributes exactly 0 (short-circuit), row 1 contributes 1.
+        assert_eq!(c.density(full).unwrap(), 0.5);
+        assert!(c.density(full).unwrap().is_finite());
+    }
+
+    #[test]
+    fn density_many_matches_individual_calls() {
+        let c = KernelColumns::new(2, vec![0.1, 0.9, 0.3, 0.7], None, 2.0).unwrap();
+        let subs = [
+            Subspace::singleton(0).unwrap(),
+            Subspace::singleton(1).unwrap(),
+            Subspace::full(2).unwrap(),
+        ];
+        let batch = c.density_many(&subs).unwrap();
+        for (i, &s) in subs.iter().enumerate() {
+            assert_eq!(batch[i], c.density(s).unwrap());
+        }
+        assert!(c.density_many(&[Subspace::EMPTY]).is_err());
+    }
+}

@@ -125,10 +125,7 @@ mod tests {
         let ek = GaussianErrorKernel::new(ErrorKernelForm::Normalized);
         for (h, psi) in [(0.5, 0.0), (0.5, 1.0), (0.0, 2.0), (1.0, 1.0)] {
             let integral = trapezoid(|x| ek.evaluate(x, h, psi), -40.0, 40.0, 80_001);
-            assert!(
-                (integral - 1.0).abs() < 1e-6,
-                "h={h} psi={psi}: {integral}"
-            );
+            assert!((integral - 1.0).abs() < 1e-6, "h={h} psi={psi}: {integral}");
         }
     }
 

@@ -217,9 +217,9 @@ mod tests {
         let d = dataset_1d();
         let kde = ErrorKde::fit(&d, KdeConfig::default()).unwrap();
         assert!(Grid2D::from_kde(&kde, (0, 1), (0.0, 1.0), (0.0, 1.0), 4, 4).is_err());
-        let d2 = UncertainDataset::from_points(vec![UncertainPoint::exact(vec![0.0, 1.0])
-            .unwrap()])
-        .unwrap();
+        let d2 =
+            UncertainDataset::from_points(vec![UncertainPoint::exact(vec![0.0, 1.0]).unwrap()])
+                .unwrap();
         let kde2 = ErrorKde::fit(&d2, KdeConfig::default()).unwrap();
         assert!(Grid2D::from_kde(&kde2, (0, 0), (0.0, 1.0), (0.0, 1.0), 4, 4).is_err());
     }

@@ -26,6 +26,8 @@
 //! * [`bandwidth`] — Silverman / Scott / fixed bandwidth selection,
 //! * [`estimator`] — the point-based density estimator over datasets and
 //!   subspaces (Eqs. 1, 4),
+//! * [`columns`] — the factorized per-query kernel-column cache that the
+//!   subspace roll-up reuses across every subspace it enumerates,
 //! * [`grid`] — dense grid evaluation for plotting and numeric checks,
 //! * [`quadrature`] — trapezoidal integration used to verify normalization,
 //! * [`cdf`] — closed-form CDF/quantile/interval-mass queries for 1-D
@@ -39,6 +41,7 @@ pub mod ascii;
 pub mod bandwidth;
 pub mod cdf;
 pub mod classic;
+pub mod columns;
 pub mod error_kernel;
 pub mod estimator;
 pub mod grid;
@@ -46,10 +49,11 @@ pub mod kernel;
 pub mod quadrature;
 pub mod sampling;
 
+pub use ascii::{chart, sparkline};
 pub use bandwidth::{silverman_bandwidth, silverman_robust_bandwidth, BandwidthRule};
 pub use cdf::{kde_cdf, kde_interval_mass, kde_quantile};
-pub use ascii::{chart, sparkline};
 pub use classic::ClassicKde;
+pub use columns::KernelColumns;
 pub use error_kernel::{ErrorKernelForm, GaussianErrorKernel};
 pub use estimator::{ErrorKde, KdeConfig};
 pub use grid::{Grid1D, Grid2D};

@@ -28,7 +28,11 @@ pub fn sample_one<R: Rng>(kde: &ErrorKde<'_>, rng: &mut R) -> Vec<f64> {
     let p = data.point(i);
     (0..data.dim())
         .map(|j| {
-            let psi = if kde.is_error_adjusted() { p.error(j) } else { 0.0 };
+            let psi = if kde.is_error_adjusted() {
+                p.error(j)
+            } else {
+                0.0
+            };
             let sd = (kde.bandwidths()[j].powi(2) + psi * psi).sqrt();
             p.value(j) + sd * standard_normal(rng)
         })
@@ -59,7 +63,11 @@ pub fn sample_dataset<R: Rng>(
         let p = data.point(i);
         let values: Vec<f64> = (0..data.dim())
             .map(|j| {
-                let psi = if kde.is_error_adjusted() { p.error(j) } else { 0.0 };
+                let psi = if kde.is_error_adjusted() {
+                    p.error(j)
+                } else {
+                    0.0
+                };
                 let sd = (kde.bandwidths()[j].powi(2) + psi * psi).sqrt();
                 p.value(j) + sd * standard_normal(rng)
             })
@@ -141,11 +149,10 @@ mod tests {
 
     #[test]
     fn adjusted_sampling_is_wider_than_unadjusted() {
-        let wide = UncertainDataset::from_points(vec![UncertainPoint::new(
-            vec![0.0],
-            vec![4.0],
-        )
-        .unwrap(), UncertainPoint::new(vec![0.0], vec![4.0]).unwrap()])
+        let wide = UncertainDataset::from_points(vec![
+            UncertainPoint::new(vec![0.0], vec![4.0]).unwrap(),
+            UncertainPoint::new(vec![0.0], vec![4.0]).unwrap(),
+        ])
         .unwrap();
         let adj = ErrorKde::fit(&wide, KdeConfig::error_adjusted()).unwrap();
         let unadj = ErrorKde::fit(&wide, KdeConfig::unadjusted()).unwrap();

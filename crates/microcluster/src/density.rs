@@ -14,7 +14,7 @@
 use crate::feature::MicroCluster;
 use crate::pseudo::PseudoPoint;
 use udm_core::{Result, Subspace, UdmError};
-use udm_kde::{ErrorKernelForm, GaussianErrorKernel, KdeConfig};
+use udm_kde::{ErrorKernelForm, GaussianErrorKernel, KdeConfig, KernelColumns};
 
 /// Density estimator over micro-cluster summaries.
 ///
@@ -223,6 +223,54 @@ impl MicroClusterKde {
         }
         Ok(sum / self.total_n as f64)
     }
+
+    /// Builds the per-query kernel-column cache for `x` (optionally
+    /// convolved with the query's own error, as in
+    /// [`Self::density_subspace_with_error`]): every per-dimension
+    /// kernel evaluation of every pseudo-point, computed once and
+    /// reusable across all subspace queries of the same test point.
+    ///
+    /// [`KernelColumns::density`] on the result is bit-for-bit identical
+    /// to [`Self::density_subspace_with_error`] for every valid
+    /// subspace, including the `prod == 0.0` underflow short-circuit
+    /// (the cached row product hits the same hard zero in the same
+    /// dimension order).
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::DimensionMismatch`] on wrong query or error arity.
+    pub fn kernel_columns(&self, x: &[f64], query_errors: Option<&[f64]>) -> Result<KernelColumns> {
+        if x.len() != self.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        if let Some(errs) = query_errors {
+            if errs.len() != self.dim {
+                return Err(UdmError::DimensionMismatch {
+                    expected: self.dim,
+                    actual: errs.len(),
+                });
+            }
+        }
+        let mut cols = Vec::with_capacity(self.pseudos.len() * self.dim);
+        let mut weights = Vec::with_capacity(self.pseudos.len());
+        for p in &self.pseudos {
+            weights.push(p.weight as f64);
+            for j in 0..self.dim {
+                let psi = match query_errors {
+                    Some(errs) => (p.delta[j] * p.delta[j] + errs[j] * errs[j]).sqrt(),
+                    None => p.delta[j],
+                };
+                cols.push(
+                    self.kernel
+                        .evaluate(x[j] - p.centroid[j], self.bandwidths[j], psi),
+                );
+            }
+        }
+        KernelColumns::new(self.dim, cols, Some(weights), self.total_n as f64)
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +438,36 @@ mod tests {
         let mc = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
         assert!(mc.density(&[0.0, 1.0]).is_err());
         assert!(mc.density_subspace(&[0.0], Subspace::EMPTY).is_err());
+    }
+
+    #[test]
+    fn cached_columns_match_naive_bitwise() {
+        let points = vec![
+            UncertainPoint::new(vec![0.0, 10.0, -3.0], vec![0.1, 0.5, 0.0]).unwrap(),
+            UncertainPoint::new(vec![1.0, 12.0, -1.0], vec![0.0, 0.2, 0.4]).unwrap(),
+            UncertainPoint::new(vec![2.0, 11.0, -2.0], vec![0.3, 0.1, 0.2]).unwrap(),
+            UncertainPoint::new(vec![1.5, 11.5, -2.2], vec![0.2, 0.0, 0.1]).unwrap(),
+        ];
+        let d = UncertainDataset::from_points(points).unwrap();
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(2)).unwrap();
+        let mc = MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap();
+        let x = [0.5, 11.5, -2.5];
+        for errs in [None, Some([0.3, 0.0, 0.7].as_slice())] {
+            let cols = mc.kernel_columns(&x, errs).unwrap();
+            // All 7 non-empty subspaces of 3 dimensions.
+            for bits in 1u64..8 {
+                let s = Subspace::from_bits(bits);
+                let naive = mc.density_subspace_with_error(&x, errs, s).unwrap();
+                let cached = cols.density(s).unwrap();
+                assert_eq!(
+                    naive.to_bits(),
+                    cached.to_bits(),
+                    "subspace {bits:#b}, errs {errs:?}"
+                );
+            }
+        }
+        assert!(mc.kernel_columns(&[0.0], None).is_err());
+        assert!(mc.kernel_columns(&x, Some(&[0.0])).is_err());
     }
 
     #[test]

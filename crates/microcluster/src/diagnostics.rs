@@ -70,11 +70,7 @@ pub fn diagnose(clusters: &[MicroCluster]) -> Result<SummaryDiagnostics> {
     let clusters_n = non_empty.len();
 
     let top_decile_count = (clusters_n as f64 * 0.1).ceil() as usize;
-    let top_decile_points: u64 = occupancies
-        .iter()
-        .rev()
-        .take(top_decile_count.max(1))
-        .sum();
+    let top_decile_points: u64 = occupancies.iter().rev().take(top_decile_count.max(1)).sum();
 
     let mut radius_sum = 0.0;
     let mut delta_sum = 0.0;

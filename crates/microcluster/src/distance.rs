@@ -78,9 +78,7 @@ impl AssignmentDistance {
         match self {
             AssignmentDistance::ErrorAdjusted => error_adjusted_sq(point, centroid),
             AssignmentDistance::Euclidean => euclidean_sq(point.values(), centroid),
-            AssignmentDistance::ErrorAdjustedUnclamped => {
-                error_adjusted_unclamped(point, centroid)
-            }
+            AssignmentDistance::ErrorAdjustedUnclamped => error_adjusted_unclamped(point, centroid),
         }
     }
 }
@@ -130,9 +128,7 @@ mod tests {
         let centroid2 = [0.0, 3.0]; // displaced along the precise dim
 
         // Euclidean prefers centroid 2:
-        assert!(
-            euclidean_sq(x.values(), &centroid2) < euclidean_sq(x.values(), &centroid1)
-        );
+        assert!(euclidean_sq(x.values(), &centroid2) < euclidean_sq(x.values(), &centroid1));
         // Error-adjusted prefers centroid 1:
         assert!(error_adjusted_sq(&x, &centroid1) < error_adjusted_sq(&x, &centroid2));
     }

@@ -324,7 +324,11 @@ mod tests {
         let mut m = MicroClusterMaintainer::new(1, MaintainerConfig::new(6)).unwrap();
         let mut store = PyramidalStore::new(2, 3).unwrap();
         for t in 0..1000u64 {
-            let v = if t < 500 { (t % 7) as f64 } else { 50.0 + (t % 7) as f64 };
+            let v = if t < 500 {
+                (t % 7) as f64
+            } else {
+                50.0 + (t % 7) as f64
+            };
             m.insert(&pt(v, 0.1, t)).unwrap();
             if t > 0 && t % 50 == 0 {
                 store.record(t, m.clusters().to_vec()).unwrap();

@@ -51,7 +51,11 @@ fn main() -> Result<()> {
             "  dim {j}: value {:>8.3}  ψ {:>6.3}{}",
             row.value(j),
             row.error(j),
-            if row.error(j) > 0.0 { "  <- imputed" } else { "" }
+            if row.error(j) > 0.0 {
+                "  <- imputed"
+            } else {
+                ""
+            }
         );
     }
     Ok(())

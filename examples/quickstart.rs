@@ -10,9 +10,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use uncertain_dm::prelude::*;
 use udm_kde::{ErrorKde, KdeConfig};
 use udm_microcluster::{AssignmentDistance, MaintainerConfig, MicroClusterMaintainer};
+use uncertain_dm::prelude::*;
 
 fn main() -> Result<()> {
     // ----------------------------------------------------------------- //
@@ -101,10 +101,8 @@ fn main() -> Result<()> {
         .collect();
     let big = UncertainDataset::from_points(stream)?;
     let maintainer = MicroClusterMaintainer::from_dataset(&big, MaintainerConfig::new(32))?;
-    let kde = udm_microcluster::MicroClusterKde::fit(
-        maintainer.clusters(),
-        KdeConfig::error_adjusted(),
-    )?;
+    let kde =
+        udm_microcluster::MicroClusterKde::fit(maintainer.clusters(), KdeConfig::error_adjusted())?;
     let s = Subspace::singleton(0)?;
     println!(
         "\n500 points compressed to {} micro-clusters; density over subspace {} at 0.0: {:.4}",

@@ -13,8 +13,7 @@
 //! Run with: `cargo run --release --example uncertain_clustering`
 
 use udm_cluster::{
-    adjusted_rand_index, normalized_mutual_information, Dbscan, DbscanConfig, KMeans,
-    KMeansConfig,
+    adjusted_rand_index, normalized_mutual_information, Dbscan, DbscanConfig, KMeans, KMeansConfig,
 };
 use udm_core::{ClassLabel, Result, UncertainDataset};
 use udm_data::{ErrorModel, GaussianClassSpec, MixtureGenerator};
@@ -59,15 +58,17 @@ fn main() -> Result<()> {
     println!("3 blobs, 600 points, sparse noise (25% of cells, up to 3σ)\n");
 
     for (name, dist) in [
-        ("k-means (error-adjusted)", AssignmentDistance::ErrorAdjusted),
+        (
+            "k-means (error-adjusted)",
+            AssignmentDistance::ErrorAdjusted,
+        ),
         ("k-means (euclidean)     ", AssignmentDistance::Euclidean),
     ] {
         let mut cfg = KMeansConfig::new(3);
         cfg.distance = dist;
         cfg.seed = 5;
         let result = KMeans::new(cfg)?.run(&noisy)?;
-        let assignments: Vec<Option<usize>> =
-            result.assignments.iter().map(|&a| Some(a)).collect();
+        let assignments: Vec<Option<usize>> = result.assignments.iter().map(|&a| Some(a)).collect();
         println!(
             "{name}: ARI {:.3}  NMI {:.3}  ({} iterations)",
             adjusted_rand_index(&assignments, &truth),

@@ -36,7 +36,10 @@ fn kmeans_recovers_clean_blobs_perfectly() {
 #[test]
 fn dbscan_recovers_clean_blobs() {
     let (d, truth) = three_blobs(300, 2);
-    let r = Dbscan::new(DbscanConfig::new(1.0, 4)).unwrap().run(&d).unwrap();
+    let r = Dbscan::new(DbscanConfig::new(1.0, 4))
+        .unwrap()
+        .run(&d)
+        .unwrap();
     assert_eq!(r.num_clusters, 3);
     assert!(adjusted_rand_index(&r.assignments, &truth) > 0.95);
 }

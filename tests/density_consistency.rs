@@ -11,9 +11,7 @@ use udm_microcluster::{MaintainerConfig, MicroClusterKde, MicroClusterMaintainer
 fn noisy_1d(n: usize, seed: u64) -> UncertainDataset {
     let clean = UncertainDataset::from_points(
         (0..n)
-            .map(|i| {
-                UncertainPoint::exact(vec![((i * 37) % 100) as f64 / 10.0]).unwrap()
-            })
+            .map(|i| UncertainPoint::exact(vec![((i * 37) % 100) as f64 / 10.0]).unwrap())
             .collect(),
     )
     .unwrap();
@@ -67,7 +65,10 @@ fn both_estimators_integrate_to_one_on_noisy_data() {
     let mass_exact = trapezoid(|x| exact.density(&[x]).unwrap(), -80.0, 90.0, 30_001);
     let mass_comp = trapezoid(|x| compressed.density(&[x]).unwrap(), -80.0, 90.0, 30_001);
     assert!((mass_exact - 1.0).abs() < 1e-4, "exact mass {mass_exact}");
-    assert!((mass_comp - 1.0).abs() < 1e-4, "compressed mass {mass_comp}");
+    assert!(
+        (mass_comp - 1.0).abs() < 1e-4,
+        "compressed mass {mass_comp}"
+    );
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! Integration tests spanning data generation, noise injection,
 //! micro-clustering, and classification — the paper's full pipeline.
 
-use udm_classify::{evaluate, evaluate_parallel, ClassifierConfig, DensityClassifier, NnClassifier};
+use udm_classify::{
+    evaluate, evaluate_parallel, ClassifierConfig, DensityClassifier, NnClassifier,
+};
 use udm_core::ClassLabel;
 use udm_data::{stratified_split, ErrorModel, UciDataset};
 
@@ -20,10 +22,7 @@ fn every_standin_beats_random_at_zero_error() {
             DensityClassifier::fit(&split.train, ClassifierConfig::error_adjusted(30)).unwrap();
         let report = evaluate(&model, &split.test).unwrap();
         // The majority prior is the strongest trivial baseline.
-        let majority = ds
-            .class_priors()
-            .iter()
-            .fold(0.0f64, |a, &b| a.max(b));
+        let majority = ds.class_priors().iter().fold(0.0f64, |a, &b| a.max(b));
         assert!(
             report.accuracy() >= majority - 0.05,
             "{}: accuracy {} vs majority {}",
@@ -60,8 +59,7 @@ fn error_adjustment_helps_under_heavy_noise() {
         let split = noisy_split(UciDataset::Adult, 500, 2.0, seed);
         let adj =
             DensityClassifier::fit(&split.train, ClassifierConfig::error_adjusted(40)).unwrap();
-        let unadj =
-            DensityClassifier::fit(&split.train, ClassifierConfig::unadjusted(40)).unwrap();
+        let unadj = DensityClassifier::fit(&split.train, ClassifierConfig::unadjusted(40)).unwrap();
         let nn = NnClassifier::fit(&split.train).unwrap();
         adj_total += evaluate(&adj, &split.test).unwrap().accuracy();
         unadj_total += evaluate(&unadj, &split.test).unwrap().accuracy();
@@ -87,8 +85,8 @@ fn nn_collapses_with_noise_but_adjusted_does_not() {
         "nn should collapse: {acc_clean} -> {acc_noisy}"
     );
 
-    let adj = DensityClassifier::fit(&noisy_split_.train, ClassifierConfig::error_adjusted(40))
-        .unwrap();
+    let adj =
+        DensityClassifier::fit(&noisy_split_.train, ClassifierConfig::error_adjusted(40)).unwrap();
     let adj_noisy = evaluate(&adj, &noisy_split_.test).unwrap().accuracy();
     assert!(
         adj_noisy > acc_noisy,
@@ -99,8 +97,7 @@ fn nn_collapses_with_noise_but_adjusted_does_not() {
 #[test]
 fn parallel_evaluation_matches_sequential_for_real_model() {
     let split = noisy_split(UciDataset::BreastCancer, 250, 1.0, 13);
-    let model =
-        DensityClassifier::fit(&split.train, ClassifierConfig::error_adjusted(20)).unwrap();
+    let model = DensityClassifier::fit(&split.train, ClassifierConfig::error_adjusted(20)).unwrap();
     let seq = evaluate(&model, &split.test).unwrap();
     let par = evaluate_parallel(&model, &split.test, 4).unwrap();
     assert_eq!(seq.correct, par.correct);
@@ -123,8 +120,7 @@ fn multiclass_labels_all_reachable() {
     // Forest cover has 7 classes; with enough clean data and clusters the
     // model should predict more than just the two majority classes.
     let split = noisy_split(UciDataset::ForestCover, 800, 0.0, 19);
-    let model =
-        DensityClassifier::fit(&split.train, ClassifierConfig::error_adjusted(60)).unwrap();
+    let model = DensityClassifier::fit(&split.train, ClassifierConfig::error_adjusted(60)).unwrap();
     use udm_classify::Classifier;
     let mut predicted: std::collections::BTreeSet<ClassLabel> = Default::default();
     for p in split.test.iter() {

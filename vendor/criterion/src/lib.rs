@@ -1,0 +1,262 @@
+//! Minimal vendored stand-in for `criterion`, for this repository's
+//! offline container.
+//!
+//! Supports the subset the bench crate uses: `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. Each
+//! benchmark is auto-calibrated to a target sampling time and reports the
+//! median per-iteration latency to stdout. There is no statistical
+//! regression analysis or HTML report — the numbers are honest wall-clock
+//! medians, which is what the repo's JSON perf trackers consume.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for a parameterized benchmark: `"function/parameter"`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Work-per-iteration declaration; reported as derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the closure under test; `iter` runs and times the routine.
+pub struct Bencher {
+    /// Median per-iteration time, filled in by `iter`.
+    result: Option<Duration>,
+    sample_count: usize,
+    target_sample_time: Duration,
+}
+
+impl Bencher {
+    fn new(sample_count: usize, target_sample_time: Duration) -> Self {
+        Bencher {
+            result: None,
+            sample_count,
+            target_sample_time,
+        }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count per sample that
+        // fills a reasonable slice of the target sample time.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_sample_time / self.sample_count as u32
+                || iters_per_sample >= 1 << 20
+            {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+        samples.sort_unstable();
+        self.result = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    fn report(&self, label: &str, median: Duration) {
+        let mut line = format!("{}/{label}: median {}", self.name, format_duration(median));
+        if let Some(tp) = self.throughput {
+            let per_sec = |count: u64| count as f64 / median.as_secs_f64();
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  ({:.0} elem/s)", per_sec(n)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  ({:.0} B/s)", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Shrinks/extends how long each benchmark samples for.
+    pub fn measurement_time(&mut self, time: Duration) {
+        self.criterion.target_sample_time = time;
+    }
+
+    pub fn sample_size(&mut self, n: usize) {
+        self.criterion.sample_count = n.max(3);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into();
+        let mut b = Bencher::new(
+            self.criterion.sample_count,
+            self.criterion.target_sample_time,
+        );
+        f(&mut b);
+        let median = b.result.expect("bench_function closure must call iter()");
+        self.report(&label, median);
+        self.criterion
+            .results
+            .push((format!("{}/{label}", self.name), median));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label();
+        let mut b = Bencher::new(
+            self.criterion.sample_count,
+            self.criterion.target_sample_time,
+        );
+        f(&mut b, input);
+        let median = b.result.expect("bench_with_input closure must call iter()");
+        self.report(&label, median);
+        self.criterion
+            .results
+            .push((format!("{}/{label}", self.name), median));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_count: usize,
+    target_sample_time: Duration,
+    /// `(full label, median)` for every completed benchmark, for callers
+    /// that want to dump machine-readable output after running.
+    pub results: Vec<(String, Duration)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 11,
+            target_sample_time: Duration::from_millis(600),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label: String = id.into();
+        self.benchmark_group(label.clone())
+            .bench_function("base", f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            sample_count: 3,
+            target_sample_time: Duration::from_millis(10),
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1 > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).label(), "f/32");
+    }
+}

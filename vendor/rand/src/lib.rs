@@ -1,0 +1,253 @@
+//! Minimal vendored stand-in for `rand`, for this repository's offline
+//! container.
+//!
+//! Provides the subset the workspace uses: a deterministic seeded
+//! [`rngs::StdRng`] (xoshiro256** initialized via splitmix64), the
+//! [`Rng`]/[`RngCore`]/[`SeedableRng`] traits with `gen::<f64>()` and
+//! `gen_range` over integer ranges, and [`seq::SliceRandom::shuffle`]
+//! (Fisher–Yates). The streams differ from the real crate's — everything
+//! downstream only requires determinism for a fixed seed, not
+//! bit-compatibility with upstream rand.
+
+/// Core random number generation: raw word output.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+mod private {
+    /// Sealed helper: types `gen()` can produce.
+    pub trait GenOutput {
+        fn from_u64(word: u64) -> Self;
+    }
+
+    impl GenOutput for f64 {
+        fn from_u64(word: u64) -> Self {
+            // 53 random bits into [0, 1).
+            (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl GenOutput for f32 {
+        fn from_u64(word: u64) -> Self {
+            (word >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl GenOutput for u64 {
+        fn from_u64(word: u64) -> Self {
+            word
+        }
+    }
+
+    impl GenOutput for u32 {
+        fn from_u64(word: u64) -> Self {
+            (word >> 32) as u32
+        }
+    }
+
+    impl GenOutput for bool {
+        fn from_u64(word: u64) -> Self {
+            word & 1 == 1
+        }
+    }
+
+    /// Sealed helper: types `gen_range` can produce from a range.
+    pub trait RangeSample: Sized {
+        fn sample_range<R: super::RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi_exclusive: Self,
+        ) -> Self;
+    }
+
+    macro_rules! impl_range_sample_uint {
+        ($($t:ty),*) => {$(
+            impl RangeSample for $t {
+                fn sample_range<R: super::RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi_exclusive: Self,
+                ) -> Self {
+                    assert!(lo < hi_exclusive, "gen_range: empty range");
+                    let span = (hi_exclusive - lo) as u64;
+                    // Multiply-shift bounded sampling; the tiny modulo bias
+                    // is irrelevant for the shim's uses (index selection).
+                    let r = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    lo + r as $t
+                }
+            }
+        )*};
+    }
+    impl_range_sample_uint!(usize, u64, u32);
+
+    impl RangeSample for f64 {
+        fn sample_range<R: super::RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi_exclusive: Self,
+        ) -> Self {
+            assert!(lo < hi_exclusive, "gen_range: empty range");
+            let u = <f64 as GenOutput>::from_u64(rng.next_u64());
+            lo + u * (hi_exclusive - lo)
+        }
+    }
+}
+
+/// Convenience methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value; for floats, uniform in `[0, 1)`.
+    fn gen<T: private::GenOutput>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A uniformly random value in `lo..hi`.
+    fn gen_range<T: private::RangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: xoshiro256**, seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice utilities driven by an [`Rng`].
+    pub trait SliceRandom {
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_spans_all_indices() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,367 @@
+//! Minimal vendored stand-in for `rayon`, for this repository's offline
+//! container.
+//!
+//! Implements the indexed data-parallel subset the workspace uses —
+//! `par_iter`/`into_par_iter` on slices and ranges, `par_chunks`, `map`,
+//! `enumerate`, `collect`, `sum`, and [`join`] — over `std::thread::scope`
+//! with contiguous index chunks whose results are merged **in index
+//! order**. That ordering guarantee is load-bearing: parallel results are
+//! bitwise-identical to their sequential counterparts (reductions run
+//! sequentially over the ordered collected items), which the classifier's
+//! determinism tests rely on.
+//!
+//! The work-stealing pool, splitting heuristics, and the rest of real
+//! rayon's API are intentionally absent.
+
+/// Number of worker threads the shim will use for a large-enough workload.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon shim: joined task panicked");
+        (ra, rb)
+    })
+}
+
+/// An indexed parallel iterator: a fixed-length sequence whose items can
+/// be produced independently (and concurrently) by index.
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    fn pi_len(&self) -> usize;
+
+    /// Produces the `i`-th item. Called concurrently from worker threads.
+    fn pi_get(&self, i: usize) -> Self::Item;
+
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Runs the pipeline and collects items in index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Deterministic sum: items are produced in parallel, then reduced
+    /// sequentially in index order so float results match a serial loop.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        run_ordered(self).into_iter().sum()
+    }
+
+    /// Calls `f` on every item (no ordering guarantees between calls).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_ordered(self.map(f)).into_iter().for_each(drop);
+    }
+}
+
+/// Conversion into a [`ParallelIterator`].
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `collect()` target types.
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        run_ordered(iter)
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter<I: ParallelIterator<Item = Result<T, E>>>(iter: I) -> Self {
+        // All items run before the first error is reported, keeping which
+        // error surfaces deterministic (the lowest-index one).
+        run_ordered(iter).into_iter().collect()
+    }
+}
+
+/// Executes the pipeline: contiguous index chunks across scoped threads,
+/// results spliced back together in index order.
+fn run_ordered<I: ParallelIterator>(iter: I) -> Vec<I::Item> {
+    let len = iter.pi_len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return (0..len).map(|i| iter.pi_get(i)).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let iter = &iter;
+    let mut chunks: Vec<Vec<I::Item>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(len);
+                s.spawn(move || (start..end).map(|i| iter.pi_get(i)).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim: worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for c in &mut chunks {
+        out.append(c);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_get(&self, i: usize) -> Self::Item {
+        &self.slice[i]
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over contiguous sub-slices of length `chunk`.
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn pi_get(&self, i: usize) -> Self::Item {
+        let start = i * self.chunk;
+        let end = (start + self.chunk).min(self.slice.len());
+        &self.slice[start..end]
+    }
+}
+
+/// `par_iter`/`par_chunks` on slice-like types (rayon spells these via
+/// `IntoParallelRefIterator`; a single extension trait is enough here).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> SliceIter<'_, T>;
+    fn par_chunks(&self, chunk: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+
+    fn par_chunks(&self, chunk: usize) -> ChunksIter<'_, T> {
+        assert!(chunk > 0, "par_chunks: chunk size must be non-zero");
+        ChunksIter { slice: self, chunk }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        self.as_slice().par_iter()
+    }
+
+    fn par_chunks(&self, chunk: usize) -> ChunksIter<'_, T> {
+        self.as_slice().par_chunks(chunk)
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    fn pi_get(&self, i: usize) -> Self::Item {
+        self.start + i
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, i: usize) -> Self::Item {
+        (self.f)(self.base.pi_get(i))
+    }
+}
+
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, i: usize) -> Self::Item {
+        (i, self.base.pi_get(i))
+    }
+}
+
+pub mod prelude {
+    pub use super::{FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice};
+}
+
+pub mod iter {
+    pub use super::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_is_bitwise_equal_to_sequential() {
+        // Grouping-sensitive values: parallel chunked reduction would
+        // differ; the shim reduces sequentially over ordered items.
+        let v: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let seq: f64 = v.iter().map(|x| x * 1.000001).sum();
+        let par: f64 = v.par_iter().map(|x| x * 1.000001).sum();
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn ranges_chunks_and_enumerate() {
+        let squares: Vec<usize> = (5..25usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (5..25).map(|i| i * i).collect::<Vec<_>>());
+
+        let v: Vec<u32> = (0..103).collect();
+        let chunk_sums: Vec<u32> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(chunk_sums.len(), 11);
+        assert_eq!(chunk_sums.iter().sum::<u32>(), v.iter().sum::<u32>());
+
+        let idx: Vec<(usize, u32)> = v.par_iter().map(|&x| x).enumerate().collect();
+        assert!(idx.iter().all(|&(i, x)| i as u32 == x));
+    }
+
+    #[test]
+    fn result_collect_reports_lowest_index_error() {
+        let items: Vec<usize> = (0..100).collect();
+        let r: Result<Vec<usize>, usize> = items
+            .par_iter()
+            .map(|&x| if x % 30 == 29 { Err(x) } else { Ok(x) })
+            .collect();
+        assert_eq!(r, Err(29));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! Minimal vendored stand-in for `serde`, built for this repository's
+//! offline container.
+//!
+//! The real serde crates cannot be fetched here (no network, no registry
+//! cache), so this shim provides the subset the workspace actually uses:
+//! `#[derive(Serialize, Deserialize)]` on non-generic structs and enums,
+//! routed through a small JSON-like [`value::Value`] data model instead of
+//! serde's visitor machinery. `serde_json` (also vendored) renders and
+//! parses that model.
+//!
+//! Supported shapes: named-field structs, newtype/tuple structs, enums
+//! with unit / newtype / tuple / struct variants (externally tagged, like
+//! serde's default). Supported field types: the integer primitives,
+//! `f32`/`f64`, `bool`, `String`, `Option<T>`, `Vec<T>`, fixed tuples and
+//! nested derived types.
+
+pub mod value {
+    /// The JSON-like data model every `Serialize`/`Deserialize` impl
+    /// round-trips through.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        /// Integer values that fit `i64`.
+        Int(i64),
+        /// Unsigned values above `i64::MAX`.
+        UInt(u64),
+        Float(f64),
+        Str(String),
+        Array(Vec<Value>),
+        /// Insertion-ordered map (JSON object).
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Human-readable kind name for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Int(_) | Value::UInt(_) => "integer",
+                Value::Float(_) => "number",
+                Value::Str(_) => "string",
+                Value::Array(_) => "array",
+                Value::Map(_) => "object",
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_map(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Map(m) => Some(m),
+                _ => None,
+            }
+        }
+    }
+}
+
+pub mod ser {
+    use super::value::Value;
+
+    /// Serialization into the [`Value`] data model.
+    pub trait Serialize {
+        fn to_value(&self) -> Value;
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+
+    impl Serialize for bool {
+        fn to_value(&self) -> Value {
+            Value::Bool(*self)
+        }
+    }
+
+    macro_rules! impl_ser_int {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::Int(*self as i64)
+                }
+            }
+        )*};
+    }
+    impl_ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+    impl Serialize for u64 {
+        fn to_value(&self) -> Value {
+            if *self <= i64::MAX as u64 {
+                Value::Int(*self as i64)
+            } else {
+                Value::UInt(*self)
+            }
+        }
+    }
+
+    impl Serialize for usize {
+        fn to_value(&self) -> Value {
+            (*self as u64).to_value()
+        }
+    }
+
+    impl Serialize for f32 {
+        fn to_value(&self) -> Value {
+            Value::Float(f64::from(*self))
+        }
+    }
+
+    impl Serialize for f64 {
+        fn to_value(&self) -> Value {
+            Value::Float(*self)
+        }
+    }
+
+    impl Serialize for String {
+        fn to_value(&self) -> Value {
+            Value::Str(self.clone())
+        }
+    }
+
+    impl Serialize for str {
+        fn to_value(&self) -> Value {
+            Value::Str(self.to_string())
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn to_value(&self) -> Value {
+            match self {
+                Some(v) => v.to_value(),
+                None => Value::Null,
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn to_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn to_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Serialize> Serialize for Box<T> {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+
+    /// Maps serialize as an array of `[key, value]` pairs so non-string
+    /// keys (tuples, newtypes) round-trip without a string encoding.
+    impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+        fn to_value(&self) -> Value {
+            Value::Array(
+                self.iter()
+                    .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                    .collect(),
+            )
+        }
+    }
+
+    macro_rules! impl_ser_tuple {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Array(vec![$(self.$n.to_value()),+])
+                }
+            }
+        )*};
+    }
+    impl_ser_tuple! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+}
+
+pub mod de {
+    use super::value::Value;
+
+    /// Deserialization error: a plain message chain.
+    #[derive(Debug, Clone)]
+    pub struct DeError(pub String);
+
+    impl std::fmt::Display for DeError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl DeError {
+        pub fn expected(what: &str, got: &Value) -> Self {
+            DeError(format!("expected {what}, got {}", got.kind()))
+        }
+    }
+
+    /// Deserialization from the [`Value`] data model.
+    pub trait Deserialize: Sized {
+        fn from_value(v: &Value) -> Result<Self, DeError>;
+    }
+
+    /// Looks up `key` in a map and deserializes it. A missing key is
+    /// treated as `null`, which lets `Option` fields tolerate absence
+    /// (mirroring serde's `missing_field` behaviour) while everything else
+    /// reports the missing field.
+    pub fn field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T, DeError> {
+        match map.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("field `{key}`: {e}"))),
+            None => {
+                T::from_value(&Value::Null).map_err(|_| DeError(format!("missing field `{key}`")))
+            }
+        }
+    }
+
+    impl Deserialize for bool {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Bool(b) => Ok(*b),
+                _ => Err(DeError::expected("bool", v)),
+            }
+        }
+    }
+
+    macro_rules! impl_de_signed {
+        ($($t:ty),*) => {$(
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, DeError> {
+                    match v {
+                        Value::Int(i) => <$t>::try_from(*i)
+                            .map_err(|_| DeError(format!("integer {i} out of range"))),
+                        _ => Err(DeError::expected("integer", v)),
+                    }
+                }
+            }
+        )*};
+    }
+    impl_de_signed!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_de_unsigned {
+        ($($t:ty),*) => {$(
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, DeError> {
+                    match v {
+                        Value::Int(i) => <$t>::try_from(*i)
+                            .map_err(|_| DeError(format!("integer {i} out of range"))),
+                        Value::UInt(u) => <$t>::try_from(*u)
+                            .map_err(|_| DeError(format!("integer {u} out of range"))),
+                        _ => Err(DeError::expected("integer", v)),
+                    }
+                }
+            }
+        )*};
+    }
+    impl_de_unsigned!(u8, u16, u32, u64, usize);
+
+    impl Deserialize for f64 {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Float(f) => Ok(*f),
+                Value::Int(i) => Ok(*i as f64),
+                Value::UInt(u) => Ok(*u as f64),
+                // serde_json serializes non-finite floats as null.
+                Value::Null => Ok(f64::NAN),
+                _ => Err(DeError::expected("number", v)),
+            }
+        }
+    }
+
+    impl Deserialize for f32 {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            f64::from_value(v).map(|f| f as f32)
+        }
+    }
+
+    impl Deserialize for String {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err(DeError::expected("string", v)),
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Option<T> {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Null => Ok(None),
+                other => T::from_value(other).map(Some),
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Vec<T> {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Array(items) => items.iter().map(T::from_value).collect(),
+                _ => Err(DeError::expected("array", v)),
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Box<T> {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            T::from_value(v).map(Box::new)
+        }
+    }
+
+    impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let entries = v
+                .as_array()
+                .ok_or_else(|| DeError::expected("array of [key, value] pairs", v))?;
+            let mut out = std::collections::BTreeMap::new();
+            for e in entries {
+                let pair = e
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("[key, value] pair", e))?;
+                if pair.len() != 2 {
+                    return Err(DeError(format!(
+                        "expected [key, value] pair, got array of {}",
+                        pair.len()
+                    )));
+                }
+                out.insert(K::from_value(&pair[0])?, V::from_value(&pair[1])?);
+            }
+            Ok(out)
+        }
+    }
+
+    macro_rules! impl_de_tuple {
+        ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+                fn from_value(v: &Value) -> Result<Self, DeError> {
+                    let a = v
+                        .as_array()
+                        .ok_or_else(|| DeError::expected("array (tuple)", v))?;
+                    if a.len() != $len {
+                        return Err(DeError(format!(
+                            "expected tuple of {} elements, got {}",
+                            $len,
+                            a.len()
+                        )));
+                    }
+                    Ok(($($t::from_value(&a[$n])?,)+))
+                }
+            }
+        )*};
+    }
+    impl_de_tuple! {
+        (1; 0 A)
+        (2; 0 A, 1 B)
+        (3; 0 A, 1 B, 2 C)
+        (4; 0 A, 1 B, 2 C, 3 D)
+    }
+}
+
+pub use de::{DeError, Deserialize};
+pub use ser::Serialize;
+pub use value::Value;
+
+// The derive macros share the trait names, exactly like real serde's
+// `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

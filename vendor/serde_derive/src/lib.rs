@@ -1,0 +1,389 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde shim.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not
+//! available in this offline container, so this implementation parses the
+//! derive input token stream by hand. It supports exactly the shapes this
+//! workspace uses: non-generic structs (unit, newtype, tuple, named) and
+//! enums (unit, newtype, tuple, struct variants; externally tagged).
+//! Attributes such as `#[default]` and doc comments are skipped.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    UnitStruct,
+    NewtypeStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes a leading run of attributes (`#[...]`, which is how doc
+/// comments arrive too) and an optional visibility qualifier.
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected [...] after #, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // `pub(crate)`, `pub(super)`, ...
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Counts the top-level comma-separated segments of a token stream,
+/// ignoring commas nested inside `<...>` (groups are atomic token trees,
+/// so parens/brackets need no tracking). Tolerates a trailing comma.
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let mut segments = 0usize;
+    let mut seg_has_tokens = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                seg_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                seg_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if seg_has_tokens {
+                    segments += 1;
+                }
+                seg_has_tokens = false;
+            }
+            _ => seg_has_tokens = true,
+        }
+    }
+    if seg_has_tokens {
+        segments += 1;
+    }
+    segments
+}
+
+/// Parses `name: Type, ...` field lists (struct bodies and struct-variant
+/// bodies). Only the names are needed — field types are recovered by
+/// inference at the construction site in generated code.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_segments(g.stream());
+                iter.next();
+                if n == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(n)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic type `{name}`");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match iter.next() {
+            None => Shape::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_top_level_segments(g.stream()) {
+                    1 => Shape::NewtypeStruct,
+                    n => Shape::TupleStruct(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        kw => panic!("cannot derive for `{kw}` items"),
+    };
+    (name, shape)
+}
+
+fn named_fields_to_value(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::ser::Serialize::to_value({prefix}{f}))"))
+        .collect();
+    format!("::serde::value::Value::Map(vec![{}])", entries.join(", "))
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::NewtypeStruct => "::serde::ser::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::ser::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => named_fields_to_value(fields, "&self."),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::value::Value::Str(\"{vname}\".to_string())"
+                        ),
+                        VariantKind::Newtype => format!(
+                            "{name}::{vname}(x0) => ::serde::value::Value::Map(vec![(\"{vname}\".to_string(), ::serde::ser::Serialize::to_value(x0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::ser::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::value::Value::Map(vec![(\"{vname}\".to_string(), ::serde::value::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inner = named_fields_to_value(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::value::Value::Map(vec![(\"{vname}\".to_string(), {inner})])",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+fn named_fields_from_map(fields: &[String], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de::field({map_expr}, \"{f}\")?"))
+        .collect();
+    inits.join(", ")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::UnitStruct => format!(
+            "match v {{\n\
+                 ::serde::value::Value::Null => Ok({name}),\n\
+                 other => Err(::serde::de::DeError::expected(\"null (unit struct)\", other)),\n\
+             }}"
+        ),
+        Shape::NewtypeStruct => {
+            format!("Ok({name}(::serde::de::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::de::DeError::expected(\"array\", v))?;\n\
+                 if a.len() != {n} {{\n\
+                     return Err(::serde::de::DeError(format!(\"expected {n} elements, got {{}}\", a.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => format!(
+            "let m = v.as_map().ok_or_else(|| ::serde::de::DeError::expected(\"object\", v))?;\n\
+             Ok({name} {{ {} }})",
+            named_fields_from_map(fields, "m")
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0})", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Newtype => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(::serde::de::Deserialize::from_value(inner)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::de::Deserialize::from_value(&a[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let a = inner.as_array().ok_or_else(|| ::serde::de::DeError::expected(\"array\", inner))?;\n\
+                                     if a.len() != {n} {{\n\
+                                         return Err(::serde::de::DeError(format!(\"variant {vname}: expected {n} elements, got {{}}\", a.len())));\n\
+                                     }}\n\
+                                     Ok({name}::{vname}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => Some(format!(
+                            "\"{vname}\" => {{\n\
+                                 let m = inner.as_map().ok_or_else(|| ::serde::de::DeError::expected(\"object\", inner))?;\n\
+                                 Ok({name}::{vname} {{ {} }})\n\
+                             }}",
+                            named_fields_from_map(fields, "m")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         other => Err(::serde::de::DeError(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::value::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (tag, inner) = &m[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged}\n\
+                             other => Err(::serde::de::DeError(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::de::DeError::expected(\"enum representation\", other)),\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                tagged = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", tagged_arms.join(",\n"))
+                },
+            )
+        }
+    };
+    format!(
+        "impl ::serde::de::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::de::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

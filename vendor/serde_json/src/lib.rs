@@ -1,0 +1,396 @@
+//! Minimal vendored stand-in for `serde_json`, paired with the vendored
+//! `serde` shim.
+//!
+//! Provides exactly the API surface this workspace uses — `to_string`,
+//! `from_str`, `to_writer`, `from_reader` — over the shim's
+//! [`serde::Value`] data model. Floats are written with `{:?}` (Rust's
+//! shortest round-trippable representation); non-finite floats serialize
+//! as `null`, matching serde_json. The parser is a strict recursive
+//! descent that rejects trailing input and malformed documents.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Error type for serialization and deserialization failures.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error(format!("io error: {e}"))
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f:?}"));
+            } else {
+                // serde_json has no representation for NaN/inf.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+pub fn to_writer<W: std::io::Write, T: Serialize>(mut writer: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("invalid literal, expected `{lit}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for this
+                            // workspace's data; reject them explicitly.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("unsupported \\u escape"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("invalid number"));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Value::Int(i))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::UInt(u))
+        } else {
+            // Integer too large for 64 bits: fall back to float like
+            // serde_json's arbitrary-precision-off mode.
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(self.err(&format!("unexpected character `{}`", b as char))),
+        }
+    }
+}
+
+/// Parses a JSON document into the value model, rejecting trailing input.
+pub fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(v)
+}
+
+/// Deserializes `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = parse_value(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Deserializes `T` from a reader (reads to end first; the documents this
+/// workspace exchanges are small snapshots).
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars_and_collections() {
+        let v = vec![(1u64, -2.5f64), (3u64, 4.0f64)];
+        let s = to_string(&v).unwrap();
+        let back: Vec<(u64, f64)> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for &f in &[0.1, 1.0 / 3.0, 1e-300, -2.5e17, f64::MIN_POSITIVE] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(f.to_bits(), back.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        let s = to_string(&f64::INFINITY).unwrap();
+        assert_eq!(s, "null");
+        let back: f64 = from_str(&s).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<f64>("{bad").is_err());
+        assert!(from_str::<f64>("1 2").is_err());
+        assert!(from_str::<Vec<f64>>("[1,").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a\"b\\c\nd\te\u{0001}".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn options_tolerate_null_and_missing() {
+        let some: Option<u32> = from_str("7").unwrap();
+        assert_eq!(some, Some(7));
+        let none: Option<u32> = from_str("null").unwrap();
+        assert_eq!(none, None);
+    }
+}
