@@ -140,7 +140,11 @@ pub fn training_time(
     let start = Instant::now();
     let maintainer = MicroClusterMaintainer::from_dataset(&noisy, MaintainerConfig::new(q))?;
     let elapsed = start.elapsed().as_secs_f64();
-    debug_assert_eq!(maintainer.points_seen() as usize, noisy.len());
+    // Point counts are far below u32::MAX in every benchmark config.
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        debug_assert_eq!(maintainer.points_seen() as usize, noisy.len());
+    }
     Ok(TimingRow {
         x: q as f64,
         seconds_per_example: elapsed / noisy.len() as f64,

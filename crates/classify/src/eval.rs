@@ -67,6 +67,7 @@ impl EvalReport {
     pub fn f1(&self, label: ClassLabel) -> f64 {
         let p = self.precision(label);
         let r = self.recall(label);
+        // udm-lint: allow(UDM002) zero-denominator guard; p and r are exact 0 in the degenerate case
         if p + r == 0.0 {
             0.0
         } else {

@@ -36,7 +36,7 @@ impl CrossValidationReport {
             .map(|f| (f.accuracy() - mean).powi(2))
             .sum::<f64>()
             / self.folds.len() as f64;
-        var.sqrt()
+        udm_core::num::clamped_sqrt(var)
     }
 }
 

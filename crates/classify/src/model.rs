@@ -197,7 +197,9 @@ impl DensityClassifier {
         for c in global.clusters() {
             agg.merge(c)?;
         }
-        let sigmas: Vec<f64> = (0..train.dim()).map(|j| agg.variance(j).sqrt()).collect();
+        let sigmas: Vec<f64> = (0..train.dim())
+            .map(|j| udm_core::num::clamped_sqrt(agg.variance(j)))
+            .collect();
         let bandwidths = config
             .bandwidth
             .bandwidths_from_sigmas(&sigmas, train.len())?;
@@ -216,7 +218,9 @@ impl DensityClassifier {
         for &label in &labels {
             let class_data = partition
                 .class(label)
-                .expect("label came from the partition");
+                .ok_or(UdmError::UnknownLabel(label.id()))?;
+            // The per-class budget q_i <= q, which fits in usize.
+            #[allow(clippy::cast_possible_truncation)]
             let q_i =
                 ((q as f64 * class_data.len() as f64 / train.len() as f64).round() as usize).max(1);
             let m = MicroClusterMaintainer::from_dataset(
@@ -283,7 +287,12 @@ impl DensityClassifier {
                     labels
                         .par_iter()
                         .map(|&label| {
-                            let class_data = partition.class(label).expect("label from partition");
+                            let class_data = match partition.class(label) {
+                                Some(d) => d,
+                                None => return (label, Err(UdmError::UnknownLabel(label.id()))),
+                            };
+                            // The per-class budget q_i <= q, which fits in usize.
+                            #[allow(clippy::cast_possible_truncation)]
                             let q_i = ((q as f64 * class_data.len() as f64 / train.len() as f64)
                                 .round() as usize)
                                 .max(1);
@@ -307,7 +316,9 @@ impl DensityClassifier {
         for c in global.clusters() {
             agg.merge(c)?;
         }
-        let sigmas: Vec<f64> = (0..train.dim()).map(|j| agg.variance(j).sqrt()).collect();
+        let sigmas: Vec<f64> = (0..train.dim())
+            .map(|j| udm_core::num::clamped_sqrt(agg.variance(j)))
+            .collect();
         let bandwidths = config
             .bandwidth
             .bandwidths_from_sigmas(&sigmas, train.len())?;
@@ -323,6 +334,8 @@ impl DensityClassifier {
         let mut majority = (labels[0], 0usize);
         for (label, maintainer) in class_results {
             let maintainer = maintainer?;
+            // Point counts come from an in-memory dataset; usize holds them.
+            #[allow(clippy::cast_possible_truncation)]
             let class_len = maintainer.points_seen() as usize;
             class_kdes.push(MicroClusterKde::fit_with_bandwidths(
                 maintainer.clusters(),
@@ -449,6 +462,8 @@ impl DensityClassifier {
                 actual: x.dim(),
             });
         }
+        udm_core::num::ensure_finite_slice("query point values", x.values())?;
+        udm_core::num::ensure_finite_slice("query point errors", x.errors())?;
         let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
         let outcome = rollup(
             &oracle,
@@ -480,13 +495,12 @@ impl DensityClassifier {
             e.0 += 1;
             e.1 += s.accuracy;
         }
+        // `selected` was verified non-empty above, so at least one vote
+        // exists; the error path is unreachable but typed.
         let (&label, _) = votes
             .iter()
-            .max_by(|(_, (ca, aa)), (_, (cb, ab))| {
-                ca.cmp(cb)
-                    .then(aa.partial_cmp(ab).unwrap_or(std::cmp::Ordering::Equal))
-            })
-            .expect("selected is non-empty");
+            .max_by(|(_, (ca, aa)), (_, (cb, ab))| ca.cmp(cb).then(aa.total_cmp(ab)))
+            .ok_or(UdmError::EmptyDataset)?;
 
         Ok(ClassificationOutcome {
             label,

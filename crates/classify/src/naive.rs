@@ -57,7 +57,9 @@ impl NaiveDensityBayes {
         for c in global.clusters() {
             agg.merge(c)?;
         }
-        let sigmas: Vec<f64> = (0..train.dim()).map(|j| agg.variance(j).sqrt()).collect();
+        let sigmas: Vec<f64> = (0..train.dim())
+            .map(|j| udm_core::num::clamped_sqrt(agg.variance(j)))
+            .collect();
         let bandwidths = config
             .bandwidth
             .bandwidths_from_sigmas(&sigmas, train.len())?;
@@ -65,7 +67,11 @@ impl NaiveDensityBayes {
         let mut class_kdes = Vec::with_capacity(labels.len());
         let mut log_priors = Vec::with_capacity(labels.len());
         for &label in &labels {
-            let class_data = partition.class(label).expect("label from partition");
+            let class_data = partition
+                .class(label)
+                .ok_or(UdmError::UnknownLabel(label.id()))?;
+            // The per-class budget q_i <= micro_clusters, which fits in usize.
+            #[allow(clippy::cast_possible_truncation)]
             let q_i =
                 ((config.micro_clusters as f64 * class_data.len() as f64 / train.len() as f64)
                     .round() as usize)
@@ -132,10 +138,12 @@ impl NaiveDensityBayes {
 impl Classifier for NaiveDensityBayes {
     fn classify(&self, x: &UncertainPoint) -> Result<ClassLabel> {
         let scores = self.log_scores(x)?;
+        // Fitting requires ≥ 2 classes, so scores is never empty; the
+        // error path is unreachable but typed.
         Ok(scores
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("at least two classes")
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .ok_or(UdmError::EmptyDataset)?
             .0)
     }
 }

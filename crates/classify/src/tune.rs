@@ -61,7 +61,9 @@ pub fn tune_threshold(
             best = Some((a, accuracy));
         }
     }
-    let (best_threshold, best_accuracy) = best.expect("candidates is non-empty");
+    // `candidates` was verified non-empty above, so the loop ran at least
+    // once; the error path is unreachable but typed.
+    let (best_threshold, best_accuracy) = best.ok_or(UdmError::EmptyDataset)?;
     Ok(ThresholdSweep {
         candidates: results,
         best_threshold,

@@ -360,10 +360,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                         if parts.len() != 2 {
                             return Err(invalid("--dbscan expects EPS,MIN_PTS"));
                         }
+                        // udm-lint: allow(UDM002) fract() == 0 is the exact integer-ness test
                         if parts[1] < 1.0 || parts[1].fract() != 0.0 {
                             return Err(invalid("--dbscan MIN_PTS must be a positive integer"));
                         }
-                        dbscan = Some((parts[0], parts[1] as usize));
+                        // MIN_PTS was just validated as a small positive integer.
+                        #[allow(clippy::cast_possible_truncation)]
+                        let min_pts = parts[1] as usize;
+                        dbscan = Some((parts[0], min_pts));
                     }
                     "--euclidean" => euclidean = true,
                     "--seed" => seed = parse_num("--seed", it.next())?,

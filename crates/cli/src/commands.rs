@@ -40,7 +40,9 @@ CSV layout: values[,errors][,label] with a '#udm,dim=..' header
 ";
 
 fn load(path: &Path) -> Result<UncertainDataset> {
-    csv_io::read_csv_file(path, None)
+    // DataError -> UdmError keeps the file/line/column context in the
+    // message, so `udm <cmd> bad.csv` points at the offending cell.
+    Ok(csv_io::read_csv_file(path, None)?)
 }
 
 /// Executes a parsed command, writing human-readable output to `out`.
@@ -228,13 +230,21 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<()> {
             input,
             out: file,
         } => {
-            let raw = std::fs::File::open(&input)?;
+            let raw = std::fs::File::open(&input)
+                .map_err(|e| udm_data::DataError::from(e).with_path(&input))?;
+            // Attach the input path so parse errors read `file:line:col`.
+            let with_path = |e: udm_data::DataError| e.with_path(&input);
             let data = match dataset {
-                UciDataset::Adult => udm_data::uci_raw::parse_adult(raw)?,
-                UciDataset::Ionosphere => udm_data::uci_raw::parse_ionosphere(raw)?,
-                UciDataset::ForestCover => udm_data::uci_raw::parse_covertype(raw)?,
+                UciDataset::Adult => udm_data::uci_raw::parse_adult(raw).map_err(with_path)?,
+                UciDataset::Ionosphere => {
+                    udm_data::uci_raw::parse_ionosphere(raw).map_err(with_path)?
+                }
+                UciDataset::ForestCover => {
+                    udm_data::uci_raw::parse_covertype(raw).map_err(with_path)?
+                }
                 UciDataset::BreastCancer => {
-                    let incomplete = udm_data::uci_raw::parse_breast_cancer(raw)?;
+                    let incomplete =
+                        udm_data::uci_raw::parse_breast_cancer(raw).map_err(with_path)?;
                     udm_data::imputation::impute_mean(&incomplete)?
                 }
             };

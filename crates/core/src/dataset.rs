@@ -248,6 +248,8 @@ impl UncertainDataset {
         };
         let mut indices: Vec<usize> = (0..len).collect();
         for i in (1..len).rev() {
+            // The modulo result is <= i, which already fits in usize.
+            #[allow(clippy::cast_possible_truncation)]
             let j = (next() % (i as u64 + 1)) as usize;
             indices.swap(i, j);
         }

@@ -19,6 +19,10 @@
 //!   Apriori-style join used by the roll-up classifier.
 //! * [`stats`] — numerically stable streaming statistics (Welford) used by
 //!   bandwidth selection and dataset summaries.
+//! * [`num`] — numeric-safety guards: the sanctioned negative-variance
+//!   clamp ([`num::clamped_sqrt`]) with an observability counter, finite
+//!   input validation for estimator entry points, and the tolerant
+//!   [`num::approx_eq`] comparison.
 //! * [`scale`] — standard/min-max scalers that transform values and their
 //!   errors consistently.
 //!
@@ -32,6 +36,7 @@
 pub mod dataset;
 pub mod error;
 pub mod label;
+pub mod num;
 pub mod point;
 pub mod quantile;
 pub mod scale;
@@ -41,6 +46,7 @@ pub mod subspace;
 pub use dataset::{ClassPartition, DatasetBuilder, UncertainDataset};
 pub use error::{Result, UdmError};
 pub use label::ClassLabel;
+pub use num::{approx_eq, clamp_non_negative, clamped_sqrt, ensure_finite_slice, NonNegF64};
 pub use point::UncertainPoint;
 pub use quantile::{interquartile_range, median, quantile};
 pub use scale::{MinMaxScaler, Scaler, StandardScaler};

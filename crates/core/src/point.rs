@@ -123,6 +123,7 @@ impl UncertainPoint {
 
     /// Returns `true` if every cell of the point is exact (`ψ ≡ 0`).
     pub fn is_exact(&self) -> bool {
+        // udm-lint: allow(UDM002) exact cells carry ψ = 0.0 literally, never computed
         self.errors.iter().all(|&e| e == 0.0)
     }
 

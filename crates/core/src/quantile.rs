@@ -33,7 +33,7 @@ pub fn quantile(sample: &[f64], q: f64) -> Result<f64> {
             });
         }
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    sorted.sort_by(f64::total_cmp);
     Ok(quantile_sorted_unchecked(&sorted, q))
 }
 
@@ -46,7 +46,11 @@ pub fn quantile_sorted_unchecked(sorted: &[f64], q: f64) -> f64 {
         return sorted[0];
     }
     let pos = q * (n - 1) as f64;
+    // pos lies in [0, n−1] for the q ∈ [0, 1] the checked wrapper
+    // guarantees, so floor/ceil fit in usize.
+    #[allow(clippy::cast_possible_truncation)]
     let lo = pos.floor() as usize;
+    #[allow(clippy::cast_possible_truncation)]
     let hi = pos.ceil() as usize;
     if lo == hi {
         sorted[lo]
@@ -75,7 +79,7 @@ pub fn interquartile_range(sample: &[f64]) -> Result<f64> {
             });
         }
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    sorted.sort_by(f64::total_cmp);
     Ok(quantile_sorted_unchecked(&sorted, 0.75) - quantile_sorted_unchecked(&sorted, 0.25))
 }
 

@@ -76,7 +76,7 @@ impl RunningStats {
         if self.count == 0 {
             0.0
         } else {
-            (self.m2 / self.count as f64).max(0.0)
+            crate::num::clamp_non_negative(self.m2 / self.count as f64)
         }
     }
 
@@ -86,20 +86,20 @@ impl RunningStats {
         if self.count < 2 {
             0.0
         } else {
-            (self.m2 / (self.count - 1) as f64).max(0.0)
+            crate::num::clamp_non_negative(self.m2 / (self.count - 1) as f64)
         }
     }
 
     /// Population standard deviation.
     #[inline]
     pub fn std_population(&self) -> f64 {
-        self.variance_population().sqrt()
+        crate::num::clamped_sqrt(self.variance_population())
     }
 
     /// Sample standard deviation.
     #[inline]
     pub fn std_sample(&self) -> f64 {
-        self.variance_sample().sqrt()
+        crate::num::clamped_sqrt(self.variance_sample())
     }
 
     /// Smallest observation; `+∞` when empty.
@@ -167,7 +167,7 @@ impl DimensionSummary {
             std: vs.std_population(),
             min: vs.min(),
             max: vs.max(),
-            rms_error: mean_sq_err.sqrt(),
+            rms_error: crate::num::clamped_sqrt(mean_sq_err),
         }
     }
 }

@@ -10,9 +10,10 @@
 //! [`read_csv`] uses that header when present; otherwise the caller must
 //! supply an explicit [`CsvSchema`].
 
+use crate::error::{DataError, DataResult};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
-use udm_core::{ClassLabel, Result, UdmError, UncertainDataset, UncertainPoint};
+use udm_core::{ClassLabel, UdmError, UncertainDataset, UncertainPoint};
 
 /// Describes the column layout of a CSV file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +64,7 @@ impl CsvSchema {
 ///
 /// Errors are written whenever any point carries a non-zero error; labels
 /// whenever any point is labelled.
-pub fn write_csv<W: Write>(writer: W, data: &UncertainDataset) -> Result<()> {
+pub fn write_csv<W: Write>(writer: W, data: &UncertainDataset) -> DataResult<()> {
     let schema = CsvSchema {
         dim: data.dim(),
         has_errors: data.iter().any(|p| !p.is_exact()),
@@ -95,18 +96,19 @@ pub fn write_csv<W: Write>(writer: W, data: &UncertainDataset) -> Result<()> {
     Ok(())
 }
 
-/// Writes a dataset to a file. See [`write_csv`].
-pub fn write_csv_file(path: &Path, data: &UncertainDataset) -> Result<()> {
-    let f = std::fs::File::create(path)?;
-    write_csv(f, data)
+/// Writes a dataset to a file. See [`write_csv`]; errors carry the path.
+pub fn write_csv_file(path: &Path, data: &UncertainDataset) -> DataResult<()> {
+    let f = std::fs::File::create(path).map_err(|e| DataError::from(e).with_path(path))?;
+    write_csv(f, data).map_err(|e| e.with_path(path))
 }
 
 /// Reads a dataset from a reader. `schema` overrides any header; when
-/// `None`, the `#udm` header is required.
+/// `None`, the `#udm` header is required. Parse errors carry the 1-based
+/// line and, for cell-level failures, column.
 pub fn read_csv<R: std::io::Read>(
     reader: R,
     schema: Option<CsvSchema>,
-) -> Result<UncertainDataset> {
+) -> DataResult<UncertainDataset> {
     let mut r = BufReader::new(reader);
     let mut line = String::new();
     let mut line_no = 0usize;
@@ -129,45 +131,48 @@ pub fn read_csv<R: std::io::Read>(
             }
             continue;
         }
-        let schema = schema.ok_or(UdmError::Parse {
-            line: line_no,
-            message: "no schema: missing #udm header and no explicit schema given".into(),
+        let schema = schema.ok_or_else(|| {
+            DataError::parse(
+                line_no,
+                "no schema: missing #udm header and no explicit schema given",
+            )
         })?;
         let fields: Vec<&str> = trimmed.split(',').collect();
         if fields.len() != schema.columns() {
-            return Err(UdmError::Parse {
-                line: line_no,
-                message: format!(
+            return Err(DataError::parse(
+                line_no,
+                format!(
                     "expected {} columns, found {}",
                     schema.columns(),
                     fields.len()
                 ),
-            });
+            ));
         }
-        let parse_f64 = |s: &str| -> Result<f64> {
-            s.trim().parse::<f64>().map_err(|e| UdmError::Parse {
-                line: line_no,
-                message: format!("bad number {s:?}: {e}"),
+        // `col` is the 0-based field index; reported columns are 1-based.
+        let parse_f64 = |col: usize, s: &str| -> DataResult<f64> {
+            s.trim().parse::<f64>().map_err(|e| {
+                DataError::parse_at(line_no, col + 1, format!("bad number {s:?}: {e}"))
             })
         };
         let values = fields[..schema.dim]
             .iter()
-            .map(|s| parse_f64(s))
-            .collect::<Result<Vec<_>>>()?;
+            .enumerate()
+            .map(|(col, s)| parse_f64(col, s))
+            .collect::<DataResult<Vec<_>>>()?;
         let errors = if schema.has_errors {
             fields[schema.dim..2 * schema.dim]
                 .iter()
-                .map(|s| parse_f64(s))
-                .collect::<Result<Vec<_>>>()?
+                .enumerate()
+                .map(|(i, s)| parse_f64(schema.dim + i, s))
+                .collect::<DataResult<Vec<_>>>()?
         } else {
             vec![0.0; schema.dim]
         };
         let mut point = UncertainPoint::new(values, errors)?;
         if schema.has_labels {
             let raw = fields[schema.columns() - 1].trim();
-            let id = raw.parse::<u32>().map_err(|e| UdmError::Parse {
-                line: line_no,
-                message: format!("bad label {raw:?}: {e}"),
+            let id = raw.parse::<u32>().map_err(|e| {
+                DataError::parse_at(line_no, schema.columns(), format!("bad label {raw:?}: {e}"))
             })?;
             if id != u32::MAX {
                 point = point.with_label(ClassLabel(id));
@@ -182,13 +187,13 @@ pub fn read_csv<R: std::io::Read>(
             }
         }
     }
-    data.ok_or(UdmError::EmptyDataset)
+    data.ok_or(DataError::Invalid(UdmError::EmptyDataset))
 }
 
-/// Reads a dataset from a file. See [`read_csv`].
-pub fn read_csv_file(path: &Path, schema: Option<CsvSchema>) -> Result<UncertainDataset> {
-    let f = std::fs::File::open(path)?;
-    read_csv(f, schema)
+/// Reads a dataset from a file. See [`read_csv`]; errors carry the path.
+pub fn read_csv_file(path: &Path, schema: Option<CsvSchema>) -> DataResult<UncertainDataset> {
+    let f = std::fs::File::open(path).map_err(|e| DataError::from(e).with_path(path))?;
+    read_csv(f, schema).map_err(|e| e.with_path(path))
 }
 
 #[cfg(test)]
@@ -247,21 +252,32 @@ mod tests {
     #[test]
     fn missing_schema_is_parse_error() {
         let e = read_csv("1.0,2.0\n".as_bytes(), None).unwrap_err();
-        assert!(matches!(e, UdmError::Parse { line: 1, .. }));
+        assert_eq!(e.line(), Some(1));
     }
 
     #[test]
     fn wrong_column_count_reports_line() {
         let csv = "#udm,dim=2,errors=0,labels=0\n1.0,2.0\n1.0\n";
         let e = read_csv(csv.as_bytes(), None).unwrap_err();
-        assert!(matches!(e, UdmError::Parse { line: 3, .. }));
+        assert_eq!(e.line(), Some(3));
+        assert_eq!(e.column(), None); // row-level failure
     }
 
     #[test]
-    fn bad_number_reports_line() {
-        let csv = "#udm,dim=1,errors=0,labels=0\nabc\n";
+    fn bad_number_reports_line_and_column() {
+        let csv = "#udm,dim=2,errors=1,labels=0\n1.0,2.0,0.1,0.2\n3.0,4.0,0.1,oops\n";
         let e = read_csv(csv.as_bytes(), None).unwrap_err();
-        assert!(matches!(e, UdmError::Parse { line: 2, .. }));
+        assert_eq!(e.line(), Some(3));
+        assert_eq!(e.column(), Some(4));
+        assert!(e.to_string().starts_with("3:4:"), "{e}");
+    }
+
+    #[test]
+    fn bad_label_reports_its_column() {
+        let csv = "#udm,dim=1,errors=0,labels=1\n5.0,benign\n";
+        let e = read_csv(csv.as_bytes(), None).unwrap_err();
+        assert_eq!(e.line(), Some(2));
+        assert_eq!(e.column(), Some(2));
     }
 
     #[test]
@@ -275,7 +291,16 @@ mod tests {
     #[test]
     fn empty_input_is_empty_dataset_error() {
         let e = read_csv("#udm,dim=1,errors=0,labels=0\n".as_bytes(), None).unwrap_err();
-        assert!(matches!(e, UdmError::EmptyDataset));
+        assert!(matches!(
+            e,
+            DataError::Invalid(udm_core::UdmError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn file_errors_name_the_file() {
+        let e = read_csv_file(Path::new("/nonexistent/x.csv"), None).unwrap_err();
+        assert!(e.to_string().contains("x.csv"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Typed errors for the data loaders and parsers.
+//!
+//! [`DataError`] carries enough context — file path, 1-based line, and
+//! (for cell-level failures) 1-based column — for a CLI user to point an
+//! editor at the offending cell. It converts losslessly into
+//! [`UdmError`] so library code returning [`udm_core::Result`] can `?`
+//! straight through a loader call.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use udm_core::UdmError;
+
+/// Result alias for the loaders and parsers in this crate.
+pub type DataResult<T> = std::result::Result<T, DataError>;
+
+/// Error raised while loading or parsing external data.
+#[derive(Debug)]
+pub enum DataError {
+    /// I/O failure opening or reading a source.
+    Io {
+        /// File involved, when known.
+        path: Option<PathBuf>,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A row or cell that could not be parsed.
+    Parse {
+        /// File involved, when known.
+        path: Option<PathBuf>,
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// 1-based column (comma-separated field index) for cell-level
+        /// failures; `None` for row-level ones (arity, missing schema).
+        column: Option<usize>,
+        /// Description of the failure.
+        message: String,
+    },
+    /// The parsed data violated a dataset invariant (dimensionality,
+    /// finiteness, emptiness, …).
+    Invalid(UdmError),
+}
+
+impl DataError {
+    /// Builds a row-level parse error.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        DataError::Parse {
+            path: None,
+            line,
+            column: None,
+            message: message.into(),
+        }
+    }
+
+    /// Builds a cell-level parse error with a 1-based column.
+    pub fn parse_at(line: usize, column: usize, message: impl Into<String>) -> Self {
+        DataError::Parse {
+            path: None,
+            line,
+            column: Some(column),
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a file path to the error (no-op for [`DataError::Invalid`]
+    /// and for errors that already carry one).
+    #[must_use]
+    pub fn with_path(mut self, p: &Path) -> Self {
+        match &mut self {
+            DataError::Io { path, .. } | DataError::Parse { path, .. } => {
+                if path.is_none() {
+                    *path = Some(p.to_path_buf());
+                }
+            }
+            DataError::Invalid(_) => {}
+        }
+        self
+    }
+
+    /// The 1-based line number, for parse errors.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            DataError::Parse { line, .. } => Some(*line),
+            _ => None,
+        }
+    }
+
+    /// The 1-based column, for cell-level parse errors.
+    pub fn column(&self) -> Option<usize> {
+        match self {
+            DataError::Parse { column, .. } => *column,
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io { path, source } => match path {
+                Some(p) => write!(f, "{}: {source}", p.display()),
+                None => write!(f, "I/O error: {source}"),
+            },
+            DataError::Parse {
+                path,
+                line,
+                column,
+                message,
+            } => {
+                if let Some(p) = path {
+                    write!(f, "{}:", p.display())?;
+                }
+                write!(f, "{line}:")?;
+                if let Some(c) = column {
+                    write!(f, "{c}:")?;
+                }
+                write!(f, " {message}")
+            }
+            DataError::Invalid(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io { source, .. } => Some(source),
+            DataError::Invalid(e) => Some(e),
+            DataError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(source: std::io::Error) -> Self {
+        DataError::Io { path: None, source }
+    }
+}
+
+impl From<UdmError> for DataError {
+    fn from(e: UdmError) -> Self {
+        match e {
+            UdmError::Parse { line, message } => DataError::Parse {
+                path: None,
+                line,
+                column: None,
+                message,
+            },
+            other => DataError::Invalid(other),
+        }
+    }
+}
+
+impl From<DataError> for UdmError {
+    fn from(e: DataError) -> Self {
+        match e {
+            DataError::Io { path, source } => match path {
+                Some(p) => UdmError::Io(format!("{}: {source}", p.display())),
+                None => UdmError::Io(source.to_string()),
+            },
+            // Fold path/column into the message so the context survives
+            // the narrower UdmError::Parse shape.
+            DataError::Parse {
+                path,
+                line,
+                column,
+                message,
+            } => {
+                let mut prefix = String::new();
+                if let Some(p) = path {
+                    prefix.push_str(&format!("{}: ", p.display()));
+                }
+                if let Some(c) = column {
+                    prefix.push_str(&format!("column {c}: "));
+                }
+                UdmError::Parse {
+                    line,
+                    message: format!("{prefix}{message}"),
+                }
+            }
+            DataError::Invalid(inner) => inner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn display_points_at_the_cell() {
+        let e = DataError::parse_at(7, 3, "bad number \"x\"").with_path(Path::new("d.csv"));
+        assert_eq!(e.to_string(), "d.csv:7:3: bad number \"x\"");
+        assert_eq!(e.line(), Some(7));
+        assert_eq!(e.column(), Some(3));
+    }
+
+    #[test]
+    fn display_without_path_or_column() {
+        let e = DataError::parse(2, "expected 5 columns, found 3");
+        assert_eq!(e.to_string(), "2: expected 5 columns, found 3");
+        assert_eq!(e.column(), None);
+    }
+
+    #[test]
+    fn with_path_does_not_overwrite() {
+        let e = DataError::parse(1, "x")
+            .with_path(Path::new("a.csv"))
+            .with_path(Path::new("b.csv"));
+        match e {
+            DataError::Parse { path, .. } => assert_eq!(path, Some(PathBuf::from("a.csv"))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_to_udm_error_with_context() {
+        let e = DataError::parse_at(4, 2, "bad label").with_path(Path::new("x.csv"));
+        let u = UdmError::from(e);
+        match u {
+            UdmError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("x.csv"), "{message}");
+                assert!(message.contains("column 2"), "{message}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn invariant_errors_pass_through_unchanged() {
+        let e = DataError::from(UdmError::EmptyDataset);
+        assert!(matches!(e, DataError::Invalid(UdmError::EmptyDataset)));
+        assert!(matches!(UdmError::from(e), UdmError::EmptyDataset));
+    }
+
+    #[test]
+    fn udm_parse_errors_keep_their_line() {
+        let e = DataError::from(UdmError::Parse {
+            line: 9,
+            message: "m".into(),
+        });
+        assert_eq!(e.line(), Some(9));
+    }
+
+    #[test]
+    fn io_errors_carry_the_path() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = DataError::from(io).with_path(Path::new("missing.csv"));
+        assert!(e.to_string().starts_with("missing.csv:"));
+        assert!(matches!(UdmError::from(e), UdmError::Io(m) if m.contains("missing.csv")));
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod aggregate;
 pub mod csv_io;
+pub mod error;
 pub mod imputation;
 pub mod noise;
 pub mod split;
@@ -43,6 +44,7 @@ pub mod uci;
 pub mod uci_raw;
 
 pub use aggregate::{aggregate_groups, GroupLabelPolicy};
+pub use error::{DataError, DataResult};
 pub use imputation::{impute_mean, impute_stochastic, IncompleteDataset, MissingnessModel};
 pub use noise::ErrorModel;
 pub use split::{stratified_split, train_test_split, Split};

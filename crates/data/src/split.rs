@@ -42,6 +42,8 @@ pub fn train_test_split(data: &UncertainDataset, test_fraction: f64, seed: u64) 
     let mut indices: Vec<usize> = (0..data.len()).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     indices.shuffle(&mut rng);
+    // len·fraction <= len for the validated fraction ∈ (0, 1).
+    #[allow(clippy::cast_possible_truncation)]
     let n_test = ((data.len() as f64 * test_fraction).round() as usize)
         .max(1)
         .min(data.len() - 1);
@@ -79,6 +81,8 @@ pub fn stratified_split(data: &UncertainDataset, test_fraction: f64, seed: u64) 
     let mut test = UncertainDataset::new(data.dim());
     for (_, mut idxs) in buckets {
         idxs.shuffle(&mut rng);
+        // len·fraction <= len for the validated fraction ∈ (0, 1).
+        #[allow(clippy::cast_possible_truncation)]
         let n_test = if idxs.len() == 1 {
             0 // lone member goes to train; can't represent both sides
         } else {

@@ -82,6 +82,8 @@ impl DriftingStream {
         for (i, regime) in self.regimes.iter().enumerate() {
             // Draw the regime's clean points in one batch (deterministic
             // per regime), then perturb cell-wise.
+            // Regime durations are experiment-sized; usize holds them.
+            #[allow(clippy::cast_possible_truncation)]
             let clean = regime
                 .mixture
                 .generate(regime.duration as usize, self.seed ^ (i as u64) << 32);
@@ -98,10 +100,12 @@ impl DriftingStream {
                     values.push(displaced);
                     errors.push(psi);
                 }
+                // udm-lint: allow(UDM001) regime means/stds/error_scale validated finite, so cells are finite
                 let mut q = UncertainPoint::new(values, errors).expect("finite cells");
                 if let Some(l) = p.label() {
                     q = q.with_label(l);
                 }
+                // udm-lint: allow(UDM001) all regimes share dim(), checked at construction
                 out.push(q.with_timestamp(t)).expect("uniform dims");
                 t += 1;
             }

@@ -62,6 +62,8 @@ impl MixtureGenerator {
     /// validating that all components share the given dimensionality and
     /// have positive weight and non-negative stds.
     pub fn new(dim: usize, classes: Vec<GaussianClassSpec>) -> Result<Self> {
+        // Class counts are single digits; u32 cannot overflow.
+        #[allow(clippy::cast_possible_truncation)]
         let labels = (0..classes.len() as u32).map(ClassLabel).collect();
         Self::new_with_labels(dim, classes, labels)
     }
@@ -101,6 +103,11 @@ impl MixtureGenerator {
             if c.std.iter().any(|&s| !(s.is_finite() && s >= 0.0)) {
                 return Err(UdmError::InvalidConfig(format!(
                     "component {i} has a negative or non-finite std"
+                )));
+            }
+            if c.mean.iter().any(|&m| !m.is_finite()) {
+                return Err(UdmError::InvalidConfig(format!(
+                    "component {i} has a non-finite mean"
                 )));
             }
         }
@@ -151,8 +158,10 @@ impl MixtureGenerator {
                 .map(|j| spec.mean[j] + spec.std[j] * standard_normal(&mut rng))
                 .collect();
             let point = UncertainPoint::exact(values)
+                // udm-lint: allow(UDM001) means/stds validated finite at construction, so draws are finite
                 .expect("generated values are finite")
                 .with_label(self.labels[class_idx]);
+            // udm-lint: allow(UDM001) every point is built with self.dim coordinates
             data.push(point).expect("dimensionality is uniform");
         }
         data

@@ -19,7 +19,7 @@ use crate::synth::{GaussianClassSpec, MixtureGenerator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::Path;
-use udm_core::{Result, UncertainDataset};
+use udm_core::UncertainDataset;
 
 /// The four datasets of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -198,10 +198,13 @@ impl UciDataset {
                     std,
                     weight: prior * w / total,
                 });
+                // Class counts are single digits; u32 cannot overflow.
+                #[allow(clippy::cast_possible_truncation)]
                 labels.push(udm_core::ClassLabel(class_idx as u32));
             }
         }
         MixtureGenerator::new_with_labels(dim, components, labels)
+            // udm-lint: allow(UDM001) specs are drawn from bounded finite ranges, validation cannot fail
             .expect("profile specs are valid by construction")
     }
 
@@ -214,8 +217,9 @@ impl UciDataset {
 
     /// Loads a real dataset converted to the canonical CSV layout
     /// (`#udm` header or `values…,label` with explicit schema — see
-    /// [`crate::csv_io`]).
-    pub fn load_csv(self, path: &Path) -> Result<UncertainDataset> {
+    /// [`crate::csv_io`]). Parse failures are reported with file, line
+    /// and column via [`crate::DataError`].
+    pub fn load_csv(self, path: &Path) -> crate::DataResult<UncertainDataset> {
         csv_io::read_csv_file(path, None)
     }
 }

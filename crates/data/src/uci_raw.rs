@@ -13,16 +13,10 @@
 //! | `breast-cancer-wisconsin.data` | id + 9 numeric (`?` = missing) + `2`/`4` | [`parse_breast_cancer`] |
 //! | `covtype.data` | 54 numeric + label `1..7` | [`parse_covertype`] |
 
+use crate::error::{DataError, DataResult};
 use crate::imputation::{IncompleteDataset, IncompleteRow};
 use std::io::{BufRead, BufReader, Read};
-use udm_core::{ClassLabel, Result, UdmError, UncertainDataset, UncertainPoint};
-
-fn parse_err(line: usize, message: impl Into<String>) -> UdmError {
-    UdmError::Parse {
-        line,
-        message: message.into(),
-    }
-}
+use udm_core::{ClassLabel, UdmError, UncertainDataset, UncertainPoint};
 
 fn read_lines<R: Read>(reader: R) -> impl Iterator<Item = (usize, String)> {
     BufReader::new(reader)
@@ -38,13 +32,13 @@ fn read_lines<R: Read>(reader: R) -> impl Iterator<Item = (usize, String)> {
 /// hours-per-week; indices 0, 2, 4, 10, 11, 12) and maps `<=50K` → 0,
 /// `>50K` → 1. Rows with `?` in a kept column are skipped (the raw adult
 /// marks missingness only in categorical columns, but be permissive).
-pub fn parse_adult<R: Read>(reader: R) -> Result<UncertainDataset> {
+pub fn parse_adult<R: Read>(reader: R) -> DataResult<UncertainDataset> {
     const KEEP: [usize; 6] = [0, 2, 4, 10, 11, 12];
     let mut out = UncertainDataset::new(KEEP.len());
     for (line_no, line) in read_lines(reader) {
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() < 15 {
-            return Err(parse_err(
+            return Err(DataError::parse(
                 line_no,
                 format!("expected 15 fields, found {}", fields.len()),
             ));
@@ -55,53 +49,64 @@ pub fn parse_adult<R: Read>(reader: R) -> Result<UncertainDataset> {
         let mut values = Vec::with_capacity(KEEP.len());
         for &k in &KEEP {
             values.push(fields[k].parse::<f64>().map_err(|e| {
-                parse_err(
-                    line_no,
-                    format!("column {k}: bad number {:?}: {e}", fields[k]),
-                )
+                DataError::parse_at(line_no, k + 1, format!("bad number {:?}: {e}", fields[k]))
             })?);
         }
         let label = match fields[14].trim_end_matches('.') {
             "<=50K" => ClassLabel(0),
             ">50K" => ClassLabel(1),
-            other => return Err(parse_err(line_no, format!("unknown label {other:?}"))),
+            other => {
+                return Err(DataError::parse_at(
+                    line_no,
+                    15,
+                    format!("unknown label {other:?}"),
+                ))
+            }
         };
         out.push(UncertainPoint::exact(values)?.with_label(label))?;
     }
     if out.is_empty() {
-        return Err(UdmError::EmptyDataset);
+        return Err(DataError::Invalid(UdmError::EmptyDataset));
     }
     Ok(out)
 }
 
 /// Parses `ionosphere.data`: 34 numeric columns, label `g` (good → 0) or
 /// `b` (bad → 1).
-pub fn parse_ionosphere<R: Read>(reader: R) -> Result<UncertainDataset> {
+pub fn parse_ionosphere<R: Read>(reader: R) -> DataResult<UncertainDataset> {
     let mut out = UncertainDataset::new(34);
     for (line_no, line) in read_lines(reader) {
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 35 {
-            return Err(parse_err(
+            return Err(DataError::parse(
                 line_no,
                 format!("expected 35 fields, found {}", fields.len()),
             ));
         }
         let values = fields[..34]
             .iter()
-            .map(|s| {
-                s.parse::<f64>()
-                    .map_err(|e| parse_err(line_no, format!("bad number {s:?}: {e}")))
+            .enumerate()
+            .map(|(i, s)| {
+                s.parse::<f64>().map_err(|e| {
+                    DataError::parse_at(line_no, i + 1, format!("bad number {s:?}: {e}"))
+                })
             })
-            .collect::<Result<Vec<_>>>()?;
+            .collect::<DataResult<Vec<_>>>()?;
         let label = match fields[34] {
             "g" => ClassLabel(0),
             "b" => ClassLabel(1),
-            other => return Err(parse_err(line_no, format!("unknown label {other:?}"))),
+            other => {
+                return Err(DataError::parse_at(
+                    line_no,
+                    35,
+                    format!("unknown label {other:?}"),
+                ))
+            }
         };
         out.push(UncertainPoint::exact(values)?.with_label(label))?;
     }
     if out.is_empty() {
-        return Err(UdmError::EmptyDataset);
+        return Err(DataError::Invalid(UdmError::EmptyDataset));
     }
     Ok(out)
 }
@@ -111,32 +116,39 @@ pub fn parse_ionosphere<R: Read>(reader: R) -> Result<UncertainDataset> {
 /// `4` (malignant → 1). Returns an [`IncompleteDataset`] — run
 /// [`crate::imputation::impute_mean`] to obtain error-tracked uncertain
 /// points, exactly the paper's imputation use case.
-pub fn parse_breast_cancer<R: Read>(reader: R) -> Result<IncompleteDataset> {
+pub fn parse_breast_cancer<R: Read>(reader: R) -> DataResult<IncompleteDataset> {
     let mut out = IncompleteDataset::new(9);
     for (line_no, line) in read_lines(reader) {
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 11 {
-            return Err(parse_err(
+            return Err(DataError::parse(
                 line_no,
                 format!("expected 11 fields, found {}", fields.len()),
             ));
         }
         let values = fields[1..10]
             .iter()
-            .map(|s| {
+            .enumerate()
+            .map(|(i, s)| {
                 if *s == "?" {
                     Ok(None)
                 } else {
-                    s.parse::<f64>()
-                        .map(Some)
-                        .map_err(|e| parse_err(line_no, format!("bad number {s:?}: {e}")))
+                    s.parse::<f64>().map(Some).map_err(|e| {
+                        DataError::parse_at(line_no, i + 2, format!("bad number {s:?}: {e}"))
+                    })
                 }
             })
-            .collect::<Result<Vec<_>>>()?;
+            .collect::<DataResult<Vec<_>>>()?;
         let label = match fields[10] {
             "2" => ClassLabel(0),
             "4" => ClassLabel(1),
-            other => return Err(parse_err(line_no, format!("unknown class {other:?}"))),
+            other => {
+                return Err(DataError::parse_at(
+                    line_no,
+                    11,
+                    format!("unknown class {other:?}"),
+                ))
+            }
         };
         out.push(IncompleteRow {
             values,
@@ -144,7 +156,7 @@ pub fn parse_breast_cancer<R: Read>(reader: R) -> Result<IncompleteDataset> {
         })?;
     }
     if out.is_empty() {
-        return Err(UdmError::EmptyDataset);
+        return Err(DataError::Invalid(UdmError::EmptyDataset));
     }
     Ok(out)
 }
@@ -153,36 +165,39 @@ pub fn parse_breast_cancer<R: Read>(reader: R) -> Result<IncompleteDataset> {
 /// uses only quantitative attributes; columns 10..54 are one-hot
 /// wilderness/soil indicators) and the cover type `1..7` mapped to labels
 /// `0..6`.
-pub fn parse_covertype<R: Read>(reader: R) -> Result<UncertainDataset> {
+pub fn parse_covertype<R: Read>(reader: R) -> DataResult<UncertainDataset> {
     let mut out = UncertainDataset::new(10);
     for (line_no, line) in read_lines(reader) {
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 55 {
-            return Err(parse_err(
+            return Err(DataError::parse(
                 line_no,
                 format!("expected 55 fields, found {}", fields.len()),
             ));
         }
         let values = fields[..10]
             .iter()
-            .map(|s| {
-                s.parse::<f64>()
-                    .map_err(|e| parse_err(line_no, format!("bad number {s:?}: {e}")))
+            .enumerate()
+            .map(|(i, s)| {
+                s.parse::<f64>().map_err(|e| {
+                    DataError::parse_at(line_no, i + 1, format!("bad number {s:?}: {e}"))
+                })
             })
-            .collect::<Result<Vec<_>>>()?;
+            .collect::<DataResult<Vec<_>>>()?;
         let cover_type: u32 = fields[54]
             .parse()
-            .map_err(|e| parse_err(line_no, format!("bad cover type: {e}")))?;
+            .map_err(|e| DataError::parse_at(line_no, 55, format!("bad cover type: {e}")))?;
         if !(1..=7).contains(&cover_type) {
-            return Err(parse_err(
+            return Err(DataError::parse_at(
                 line_no,
+                55,
                 format!("cover type {cover_type} out of range"),
             ));
         }
         out.push(UncertainPoint::exact(values)?.with_label(ClassLabel(cover_type - 1)))?;
     }
     if out.is_empty() {
-        return Err(UdmError::EmptyDataset);
+        return Err(DataError::Invalid(UdmError::EmptyDataset));
     }
     Ok(out)
 }
@@ -289,6 +304,17 @@ mod tests {
     fn parse_errors_carry_line_numbers() {
         let raw = "1000025,5,1,1,1,2,1,3,1,1,2\nbroken\n";
         let e = parse_breast_cancer(raw.as_bytes()).unwrap_err();
-        assert!(matches!(e, UdmError::Parse { line: 2, .. }), "{e}");
+        assert_eq!(e.line(), Some(2), "{e}");
+    }
+
+    #[test]
+    fn cell_errors_carry_columns() {
+        let raw = "1000025,5,1,bad,1,2,1,3,1,1,2\n";
+        let e = parse_breast_cancer(raw.as_bytes()).unwrap_err();
+        assert_eq!(e.line(), Some(1));
+        assert_eq!(e.column(), Some(4), "{e}");
+        let raw = "39, X, oops, X, 2, X, X, X, X, X, 3, 4, 5, X, >50K\n";
+        let e = parse_adult(raw.as_bytes()).unwrap_err();
+        assert_eq!(e.column(), Some(3), "{e}");
     }
 }

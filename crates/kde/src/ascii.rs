@@ -22,6 +22,8 @@ pub fn sparkline(grid: &Grid1D) -> String {
     grid.ys
         .iter()
         .map(|&y| {
+            // y/max ∈ [0, 1], so the rounded level fits in usize.
+            #[allow(clippy::cast_possible_truncation)]
             let level = ((y / max) * (BLOCKS.len() - 1) as f64).round() as usize;
             BLOCKS[level.min(BLOCKS.len() - 1)]
         })
@@ -42,6 +44,8 @@ pub fn chart(grid: &Grid1D, height: usize) -> String {
                 ' '
             } else {
                 let within = ((frac - threshold_lo) * height as f64).clamp(0.0, 1.0);
+                // within is clamped to [0, 1]; the level fits in usize.
+                #[allow(clippy::cast_possible_truncation)]
                 let level = (within * (BLOCKS.len() - 1) as f64).round() as usize;
                 BLOCKS[level.min(BLOCKS.len() - 1)]
             };

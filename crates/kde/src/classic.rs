@@ -11,6 +11,7 @@
 
 use crate::bandwidth::BandwidthRule;
 use crate::kernel::Kernel;
+use udm_core::num::{ensure_finite_slice, f64_from_usize};
 use udm_core::{Result, Subspace, UdmError, UncertainDataset};
 
 /// Product-kernel density estimator `f(x) = (1/N)·Σ_i Π_j K_{h_j}(x_j − X_i^j)`.
@@ -66,6 +67,7 @@ impl<'a, K: Kernel> ClassicKde<'a, K> {
         if self.data.is_empty() {
             return Err(UdmError::EmptyDataset);
         }
+        ensure_finite_slice("query coordinate", x)?;
         let support = self.kernel.support_radius();
         let mut sum = 0.0;
         for p in self.data.iter() {
@@ -79,13 +81,14 @@ impl<'a, K: Kernel> ClassicKde<'a, K> {
                     }
                 }
                 prod *= self.kernel.evaluate(diff, self.bandwidths[j]);
+                // udm-lint: allow(UDM002) exact underflow short-circuit (bit-for-bit cache contract)
                 if prod == 0.0 {
                     break;
                 }
             }
             sum += prod;
         }
-        Ok(sum / self.data.len() as f64)
+        Ok(sum / f64_from_usize(self.data.len()))
     }
 }
 

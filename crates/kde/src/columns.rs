@@ -123,6 +123,7 @@ impl KernelColumns {
             };
             for j in subspace.dims() {
                 prod *= row[j];
+                // udm-lint: allow(UDM002) exact underflow short-circuit (bit-for-bit cache contract)
                 if prod == 0.0 {
                     break;
                 }

@@ -30,6 +30,7 @@
 
 use crate::kernel::INV_SQRT_2PI;
 use serde::{Deserialize, Serialize};
+use udm_core::num::clamped_sqrt;
 
 /// Which normalizing prefactor the error-based kernel uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -71,10 +72,12 @@ impl GaussianErrorKernel {
         debug_assert!(h >= 0.0 && psi >= 0.0);
         let var = h * h + psi * psi;
         if var <= 0.0 {
+            // udm-lint: allow(UDM002) degenerate point mass sits exactly at diff == 0
             return if diff == 0.0 { f64::INFINITY } else { 0.0 };
         }
         let scale = match self.form {
-            ErrorKernelForm::Normalized => var.sqrt(),
+            // `clamped_sqrt` is bit-for-bit `sqrt` on this var ≥ 0 branch.
+            ErrorKernelForm::Normalized => clamped_sqrt(var),
             ErrorKernelForm::PaperFaithful => h + psi,
         };
         INV_SQRT_2PI / scale * (-diff * diff / (2.0 * var)).exp()
@@ -83,7 +86,7 @@ impl GaussianErrorKernel {
     /// Effective standard deviation of the bump: `√(h² + ψ²)`.
     #[inline]
     pub fn effective_width(h: f64, psi: f64) -> f64 {
-        (h * h + psi * psi).sqrt()
+        clamped_sqrt(h * h + psi * psi)
     }
 }
 

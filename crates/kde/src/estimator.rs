@@ -5,6 +5,7 @@ use crate::bandwidth::BandwidthRule;
 use crate::columns::KernelColumns;
 use crate::error_kernel::{ErrorKernelForm, GaussianErrorKernel};
 use serde::{Deserialize, Serialize};
+use udm_core::num::{ensure_finite_slice, f64_from_usize};
 use udm_core::{Result, Subspace, UdmError, UncertainDataset};
 
 /// Configuration for [`ErrorKde`].
@@ -157,6 +158,7 @@ impl<'a> ErrorKde<'a> {
         if self.data.is_empty() {
             return Err(UdmError::EmptyDataset);
         }
+        ensure_finite_slice("query coordinate", x)?;
         let mut sum = 0.0;
         for p in self.data.iter() {
             let mut prod = 1.0;
@@ -165,13 +167,14 @@ impl<'a> ErrorKde<'a> {
                 prod *= self
                     .kernel
                     .evaluate(x[j] - p.value(j), self.bandwidths[j], psi);
+                // udm-lint: allow(UDM002) exact underflow short-circuit (bit-for-bit cache contract)
                 if prod == 0.0 {
                     break;
                 }
             }
             sum += prod;
         }
-        Ok(sum / self.data.len() as f64)
+        Ok(sum / f64_from_usize(self.data.len()))
     }
 
     /// Builds the per-query kernel-column cache for `x`: every
@@ -196,6 +199,7 @@ impl<'a> ErrorKde<'a> {
         if self.data.is_empty() {
             return Err(UdmError::EmptyDataset);
         }
+        ensure_finite_slice("query coordinate", x)?;
         let dim = self.data.dim();
         let mut cols = Vec::with_capacity(self.data.len() * dim);
         for p in self.data.iter() {
@@ -207,7 +211,7 @@ impl<'a> ErrorKde<'a> {
                 );
             }
         }
-        KernelColumns::new(dim, cols, None, self.data.len() as f64)
+        KernelColumns::new(dim, cols, None, f64_from_usize(self.data.len()))
     }
 
     /// Batch evaluation of many subspace densities of one query through

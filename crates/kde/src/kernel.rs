@@ -22,6 +22,7 @@ pub trait Kernel: std::fmt::Debug + Send + Sync {
     /// well-ordered in comparisons even if not integrable.
     fn evaluate(&self, diff: f64, h: f64) -> f64 {
         if h <= 0.0 {
+            // udm-lint: allow(UDM002) degenerate point mass sits exactly at diff == 0
             return if diff == 0.0 { f64::INFINITY } else { 0.0 };
         }
         self.profile(diff / h) / h

@@ -1,0 +1,8 @@
+//! A file that satisfies every rule, even in fixture mode.
+
+pub fn density(query: &[f64]) -> f64 {
+    if !query.iter().all(|q| q.is_finite()) {
+        return 0.0;
+    }
+    query.iter().sum()
+}

@@ -1,0 +1,16 @@
+//! UDM001 fixture: panicking constructs in non-test code.
+
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn named(x: Option<u64>) -> u64 {
+    // the expect below sits on line 9
+    x.expect("x must be set")
+}
+
+pub fn boom(flag: bool) {
+    if flag {
+        panic!("unreachable regime");
+    }
+}

@@ -1,0 +1,14 @@
+//! UDM002 fixture: bare float comparisons.
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn weights_differ(w: f64) -> bool {
+    // A deliberately exact sentinel comparison, waived:
+    // udm-lint: allow(UDM002) sentinel weight is assigned exactly, never computed
+    if w == -1.0 {
+        return true;
+    }
+    w != 0.5
+}

@@ -1,0 +1,9 @@
+//! UDM003 fixture: sqrt of variance-like expressions.
+
+pub fn stddev(variance: f64) -> f64 {
+    variance.sqrt()
+}
+
+pub fn pseudo_error(sum_sq: f64, mean_sq: f64) -> f64 {
+    (sum_sq - mean_sq).sqrt()
+}

@@ -1,0 +1,9 @@
+//! UDM004 fixture: lossy casts in hot-path code.
+
+pub fn weight(count: u64) -> f64 {
+    count as f64
+}
+
+pub fn bucket(x: f64) -> usize {
+    x as usize
+}

@@ -1,0 +1,11 @@
+//! UDM005 fixture: unvalidated public estimator entry point.
+
+pub struct Estimator {
+    bandwidth: f64,
+}
+
+impl Estimator {
+    pub fn density(&self, query: &[f64]) -> f64 {
+        query.iter().map(|q| q * self.bandwidth).sum()
+    }
+}

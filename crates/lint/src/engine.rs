@@ -1,0 +1,184 @@
+//! The check pipeline: walk the tree, lex, run rules, apply waivers.
+
+use crate::context::FileContext;
+use crate::lexer::lex;
+use crate::rules::{run_all, Diagnostic, ALL_RULES};
+use crate::waivers::{apply_waivers, inline_waivers, parse_lint_toml, TomlWaiver};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "node_modules", "fixtures"];
+
+/// Result of a full `check` run.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Unwaived diagnostics, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Total diagnostics silenced by waivers.
+    pub waived: usize,
+    /// Per-rule `(raw hits, waived)` counts.
+    pub per_rule: BTreeMap<&'static str, (usize, usize)>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// `lint.toml` entries that matched nothing (likely stale).
+    pub unused_toml_waivers: Vec<String>,
+}
+
+/// Recursively collects `.rs` files under `root`, skipping build output,
+/// vendored shims and lint fixtures.
+pub fn collect_rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// True when `root` looks like the workspace (has a `Cargo.toml` with a
+/// `[workspace]` table). Anything else — e.g. the fixture corpus — is
+/// linted in fixture mode, where every rule applies to every file.
+pub fn is_workspace_root(root: &Path) -> bool {
+    std::fs::read_to_string(root.join("Cargo.toml"))
+        .map(|t| t.contains("[workspace]"))
+        .unwrap_or(false)
+}
+
+/// Loads `root/lint.toml` if present.
+pub fn load_lint_toml(root: &Path) -> Result<Vec<TomlWaiver>, String> {
+    match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => parse_lint_toml(&text),
+        Err(_) => Ok(Vec::new()),
+    }
+}
+
+/// Runs the full check over `root`.
+pub fn check(root: &Path) -> Result<CheckReport, String> {
+    let toml = load_lint_toml(root)?;
+    let fixture_mode = !is_workspace_root(root);
+    let files = collect_rust_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut report = CheckReport::default();
+    let mut used_toml: BTreeSet<usize> = BTreeSet::new();
+    for rule in ALL_RULES {
+        report.per_rule.insert(rule, (0, 0));
+    }
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let lexed = lex(&src);
+        let ctx = FileContext::new(&rel, &lexed, fixture_mode);
+        let diags = run_all(&lexed, &ctx);
+        for d in &diags {
+            report.per_rule.entry(d.rule).or_insert((0, 0)).0 += 1;
+        }
+        let inline = inline_waivers(&lexed);
+        let outcome = apply_waivers(diags, &inline, &toml);
+        report.waived += outcome.waived;
+        used_toml.extend(outcome.used_toml);
+        report.diagnostics.extend(outcome.remaining);
+        report.files_scanned += 1;
+    }
+    // Per-rule waived counts = hits minus surviving diagnostics.
+    let mut surviving: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for d in &report.diagnostics {
+        *surviving.entry(d.rule).or_insert(0) += 1;
+    }
+    for (rule, counts) in report.per_rule.iter_mut() {
+        counts.1 = counts.0 - surviving.get(rule).copied().unwrap_or(0);
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    report.unused_toml_waivers = toml
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !used_toml.contains(i))
+        .map(|(_, w)| {
+            format!(
+                "{}:{}{}",
+                w.rule,
+                w.path,
+                w.line.map(|l| format!(":{l}")).unwrap_or_default()
+            )
+        })
+        .collect();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_detection() {
+        // The repo root two levels up from this crate is a workspace.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        assert!(is_workspace_root(&root));
+        assert!(!is_workspace_root(&root.join("crates/lint")));
+    }
+
+    #[test]
+    fn fixture_corpus_trips_every_rule() {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let report = check(&fixtures).unwrap();
+        let rules_hit: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        for rule in ALL_RULES {
+            assert!(rules_hit.contains(rule), "fixture corpus missing {rule}");
+        }
+        // The clean fixture contributes nothing.
+        assert!(!report.diagnostics.iter().any(|d| d.path.contains("clean")));
+    }
+
+    #[test]
+    fn fixture_diagnostics_have_expected_lines() {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let report = check(&fixtures).unwrap();
+        // udm001.rs marks its violations with `// line:` comments kept in
+        // sync with the fixture content.
+        let udm001: Vec<usize> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "UDM001" && d.path == "udm001.rs")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(udm001, vec![4, 9, 14], "{report:?}");
+    }
+
+    #[test]
+    fn inline_waiver_in_fixture_is_honoured() {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let report = check(&fixtures).unwrap();
+        assert!(report.waived >= 1);
+        // The waived line in udm002.rs must not be reported.
+        assert!(report
+            .diagnostics
+            .iter()
+            .filter(|d| d.path == "udm002.rs")
+            .all(|d| d.line != 10));
+    }
+}

@@ -1,0 +1,247 @@
+//! `udm-lint fix --rule UDM002`: rewrites *trivial* bare float
+//! comparisons against literals into `udm_core::num::approx_eq` calls.
+//!
+//! Trivial means: the left side is a plain identifier or field chain
+//! (`x`, `self.total`, `p.delta`), the right side is a float literal
+//! (optionally negated), and the comparison is cleanly bounded by
+//! `if`/`(`/`&&`/… on both sides. Anything more complex is left for a
+//! human. Dry-run by default; `--apply` writes the files.
+
+use crate::context::FileContext;
+use crate::lexer::{lex, Tok, TokKind};
+use crate::waivers::{apply_waivers, inline_waivers, TomlWaiver};
+use std::path::Path;
+
+/// One planned rewrite.
+#[derive(Debug, Clone)]
+pub struct Rewrite {
+    /// Root-relative path.
+    pub path: String,
+    /// 1-based line of the comparison.
+    pub line: usize,
+    /// Source text being replaced.
+    pub old: String,
+    /// Replacement text.
+    pub new: String,
+    /// Byte range replaced.
+    pub span: (usize, usize),
+}
+
+/// Tokens allowed to precede / follow a trivial comparison.
+fn is_clean_left_boundary(t: Option<&Tok>) -> bool {
+    match t {
+        None => true,
+        Some(t) => {
+            t.is_punct("(")
+                || t.is_punct("{")
+                || t.is_punct("}")
+                || t.is_punct(";")
+                || t.is_punct(",")
+                || t.is_punct("&&")
+                || t.is_punct("||")
+                || t.is_punct("=")
+                || t.is_punct("!")
+                || t.is_ident("if")
+                || t.is_ident("while")
+                || t.is_ident("return")
+        }
+    }
+}
+
+fn is_clean_right_boundary(t: Option<&Tok>) -> bool {
+    match t {
+        None => true,
+        Some(t) => {
+            t.is_punct(")")
+                || t.is_punct("{")
+                || t.is_punct("}")
+                || t.is_punct(";")
+                || t.is_punct(",")
+                || t.is_punct("&&")
+                || t.is_punct("||")
+                || t.is_punct("]")
+        }
+    }
+}
+
+/// Finds the trivial UDM002 rewrites in one file's source.
+pub fn plan_rewrites_in_source(src: &str, rel_path: &str, fixture_mode: bool) -> Vec<Rewrite> {
+    plan_with_waivers(src, rel_path, fixture_mode, &[])
+}
+
+/// As [`plan_rewrites_in_source`], honouring inline and toml waivers —
+/// a deliberately waived exact comparison must not be rewritten.
+pub fn plan_with_waivers(
+    src: &str,
+    rel_path: &str,
+    fixture_mode: bool,
+    toml: &[TomlWaiver],
+) -> Vec<Rewrite> {
+    let lexed = lex(src);
+    let ctx = FileContext::new(rel_path, &lexed, fixture_mode);
+    let inline = inline_waivers(&lexed);
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) || ctx.in_test(t.start) {
+            continue;
+        }
+        // Right side: optional unary minus, then a float literal.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct("-")) {
+            j += 1;
+        }
+        let Some(rhs) = toks.get(j) else { continue };
+        if !rhs.is_float_literal() || !is_clean_right_boundary(toks.get(j + 1)) {
+            continue;
+        }
+        // Left side: ident (`.` ident)* field chain, walked backwards.
+        let Some(mut k) = i.checked_sub(1) else {
+            continue;
+        };
+        if toks[k].kind != TokKind::Ident {
+            continue;
+        }
+        while k >= 2 && toks[k - 1].is_punct(".") && toks[k - 2].kind == TokKind::Ident {
+            k -= 2;
+        }
+        if !is_clean_left_boundary(k.checked_sub(1).map(|p| &toks[p])) {
+            continue;
+        }
+        let lhs_text = &src[toks[k].start..toks[i - 1].end];
+        let rhs_text = &src[toks[i + 1].start..rhs.end];
+        // A waived comparison is exact by design; leave it alone.
+        let waived = apply_waivers(
+            vec![crate::rules::Diagnostic {
+                rule: "UDM002",
+                path: ctx.rel_path.clone(),
+                line: t.line,
+                message: String::new(),
+                offset: t.start,
+            }],
+            &inline,
+            toml,
+        )
+        .remaining
+        .is_empty();
+        if waived {
+            continue;
+        }
+        let call = format!("udm_core::num::approx_eq({lhs_text}, {rhs_text})");
+        let new = if t.is_punct("!=") {
+            format!("!{call}")
+        } else {
+            call
+        };
+        out.push(Rewrite {
+            path: ctx.rel_path.clone(),
+            line: t.line,
+            old: src[toks[k].start..rhs.end].to_string(),
+            new,
+            span: (toks[k].start, rhs.end),
+        });
+    }
+    out
+}
+
+/// Plans (and with `apply` performs) the UDM002 rewrites under `root`.
+pub fn fix_udm002(root: &Path, apply: bool, toml: &[TomlWaiver]) -> Result<Vec<Rewrite>, String> {
+    let fixture_mode = !crate::engine::is_workspace_root(root);
+    let files = crate::engine::collect_rust_files(root)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut all = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rewrites = plan_with_waivers(&src, &rel, fixture_mode, toml);
+        if apply && !rewrites.is_empty() {
+            let mut patched = src.clone();
+            // Back-to-front so earlier spans stay valid.
+            for r in rewrites.iter().rev() {
+                patched.replace_range(r.span.0..r.span.1, &r.new);
+            }
+            std::fs::write(&path, patched)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        all.extend(rewrites);
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(src: &str) -> Vec<Rewrite> {
+        plan_rewrites_in_source(src, "f.rs", true)
+    }
+
+    #[test]
+    fn rewrites_simple_equality() {
+        let rs = plan("fn f(x: f64) -> bool { x == 0.5 }");
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].old, "x == 0.5");
+        assert_eq!(rs[0].new, "udm_core::num::approx_eq(x, 0.5)");
+    }
+
+    #[test]
+    fn rewrites_field_chain_and_negation() {
+        let rs = plan("fn f(&self) -> bool { self.total.mean != -1.0 }");
+        assert_eq!(rs.len(), 1);
+        assert_eq!(
+            rs[0].new,
+            "!udm_core::num::approx_eq(self.total.mean, -1.0)"
+        );
+    }
+
+    #[test]
+    fn leaves_complex_expressions_alone() {
+        for src in [
+            "fn f(a: f64, b: f64) -> bool { a + b == 0.0 }",
+            "fn f(v: &[f64]) -> bool { v.len() == 2.0 as usize as f64 }",
+            "fn f(a: f64) -> bool { (a * 2.0) == 1.0 }",
+            "fn f(a: f64, b: f64) -> bool { a == b }",
+        ] {
+            assert!(plan(src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn rewrites_tail_expression_after_block() {
+        let rs = plan("fn f(w: f64) -> bool {\n    if w.is_nan() {\n        return true;\n    }\n    w != 0.5\n}");
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].new, "!udm_core::num::approx_eq(w, 0.5)");
+    }
+
+    #[test]
+    fn respects_inline_waivers() {
+        let src = "fn f(p: f64) -> bool {\n    // udm-lint: allow(UDM002) exact zero guard\n    p == 0.0\n}";
+        assert!(plan(src).is_empty());
+    }
+
+    #[test]
+    fn skips_test_code() {
+        let src = "#[cfg(test)]\nmod tests { fn t(x: f64) -> bool { x == 0.5 } }";
+        assert!(plan_rewrites_in_source(src, "crates/core/src/f.rs", false).is_empty());
+    }
+
+    #[test]
+    fn applies_patches_textually() {
+        let src = "fn f(x: f64, y: f64) -> bool { x == 0.5 && y != 2.0 }";
+        let rs = plan(src);
+        assert_eq!(rs.len(), 2);
+        let mut patched = src.to_string();
+        for r in rs.iter().rev() {
+            patched.replace_range(r.span.0..r.span.1, &r.new);
+        }
+        assert_eq!(
+            patched,
+            "fn f(x: f64, y: f64) -> bool { udm_core::num::approx_eq(x, 0.5) && !udm_core::num::approx_eq(y, 2.0) }"
+        );
+    }
+}

@@ -1,0 +1,506 @@
+//! A small self-contained Rust lexer.
+//!
+//! Produces a token stream (identifiers, numbers, string/char literals,
+//! lifetimes, punctuation) plus a separate comment list, each with byte
+//! spans and 1-based line numbers. String literals, raw strings and
+//! comments are skipped properly so rule matching never fires inside
+//! them. This is *not* a full Rust front end — it is exactly the subset
+//! the UDM rules need: reliable token boundaries and line attribution.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `as`, `unwrap`, …).
+    Ident,
+    /// Numeric literal (`1`, `0.5`, `1e-3`, `0xff`, `2.0f64`, …).
+    Number,
+    /// String or byte-string literal (raw forms included).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation; multi-character operators are single tokens.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token's source text.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// Byte offset of the token start.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+}
+
+impl Tok {
+    /// True for a punctuation token with exactly this text.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+
+    /// True for a numeric literal that is a *float* literal: has a
+    /// fractional part, an exponent, or an `f32`/`f64` suffix (and is
+    /// not a hex/octal/binary literal).
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokKind::Number {
+            return false;
+        }
+        let t = &self.text;
+        if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+            return false;
+        }
+        if t.contains('.') || t.ends_with("f32") || t.ends_with("f64") {
+            return true;
+        }
+        // An exponent is a digit, then `e`/`E`, then a sign or digit —
+        // which excludes the `e` inside `usize`/`isize` suffixes.
+        let b = t.as_bytes();
+        b.iter().enumerate().any(|(i, &c)| {
+            (c == b'e' || c == b'E')
+                && i > 0
+                && b[i - 1].is_ascii_digit()
+                && matches!(b.get(i + 1), Some(n) if n.is_ascii_digit() || *n == b'+' || *n == b'-')
+        })
+    }
+}
+
+/// One comment (line or block), with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so matching is greedy.
+const PUNCTS: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    // Counts newlines in `src[from..to]` and advances the line counter.
+    let count_lines = |from: usize, to: usize| -> usize {
+        src.as_bytes()[from..to]
+            .iter()
+            .filter(|&&c| c == b'\n')
+            .count()
+    };
+
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let (end, newlines) = scan_string(src, i);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: src[i..end].to_string(),
+                    line,
+                    start: i,
+                    end,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let start = i;
+                // Skip the `r` / `b` / `br` prefix to the quote or `#`s.
+                while i < n && (b[i] == b'r' || b[i] == b'b') {
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while i < n && b[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if i < n && b[i] == b'"' {
+                    if hashes == 0 && src[start..i].contains('b') && !src[start..i].contains('r') {
+                        // plain byte string b"…": escapes behave like "…"
+                        let (end, newlines) = scan_string(src, i);
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: src[start..end].to_string(),
+                            line,
+                            start,
+                            end,
+                        });
+                        line += newlines;
+                        i = end;
+                    } else {
+                        // raw string: ends at `"` followed by `hashes` #s
+                        i += 1;
+                        let closer = format!("\"{}", "#".repeat(hashes));
+                        let end = match src[i..].find(&closer) {
+                            Some(off) => i + off + closer.len(),
+                            None => n,
+                        };
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: src[start..end].to_string(),
+                            line,
+                            start,
+                            end,
+                        });
+                        line += count_lines(start, end);
+                        i = end;
+                    }
+                } else {
+                    // Not a string after all: lex the ident normally.
+                    i = start;
+                    let end = scan_ident(b, i);
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: src[i..end].to_string(),
+                        line,
+                        start: i,
+                        end,
+                    });
+                    i = end;
+                }
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                let is_lifetime = i + 1 < n
+                    && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                    && !(i + 2 < n && b[i + 2] == b'\'');
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    let end = scan_ident(b, i);
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..end].to_string(),
+                        line,
+                        start,
+                        end,
+                    });
+                    i = end;
+                } else {
+                    let start = i;
+                    i += 1;
+                    if i < n && b[i] == b'\\' {
+                        i += 2;
+                        // multi-char escapes: \u{..}, \x..
+                        while i < n && b[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else if i < n {
+                        // The literal may hold a multi-byte char, e.g. '▁'.
+                        i += utf8_len(b[i]);
+                    }
+                    if i < n && b[i] == b'\'' {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: src[start..i].to_string(),
+                        line,
+                        start,
+                        end: i,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let end = scan_number(b, i);
+                out.toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: src[start..end].to_string(),
+                    line,
+                    start,
+                    end,
+                });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let end = scan_ident(b, i);
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..end].to_string(),
+                    line,
+                    start,
+                    end,
+                });
+                i = end;
+            }
+            _ => {
+                let rest = &src[i..];
+                let text = PUNCTS
+                    .iter()
+                    .find(|p| rest.starts_with(**p))
+                    .map_or_else(|| src[i..i + utf8_len(c)].to_string(), |p| (*p).to_string());
+                let end = i + text.len();
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                    start: i,
+                    end,
+                });
+                i = end;
+            }
+        }
+    }
+    out
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // r"…", r#"…"#, b"…", br"…", br#"…"#
+    let n = b.len();
+    let mut j = i;
+    while j < n && (b[j] == b'r' || b[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    while j < n && b[j] == b'#' {
+        j += 1;
+    }
+    j < n && b[j] == b'"' && j > i
+}
+
+/// Scans a `"…"` string starting at the opening quote; returns (end,
+/// newline count).
+fn scan_string(src: &str, start: usize) -> (usize, usize) {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut i = start + 1;
+    let mut newlines = 0usize;
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (n, newlines)
+}
+
+fn scan_ident(b: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    i
+}
+
+fn scan_number(b: &[u8], start: usize) -> usize {
+    let n = b.len();
+    let mut i = start;
+    if i + 1 < n && b[i] == b'0' && matches!(b[i + 1], b'x' | b'b' | b'o') {
+        i += 2;
+        while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < n && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    // Fraction: `.` followed by a digit (so `1..10` stays a range).
+    if i + 1 < n && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < n && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+    } else if i < n && b[i] == b'.' && (i + 1 == n || !is_ident_start(b.get(i + 1))) {
+        // Trailing-dot float like `1.` (not `1.method()` or `1..`).
+        if !(i + 1 < n && b[i + 1] == b'.') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if i < n && (b[i] == b'e' || b[i] == b'E') {
+        let mut j = i + 1;
+        if j < n && (b[j] == b'+' || b[j] == b'-') {
+            j += 1;
+        }
+        if j < n && b[j].is_ascii_digit() {
+            i = j;
+            while i < n && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Suffix (f64, u32, usize, …).
+    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    i
+}
+
+fn is_ident_start(c: Option<&u8>) -> bool {
+    matches!(c, Some(&c) if c.is_ascii_alphabetic() || c == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ts = kinds("fn f(x: f64) -> f64 { x == 0.5 }");
+        assert!(ts.contains(&(TokKind::Ident, "fn".into())));
+        assert!(ts.contains(&(TokKind::Punct, "==".into())));
+        assert!(ts.contains(&(TokKind::Punct, "->".into())));
+        assert!(ts.contains(&(TokKind::Number, "0.5".into())));
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_tokens() {
+        let l = lex("let s = \"a == 0.5 // not code\"; // real == comment");
+        assert!(!l.toks.iter().any(|t| t.is_punct("==")));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("real == comment"));
+    }
+
+    #[test]
+    fn raw_strings_skipped() {
+        let l = lex("let s = r#\"x.unwrap() == 1.0\"#; y.unwrap();");
+        let unwraps: Vec<_> = l.toks.iter().filter(|t| t.is_ident("unwrap")).collect();
+        assert_eq!(unwraps.len(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ x");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.toks.len(), 1);
+        assert!(l.toks[0].is_ident("x"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert!(ts.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(ts.contains(&(TokKind::Char, "'x'".into())));
+        assert!(ts.contains(&(TokKind::Char, "'\\n'".into())));
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        let l = lex("1 1.5 1e-3 2.0f64 0xff 10usize 3f32");
+        let floats: Vec<bool> = l.toks.iter().map(Tok::is_float_literal).collect();
+        assert_eq!(floats, vec![false, true, true, true, false, false, true]);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let l = lex("for i in 1..10 {}");
+        assert!(l.toks.iter().any(|t| t.is_punct("..")));
+        assert!(l.toks.iter().all(|t| !t.is_float_literal()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc /* x\ny */ d\ne");
+        let lines: Vec<(String, usize)> = l.toks.iter().map(|t| (t.text.clone(), t.line)).collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".into(), 1),
+                ("b".into(), 2),
+                ("c".into(), 4),
+                ("d".into(), 5),
+                ("e".into(), 6)
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_ops_are_single_tokens() {
+        let ts = kinds("a != b; c <= d; e && f; g..=h");
+        assert!(ts.contains(&(TokKind::Punct, "!=".into())));
+        assert!(ts.contains(&(TokKind::Punct, "<=".into())));
+        assert!(ts.contains(&(TokKind::Punct, "&&".into())));
+        assert!(ts.contains(&(TokKind::Punct, "..=".into())));
+    }
+}

@@ -1,0 +1,42 @@
+//! # udm-lint
+//!
+//! A custom static-analysis pass over the workspace's Rust sources,
+//! enforcing the numeric-safety invariants the uncertain-data-mining
+//! crates rely on (see `DESIGN.md`, "Numeric invariants & static
+//! analysis"). Built on a small self-contained lexer — no external
+//! parser dependencies — so it runs in the offline build image.
+//!
+//! Rules:
+//!
+//! * **UDM001** — no `unwrap()`/`expect()`/`panic!`/`todo!`/
+//!   `unimplemented!` in non-test code of the library crates.
+//! * **UDM002** — no bare `==`/`!=` against float expressions outside
+//!   test modules; use `udm_core::num::approx_eq` or waive exact-zero
+//!   guards.
+//! * **UDM003** — `sqrt` of variance-like expressions must route
+//!   through `udm_core::num::clamped_sqrt` (catastrophic cancellation
+//!   can drive the radicand negative).
+//! * **UDM004** — no lossy `as` casts in the hot-path kernel modules.
+//! * **UDM005** — public estimator entry points (`density*`,
+//!   `classify*`) must validate finite inputs or delegate to an entry
+//!   point that does.
+//!
+//! Waivers: inline `// udm-lint: allow(RULE) reason` comments (cover
+//! their own line and the next code line), or `lint.toml` entries
+//! `"RULE:path[:line]" = "reason"` under `[waivers]`.
+//!
+//! Run with `cargo run -p udm-lint -- check [--root PATH] [--stats]`
+//! or `cargo run -p udm-lint -- fix --rule UDM002 [--apply]`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod context;
+pub mod engine;
+pub mod fix;
+pub mod lexer;
+pub mod rules;
+pub mod waivers;
+
+pub use engine::{check, CheckReport};
+pub use rules::{Diagnostic, ALL_RULES};

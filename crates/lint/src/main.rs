@@ -1,0 +1,165 @@
+//! Command-line entry point for the workspace linter.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+udm-lint: workspace invariant linter (rules UDM001-UDM005)
+
+USAGE:
+  udm-lint check [--root PATH] [--stats]
+  udm-lint fix --rule UDM002 [--root PATH] [--apply]
+  udm-lint help
+
+check exits 0 when no unwaived diagnostics remain, 1 otherwise.
+fix is a dry run unless --apply is given.
+";
+
+struct Args {
+    command: String,
+    root: PathBuf,
+    stats: bool,
+    apply: bool,
+    rule: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        command: argv.first().cloned().unwrap_or_else(|| "help".into()),
+        root: PathBuf::from("."),
+        stats: false,
+        apply: false,
+        rule: None,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--root" => {
+                i += 1;
+                args.root = PathBuf::from(
+                    argv.get(i)
+                        .ok_or_else(|| "--root needs a path".to_string())?,
+                );
+            }
+            "--stats" => args.stats = true,
+            "--apply" => args.apply = true,
+            "--rule" => {
+                i += 1;
+                args.rule = Some(
+                    argv.get(i)
+                        .ok_or_else(|| "--rule needs a rule id".to_string())?
+                        .clone(),
+                );
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match args.command.as_str() {
+        "check" => run_check(&args),
+        "fix" => run_fix(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &Args) -> ExitCode {
+    let report = match udm_lint::check(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{}:{}: {} {}", d.path, d.line, d.rule, d.message);
+    }
+    if args.stats {
+        println!("--- stats ---");
+        println!("files scanned: {}", report.files_scanned);
+        for (rule, (hits, waived)) in &report.per_rule {
+            println!(
+                "{rule}: {hits} hit(s), {waived} waived, {} reported",
+                hits - waived
+            );
+        }
+        println!("total waived: {}", report.waived);
+        for w in &report.unused_toml_waivers {
+            println!("unused lint.toml waiver: {w}");
+        }
+    }
+    if report.diagnostics.is_empty() {
+        if !args.stats {
+            println!(
+                "udm-lint: clean ({} files, {} waived)",
+                report.files_scanned, report.waived
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "udm-lint: {} unwaived diagnostic(s)",
+            report.diagnostics.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_fix(args: &Args) -> ExitCode {
+    match args.rule.as_deref() {
+        Some("UDM002") => {}
+        Some(other) => {
+            eprintln!("error: fix supports only UDM002, got {other}");
+            return ExitCode::from(2);
+        }
+        None => {
+            eprintln!("error: fix requires --rule UDM002");
+            return ExitCode::from(2);
+        }
+    }
+    let toml = match udm_lint::engine::load_lint_toml(&args.root) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match udm_lint::fix::fix_udm002(&args.root, args.apply, &toml) {
+        Ok(rewrites) => {
+            for r in &rewrites {
+                println!("{}:{}: `{}` -> `{}`", r.path, r.line, r.old, r.new);
+            }
+            if args.apply {
+                println!("udm-lint: applied {} rewrite(s)", rewrites.len());
+            } else {
+                println!(
+                    "udm-lint: {} rewrite(s) planned (dry run; pass --apply to write)",
+                    rewrites.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

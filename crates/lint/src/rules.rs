@@ -1,0 +1,579 @@
+//! The UDM lint rules.
+//!
+//! | id | rule |
+//! |---|---|
+//! | UDM001 | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in non-test library code |
+//! | UDM002 | no bare `==`/`!=` against float expressions outside test code |
+//! | UDM003 | `sqrt` of variance-like expressions must use `udm_core::num::clamped_sqrt` |
+//! | UDM004 | no lossy `as` casts in hot-path modules |
+//! | UDM005 | public estimator entry points must validate finite inputs |
+
+use crate::context::FileContext;
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule id (`UDM001` … `UDM005`).
+    pub rule: &'static str,
+    /// Root-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the finding.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Byte offset of the anchoring token (for waiver/fix mapping).
+    pub offset: usize,
+}
+
+/// All rule ids, in order.
+pub const ALL_RULES: [&str; 5] = ["UDM001", "UDM002", "UDM003", "UDM004", "UDM005"];
+
+/// Runs every rule over one lexed file.
+pub fn run_all(lexed: &Lexed, ctx: &FileContext) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    udm001_no_panics(lexed, ctx, &mut out);
+    udm002_float_eq(lexed, ctx, &mut out);
+    udm003_variance_sqrt(lexed, ctx, &mut out);
+    udm004_lossy_casts(lexed, ctx, &mut out);
+    udm005_entry_validation(lexed, ctx, &mut out);
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    out
+}
+
+fn diag(
+    out: &mut Vec<Diagnostic>,
+    rule: &'static str,
+    ctx: &FileContext,
+    tok: &Tok,
+    message: String,
+) {
+    out.push(Diagnostic {
+        rule,
+        path: ctx.rel_path.clone(),
+        line: tok.line,
+        message,
+        offset: tok.start,
+    });
+}
+
+/// UDM001: panicking constructs in non-test code of library crates.
+fn udm001_no_panics(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_library {
+        return;
+    }
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.in_test(t.start) {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct(".");
+        let next = toks.get(i + 1);
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev_dot && next.is_some_and(|n| n.is_punct("(")) => {
+                diag(
+                    out,
+                    "UDM001",
+                    ctx,
+                    t,
+                    format!(
+                        ".{}() in non-test library code; return a typed Result \
+                         (or waive with an invariant comment)",
+                        t.text
+                    ),
+                );
+            }
+            "panic" | "todo" | "unimplemented" if next.is_some_and(|n| n.is_punct("!")) => {
+                diag(
+                    out,
+                    "UDM001",
+                    ctx,
+                    t,
+                    format!("{}! in non-test library code; return a typed error", t.text),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Tokens that terminate an operand scan at depth 0.
+fn is_operand_boundary(t: &Tok) -> bool {
+    t.is_punct(";")
+        || t.is_punct(",")
+        || t.is_punct("{")
+        || t.is_punct("}")
+        || t.is_punct("&&")
+        || t.is_punct("||")
+        || t.is_punct("=")
+        || t.is_punct("?")
+        || t.is_punct("=>")
+        || t.is_ident("if")
+        || t.is_ident("while")
+        || t.is_ident("return")
+        || t.is_ident("let")
+        || t.is_ident("else")
+        || t.is_ident("match")
+}
+
+/// Collects operand tokens right of index `i` (exclusive) until a
+/// boundary; respects parenthesis depth.
+fn operand_right(toks: &[Tok], i: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(i + 1).take(24) {
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+            if depth < 0 {
+                break;
+            }
+        } else if depth == 0 && is_operand_boundary(t) {
+            break;
+        }
+        out.push(j);
+    }
+    out
+}
+
+/// Collects operand tokens left of index `i` (exclusive) until a
+/// boundary; respects parenthesis depth.
+fn operand_left(toks: &[Tok], i: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    for j in (0..i).rev().take(24) {
+        let t = &toks[j];
+        if t.is_punct(")") || t.is_punct("]") {
+            depth += 1;
+        } else if t.is_punct("(") || t.is_punct("[") {
+            depth -= 1;
+            if depth < 0 {
+                break;
+            }
+        } else if depth == 0 && is_operand_boundary(t) {
+            break;
+        }
+        out.push(j);
+    }
+    out.reverse();
+    out
+}
+
+/// UDM002: `==`/`!=` where either operand contains a float literal.
+fn udm002_float_eq(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) || ctx.in_test(t.start) {
+            continue;
+        }
+        let sides: Vec<usize> = operand_left(toks, i)
+            .into_iter()
+            .chain(operand_right(toks, i))
+            .collect();
+        if sides.iter().any(|&j| toks[j].is_float_literal()) {
+            diag(
+                out,
+                "UDM002",
+                ctx,
+                t,
+                format!(
+                    "bare `{}` against a float literal; use \
+                     udm_core::num::approx_eq (or waive an exact-zero guard)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Identifier looks like it names a variance / squared quantity.
+fn is_variance_like(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("var")
+        || lower.ends_with("_sq")
+        || matches!(
+            lower.as_str(),
+            "dsq" | "ssq" | "msq" | "m2" | "delta2" | "mean_sq_err"
+        )
+}
+
+/// UDM003: `.sqrt()` whose receiver is variance-like (named so, or a
+/// parenthesised expression containing a binary minus — the classic
+/// catastrophic-cancellation shape `(a - b).sqrt()`).
+fn udm003_variance_sqrt(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_library {
+        return;
+    }
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("sqrt")
+            || i == 0
+            || !toks[i - 1].is_punct(".")
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            || ctx.in_test(t.start)
+        {
+            continue;
+        }
+        let Some(recv_end) = i.checked_sub(2) else {
+            continue;
+        };
+        let mut var_named = false;
+        let mut paren_minus = false;
+        if toks[recv_end].is_punct(")") {
+            // Receiver is a parenthesised / call expression: scan back to
+            // the matching `(` and inspect the inside.
+            let mut depth = 0i32;
+            let mut j = recv_end;
+            loop {
+                let tk = &toks[j];
+                if tk.is_punct(")") || tk.is_punct("]") {
+                    depth += 1;
+                } else if tk.is_punct("(") || tk.is_punct("[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            let open = j;
+            // Method/function name before the `(`, if any, counts too.
+            let names =
+                (open.saturating_sub(2)..recv_end).filter(|&k| toks[k].kind == TokKind::Ident);
+            var_named = names.into_iter().any(|k| is_variance_like(&toks[k].text));
+            // A bare parenthesised group `( … - … )` (no call name) with a
+            // binary minus at depth 1 is the cancellation shape.
+            let is_bare_group = open == 0
+                || !(toks[open - 1].kind == TokKind::Ident || toks[open - 1].is_punct(")"));
+            if is_bare_group {
+                let mut depth = 0i32;
+                for k in open..=recv_end {
+                    let tk = &toks[k];
+                    if tk.is_punct("(") || tk.is_punct("[") {
+                        depth += 1;
+                    } else if tk.is_punct(")") || tk.is_punct("]") {
+                        depth -= 1;
+                    } else if depth == 1
+                        && tk.is_punct("-")
+                        && k > open + 1
+                        && (toks[k - 1].kind == TokKind::Ident
+                            || toks[k - 1].kind == TokKind::Number
+                            || toks[k - 1].is_punct(")"))
+                    {
+                        paren_minus = true;
+                    }
+                }
+            }
+        } else {
+            // Receiver is a field/ident chain: walk `a.b.c` backwards.
+            let mut j = recv_end;
+            loop {
+                let tk = &toks[j];
+                if tk.kind == TokKind::Ident && is_variance_like(&tk.text) {
+                    var_named = true;
+                }
+                if j >= 1 && (toks[j - 1].is_punct(".") || toks[j - 1].is_punct("::")) {
+                    j = j.saturating_sub(2);
+                } else {
+                    break;
+                }
+            }
+        }
+        if var_named || paren_minus {
+            diag(
+                out,
+                "UDM003",
+                ctx,
+                t,
+                "sqrt of a variance-like expression; route through \
+                 udm_core::num::clamped_sqrt (bit-identical for x >= 0, \
+                 counts negative clamps)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Numeric cast targets that can silently lose information from the
+/// workspace's `f64`/`u64`/`usize` quantities.
+fn is_lossy_cast_target(name: &str) -> bool {
+    matches!(
+        name,
+        "f64"
+            | "f32"
+            | "usize"
+            | "isize"
+            | "u64"
+            | "i64"
+            | "u32"
+            | "i32"
+            | "u16"
+            | "i16"
+            | "u8"
+            | "i8"
+    )
+}
+
+/// UDM004: `as` casts to numeric types in hot-path modules. `u64 as
+/// f64` silently rounds above 2^53; `f64 as usize` saturates — the
+/// hot paths must use the checked helpers in `udm_core::num`.
+fn udm004_lossy_casts(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_hot_path {
+        return;
+    }
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("as") || ctx.in_test(t.start) {
+            continue;
+        }
+        // `as` in a use statement (`use x as y`) has a non-type RHS; only
+        // numeric targets are flagged, which excludes those renames.
+        if let Some(next) = toks.get(i + 1) {
+            if next.kind == TokKind::Ident && is_lossy_cast_target(&next.text) {
+                diag(
+                    out,
+                    "UDM004",
+                    ctx,
+                    t,
+                    format!(
+                        "`as {}` cast in a hot-path module; use the checked \
+                         conversions in udm_core::num (f64_from_count, \
+                         f64_from_usize, usize::try_from)",
+                        next.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Guard identifiers that count as input validation for UDM005.
+const GUARD_IDENTS: [&str; 6] = [
+    "ensure_finite_slice",
+    "ensure_finite_slice_opt",
+    "ensure_finite",
+    "ensure_non_negative",
+    "debug_assert_finite",
+    "is_finite",
+];
+
+/// UDM005: `pub fn density*` / `pub fn classify*` taking `f64` data must
+/// validate finiteness or delegate to an entry point that does.
+fn udm005_entry_validation(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_library {
+        return;
+    }
+    let toks = &lexed.toks;
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        // Bare `pub fn` only: `pub(crate)` etc. are not public API.
+        if !(toks[i].is_ident("pub") && toks[i + 1].is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let name_tok = &toks[i + 2];
+        let name = name_tok.text.clone();
+        i += 3;
+        if !(name.starts_with("density") || name.starts_with("classify"))
+            || ctx.in_test(name_tok.start)
+        {
+            continue;
+        }
+        // Parameter list: from the next `(` to its match.
+        let Some(open) = (i..toks.len()).find(|&k| toks[k].is_punct("(")) else {
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut close = open;
+        for (k, t) in toks.iter().enumerate().skip(open) {
+            if t.is_punct("(") {
+                depth += 1;
+            } else if t.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    close = k;
+                    break;
+                }
+            }
+        }
+        let takes_floats = toks[open..=close]
+            .iter()
+            .any(|t| t.is_ident("f64") || t.is_ident("UncertainPoint"));
+        if !takes_floats {
+            continue;
+        }
+        // Body: next `{` (skipping the return type) to its match; a `;`
+        // first means a trait signature without a body.
+        let mut k = close + 1;
+        while k < toks.len() && !toks[k].is_punct("{") && !toks[k].is_punct(";") {
+            k += 1;
+        }
+        if k >= toks.len() || toks[k].is_punct(";") {
+            continue;
+        }
+        let body_open = k;
+        let mut depth = 0i32;
+        let mut body_close = body_open;
+        for (k, t) in toks.iter().enumerate().skip(body_open) {
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    body_close = k;
+                    break;
+                }
+            }
+        }
+        let body = &toks[body_open..=body_close];
+        let validates = body
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && GUARD_IDENTS.contains(&t.text.as_str()));
+        // Delegation: calling another density*/classify*/log_scores entry
+        // point passes the obligation down to it.
+        let delegates = body.iter().any(|t| {
+            t.kind == TokKind::Ident
+                && t.text != name
+                && (t.text.starts_with("density")
+                    || t.text.starts_with("classify")
+                    || t.text == "log_scores")
+        });
+        if !validates && !delegates {
+            out.push(Diagnostic {
+                rule: "UDM005",
+                path: ctx.rel_path.clone(),
+                line: name_tok.line,
+                message: format!(
+                    "public estimator entry point `{name}` takes float input \
+                     but neither validates finiteness (udm_core::num::ensure_finite_slice) \
+                     nor delegates to a validating entry point"
+                ),
+                offset: name_tok.start,
+            });
+        }
+        i = body_close + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let l = lex(src);
+        let ctx = FileContext::new("fixture.rs", &l, true);
+        run_all(&l, &ctx)
+    }
+
+    fn rules_of(ds: &[Diagnostic]) -> Vec<&'static str> {
+        ds.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn udm001_catches_all_panicking_forms() {
+        let ds = lint(
+            "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"n\"); todo!(); unimplemented!(); }",
+        );
+        assert_eq!(ds.iter().filter(|d| d.rule == "UDM001").count(), 5);
+    }
+
+    #[test]
+    fn udm001_ignores_unwrap_or_variants() {
+        let ds =
+            lint("fn f() { x.unwrap_or(0.0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }");
+        assert!(!rules_of(&ds).contains(&"UDM001"));
+    }
+
+    #[test]
+    fn udm001_skips_test_modules() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        let l = lex(src);
+        let ctx = FileContext::new("crates/core/src/f.rs", &l, false);
+        assert!(run_all(&l, &ctx).is_empty());
+    }
+
+    #[test]
+    fn udm002_flags_float_comparisons() {
+        let ds = lint("fn f(x: f64) -> bool { x == 0.0 }");
+        assert!(rules_of(&ds).contains(&"UDM002"));
+        let ds = lint("fn f(x: f64) -> bool { 1.5 != x }");
+        assert!(rules_of(&ds).contains(&"UDM002"));
+    }
+
+    #[test]
+    fn udm002_ignores_integer_comparisons() {
+        let ds = lint("fn f(n: usize) -> bool { n == 0 && n != 3 }");
+        assert!(!rules_of(&ds).contains(&"UDM002"));
+    }
+
+    #[test]
+    fn udm002_operand_scan_stops_at_boundaries() {
+        // The float literal is in a *different* clause.
+        let ds = lint("fn f(n: usize, x: f64) -> bool { n == 0 && x < 1.5 }");
+        assert!(!rules_of(&ds).contains(&"UDM002"));
+    }
+
+    #[test]
+    fn udm003_flags_variance_sqrt() {
+        for src in [
+            "fn f(var: f64) -> f64 { var.sqrt() }",
+            "fn f(&self) -> f64 { self.variance(j).sqrt() }",
+            "fn f(a: f64, b: f64) -> f64 { (a - b).sqrt() }",
+            "fn f(&self) -> f64 { self.m2.sqrt() }",
+        ] {
+            assert!(rules_of(&lint(src)).contains(&"UDM003"), "{src}");
+        }
+    }
+
+    #[test]
+    fn udm003_allows_benign_sqrt() {
+        for src in [
+            "fn f(x: f64) -> f64 { x.sqrt() }",
+            "fn f(sum: f64, n: f64) -> f64 { (sum / n).sqrt() }",
+            "fn f(h: f64, psi: f64) -> f64 { (h * h + psi * psi).sqrt() }",
+        ] {
+            assert!(!rules_of(&lint(src)).contains(&"UDM003"), "{src}");
+        }
+    }
+
+    #[test]
+    fn udm004_flags_numeric_casts() {
+        let ds = lint("fn f(n: u64) -> f64 { n as f64 }");
+        assert!(rules_of(&ds).contains(&"UDM004"));
+        let ds = lint("fn f(x: f64) -> usize { x as usize }");
+        assert!(rules_of(&ds).contains(&"UDM004"));
+    }
+
+    #[test]
+    fn udm004_ignores_use_renames_and_non_hot_files() {
+        let ds = lint("use std::io::Result as IoResult;");
+        assert!(!rules_of(&ds).contains(&"UDM004"));
+        let src = "fn f(n: u64) -> f64 { n as f64 }";
+        let l = lex(src);
+        let ctx = FileContext::new("crates/kde/src/bandwidth.rs", &l, false);
+        assert!(!rules_of(&run_all(&l, &ctx)).contains(&"UDM004"));
+    }
+
+    #[test]
+    fn udm005_flags_unvalidated_entry_point() {
+        let src = "pub fn density(&self, x: &[f64]) -> f64 { self.sum(x) }";
+        assert!(rules_of(&lint(src)).contains(&"UDM005"));
+    }
+
+    #[test]
+    fn udm005_accepts_guards_and_delegation() {
+        for src in [
+            "pub fn density(&self, x: &[f64]) -> f64 { ensure_finite_slice(\"q\", x)?; self.sum(x) }",
+            "pub fn density(&self, x: &[f64]) -> f64 { self.density_subspace(x, s) }",
+            "pub fn classify(&self, x: &UncertainPoint) -> L { self.log_scores(x) }",
+            "pub fn density_meta(&self) -> usize { 3 }",
+        ] {
+            assert!(!rules_of(&lint(src)).contains(&"UDM005"), "{src}");
+        }
+    }
+}

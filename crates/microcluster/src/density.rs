@@ -13,6 +13,7 @@
 
 use crate::feature::MicroCluster;
 use crate::pseudo::PseudoPoint;
+use udm_core::num::{clamped_sqrt, ensure_finite_slice, ensure_finite_slice_opt, f64_from_count};
 use udm_core::{Result, Subspace, UdmError};
 use udm_kde::{ErrorKernelForm, GaussianErrorKernel, KdeConfig, KernelColumns};
 
@@ -66,10 +67,10 @@ impl MicroClusterKde {
             agg.merge(c)?;
         }
         let total_n = agg.n();
-        let sigmas: Vec<f64> = (0..dim).map(|j| agg.variance(j).sqrt()).collect();
+        let sigmas: Vec<f64> = (0..dim).map(|j| clamped_sqrt(agg.variance(j))).collect();
         let bandwidths = config
             .bandwidth
-            .bandwidths_from_sigmas(&sigmas, total_n as usize)?;
+            .bandwidths_from_sigmas(&sigmas, usize::try_from(total_n).unwrap_or(usize::MAX))?;
 
         let pseudos = non_empty
             .iter()
@@ -204,24 +205,27 @@ impl MicroClusterKde {
                 "cannot evaluate a density over the empty subspace".into(),
             ));
         }
+        ensure_finite_slice("query coordinate", x)?;
+        ensure_finite_slice_opt("query error", query_errors)?;
         let mut sum = 0.0;
         for p in &self.pseudos {
-            let mut prod = p.weight as f64;
+            let mut prod = f64_from_count(p.weight);
             for j in subspace.dims() {
                 let psi = match query_errors {
-                    Some(errs) => (p.delta[j] * p.delta[j] + errs[j] * errs[j]).sqrt(),
+                    Some(errs) => clamped_sqrt(p.delta[j] * p.delta[j] + errs[j] * errs[j]),
                     None => p.delta[j],
                 };
                 prod *= self
                     .kernel
                     .evaluate(x[j] - p.centroid[j], self.bandwidths[j], psi);
+                // udm-lint: allow(UDM002) exact underflow short-circuit (bit-for-bit cache contract)
                 if prod == 0.0 {
                     break;
                 }
             }
             sum += prod;
         }
-        Ok(sum / self.total_n as f64)
+        Ok(sum / f64_from_count(self.total_n))
     }
 
     /// Builds the per-query kernel-column cache for `x` (optionally
@@ -254,13 +258,15 @@ impl MicroClusterKde {
                 });
             }
         }
+        ensure_finite_slice("query coordinate", x)?;
+        ensure_finite_slice_opt("query error", query_errors)?;
         let mut cols = Vec::with_capacity(self.pseudos.len() * self.dim);
         let mut weights = Vec::with_capacity(self.pseudos.len());
         for p in &self.pseudos {
-            weights.push(p.weight as f64);
+            weights.push(f64_from_count(p.weight));
             for j in 0..self.dim {
                 let psi = match query_errors {
-                    Some(errs) => (p.delta[j] * p.delta[j] + errs[j] * errs[j]).sqrt(),
+                    Some(errs) => clamped_sqrt(p.delta[j] * p.delta[j] + errs[j] * errs[j]),
                     None => p.delta[j],
                 };
                 cols.push(
@@ -269,7 +275,7 @@ impl MicroClusterKde {
                 );
             }
         }
-        KernelColumns::new(self.dim, cols, Some(weights), self.total_n as f64)
+        KernelColumns::new(self.dim, cols, Some(weights), f64_from_count(self.total_n))
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::feature::MicroCluster;
 use crate::pseudo::PseudoPoint;
 use serde::{Deserialize, Serialize};
+use udm_core::num::clamped_sqrt;
 use udm_core::{Result, UdmError};
 
 /// Aggregate health report over a set of micro-clusters.
@@ -69,6 +70,8 @@ pub fn diagnose(clusters: &[MicroCluster]) -> Result<SummaryDiagnostics> {
     let total_points: u64 = occupancies.iter().sum();
     let clusters_n = non_empty.len();
 
+    // ceil(n·0.1) <= n, so the cast back to usize cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     let top_decile_count = (clusters_n as f64 * 0.1).ceil() as usize;
     let top_decile_points: u64 = occupancies.iter().rev().take(top_decile_count.max(1)).sum();
 
@@ -77,10 +80,10 @@ pub fn diagnose(clusters: &[MicroCluster]) -> Result<SummaryDiagnostics> {
     for c in &non_empty {
         let d = c.dim() as f64;
         let mean_var: f64 = (0..c.dim()).map(|j| c.variance(j)).sum::<f64>() / d;
-        radius_sum += mean_var.sqrt();
+        radius_sum += clamped_sqrt(mean_var);
         let pseudo = PseudoPoint::from_cluster(c, true)?;
         let delta_norm_sq: f64 = pseudo.delta.iter().map(|x| x * x).sum();
-        delta_sum += (delta_norm_sq / d).sqrt();
+        delta_sum += clamped_sqrt(delta_norm_sq / d);
     }
 
     Ok(SummaryDiagnostics {

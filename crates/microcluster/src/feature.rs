@@ -1,6 +1,7 @@
 //! The micro-cluster sufficient statistics of Definition 1.
 
 use serde::{Deserialize, Serialize};
+use udm_core::num::{clamp_non_negative, f64_from_count};
 use udm_core::{Result, UdmError, UncertainPoint};
 
 /// The `(3d + 1)`-tuple `CFT(C) = (CF2x, EF2x, CF1x, n)` of Definition 1:
@@ -43,6 +44,7 @@ impl MicroCluster {
     pub fn from_point(point: &UncertainPoint) -> Self {
         let mut c = Self::new(point.dim());
         c.insert(point)
+            // udm-lint: allow(UDM001) cluster is sized from the point, dims cannot mismatch
             .expect("dimensionality matches by construction");
         c
     }
@@ -141,7 +143,7 @@ impl MicroCluster {
         if self.n == 0 {
             return None;
         }
-        let inv = 1.0 / self.n as f64;
+        let inv = 1.0 / f64_from_count(self.n);
         Some(self.cf1.iter().map(|&s| s * inv).collect())
     }
 
@@ -151,7 +153,7 @@ impl MicroCluster {
         if self.n == 0 {
             None
         } else {
-            Some(self.cf1[j] / self.n as f64)
+            Some(self.cf1[j] / f64_from_count(self.n))
         }
     }
 
@@ -164,9 +166,11 @@ impl MicroCluster {
         if self.n == 0 {
             return 0.0;
         }
-        let inv = 1.0 / self.n as f64;
+        let inv = 1.0 / f64_from_count(self.n);
         let mean = self.cf1[j] * inv;
-        (self.cf2[j] * inv - mean * mean).max(0.0)
+        // Counted clamp: catastrophic cancellation of CF2/n − mean² is the
+        // paper's Lemma 1 failure mode (see udm_core::num).
+        clamp_non_negative(self.cf2[j] * inv - mean * mean)
     }
 
     /// Mean squared member error along dimension `j`: `EF2_j / n`.
@@ -174,7 +178,7 @@ impl MicroCluster {
         if self.n == 0 {
             0.0
         } else {
-            self.ef2[j] / self.n as f64
+            self.ef2[j] / f64_from_count(self.n)
         }
     }
 

@@ -18,6 +18,7 @@ use crate::feature::MicroCluster;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use udm_core::num::f64_from_count;
 use udm_core::{Result, UdmError, UncertainDataset, UncertainPoint};
 
 /// Configuration of the maintainer.
@@ -148,7 +149,7 @@ impl MicroClusterMaintainer {
                             actual: p.dim(),
                         });
                     }
-                    Ok(m.nearest(p).expect("clusters seeded before batch pass"))
+                    m.nearest(p).ok_or(UdmError::EmptyDataset)
                 })
                 .collect();
             for (p, idx) in chunk.iter().zip(assigned?) {
@@ -182,7 +183,7 @@ impl MicroClusterMaintainer {
                         actual: p.dim(),
                     });
                 }
-                Ok(self.nearest(p).expect("cluster list is non-empty"))
+                self.nearest(p).ok_or(UdmError::EmptyDataset)
             })
             .collect()
     }
@@ -278,9 +279,10 @@ impl MicroClusterMaintainer {
             self.points_seen += 1;
             Ok(self.clusters.len() - 1)
         } else {
-            let idx = self
-                .nearest(point)
-                .expect("non-empty cluster list after warm-up");
+            // max_clusters ≥ 1 is validated at construction, so at least one
+            // cluster exists after warm-up; the error path is unreachable
+            // but typed rather than panicking.
+            let idx = self.nearest(point).ok_or(UdmError::EmptyDataset)?;
             self.absorb_at(idx, point)?;
             Ok(idx)
         }
@@ -290,7 +292,7 @@ impl MicroClusterMaintainer {
     fn absorb_at(&mut self, idx: usize, point: &UncertainPoint) -> Result<()> {
         self.clusters[idx].insert(point)?;
         let c = &self.clusters[idx];
-        let inv = 1.0 / c.n() as f64;
+        let inv = 1.0 / f64_from_count(c.n());
         for (slot, &sum) in self.centroids[idx].iter_mut().zip(c.cf1().iter()) {
             *slot = sum * inv;
         }
@@ -306,6 +308,9 @@ impl MicroClusterMaintainer {
     /// centroid within a noisy point's error box to distance 0 — are
     /// broken by plain Euclidean distance, so clusters stay spatially
     /// coherent instead of piling tied points into the lowest index.
+    // Tie detection needs the exact `d == best_d` below; a tolerance
+    // would merge near-ties and mis-group (see the udm-lint waiver).
+    #[allow(clippy::float_cmp)]
     pub fn nearest(&self, point: &UncertainPoint) -> Option<usize> {
         let mut best = None;
         let mut best_d = f64::INFINITY;
@@ -321,6 +326,7 @@ impl MicroClusterMaintainer {
                     0.0
                 };
                 best = Some(i);
+            // udm-lint: allow(UDM002) exact ties are the norm under the Eq. 5 clamp; tolerance would mis-group
             } else if needs_tie_break && d == best_d {
                 let tie = crate::distance::euclidean_sq(point.values(), centroid);
                 if tie < best_tie {

@@ -3,6 +3,7 @@
 
 use crate::feature::MicroCluster;
 use serde::{Deserialize, Serialize};
+use udm_core::num::clamped_sqrt;
 use udm_core::{Result, UdmError};
 
 /// A micro-cluster collapsed to one weighted point.
@@ -47,7 +48,10 @@ impl PseudoPoint {
                 if error_adjusted {
                     dsq += cluster.mean_squared_error(j);
                 }
-                dsq.max(0.0).sqrt()
+                // Lemma 1: Δ² is mathematically ≥ 0 but the CF2/r − (CF1/r)²
+                // term can go negative under FP cancellation; the clamp is
+                // counted (udm_core::num::negative_clamp_count).
+                clamped_sqrt(dsq)
             })
             .collect();
         Ok(PseudoPoint {

@@ -211,9 +211,11 @@ impl PyramidalStore {
     /// [`UdmError::EmptyDataset`] when the store is empty.
     pub fn window_summary(&self, horizon: u64) -> Result<Vec<MicroCluster>> {
         let latest_ts = self.latest_timestamp().ok_or(UdmError::EmptyDataset)?;
+        // latest_timestamp() is derived from the stored snapshots, so a
+        // snapshot at that timestamp necessarily exists; stay typed anyway.
         let latest = self
             .snapshot_at_or_before(latest_ts)
-            .expect("latest timestamp exists");
+            .ok_or(UdmError::EmptyDataset)?;
         let cutoff = latest_ts.saturating_sub(horizon);
         match self.snapshot_at_or_before(cutoff) {
             Some(earlier) if earlier.timestamp < latest.timestamp => {

@@ -1,0 +1,133 @@
+//! Numeric-invariant tests for the micro-cluster pipeline: the Lemma 1
+//! negative-variance regression and property tests asserting that
+//! pseudo-point bandwidths stay finite and non-negative, the Eq. 5
+//! distance never goes negative, and densities stay finite for finite
+//! input.
+
+use proptest::prelude::*;
+use udm_core::num::negative_clamp_count;
+use udm_core::UncertainPoint;
+use udm_kde::KdeConfig;
+use udm_microcluster::distance::{error_adjusted_sq, error_adjusted_unclamped};
+use udm_microcluster::{MicroCluster, MicroClusterKde, PseudoPoint};
+
+/// Regression for the Lemma 1 failure mode: three identical points at a
+/// large magnitude make `CF2/n − (CF1/n)²` — mathematically zero —
+/// evaluate to −2.0 in f64 through catastrophic cancellation. The clamped
+/// path must return exactly 0, count the event, and keep the pseudo-point
+/// error finite.
+#[test]
+fn lemma1_negative_variance_is_clamped_and_counted() {
+    let x = 100_000_002.2_f64;
+    let p = UncertainPoint::new(vec![x], vec![0.5]).unwrap();
+    let mut c = MicroCluster::new(1);
+    for _ in 0..3 {
+        c.insert(&p).unwrap();
+    }
+
+    // The raw, unclamped Lemma 1 expression really is negative here.
+    let inv = 1.0 / 3.0;
+    let mean = c.cf1()[0] * inv;
+    let raw = c.cf2()[0] * inv - mean * mean;
+    assert!(raw < 0.0, "expected FP cancellation, got {raw}");
+
+    // The clamped accessor returns exactly 0 and bumps the counter.
+    let before = negative_clamp_count();
+    assert_eq!(c.variance(0), 0.0);
+    assert!(negative_clamp_count() > before);
+
+    // Δ² = max(0, variance) + EF2/n = 0 + 0.25, so Δ = 0.5 exactly.
+    let pseudo = PseudoPoint::from_cluster(&c, true).unwrap();
+    assert!(pseudo.delta[0].is_finite());
+    assert!((pseudo.delta[0] - 0.5).abs() < 1e-12);
+
+    // The unadjusted variant drops EF2 and degenerates to Δ = 0, not NaN.
+    let unadjusted = PseudoPoint::from_cluster(&c, false).unwrap();
+    assert_eq!(unadjusted.delta[0], 0.0);
+}
+
+const DIM: usize = 3;
+
+fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<UncertainPoint>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(-1e6..1e6f64, DIM),
+            proptest::collection::vec(0.0..1e3f64, DIM),
+        )
+            .prop_map(|(v, e)| UncertainPoint::new(v, e).unwrap()),
+        2..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Pseudo-point bandwidths (the Δ_j(C) fed into the Eq. 9 kernel
+    // width) are finite and non-negative under arbitrary insert/merge
+    // streams, in both the error-adjusted and unadjusted modes.
+    #[test]
+    fn pseudo_point_bandwidth_finite_and_non_negative(
+        points in arb_points(40),
+        split in 0usize..64,
+    ) {
+        let cut = split % points.len();
+        let mut a = MicroCluster::new(DIM);
+        let mut b = MicroCluster::new(DIM);
+        for p in &points[..cut] {
+            a.insert(p).unwrap();
+        }
+        for p in &points[cut..] {
+            b.insert(p).unwrap();
+        }
+        if b.is_empty() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        if !a.is_empty() {
+            b.merge(&a).unwrap();
+        }
+        for error_adjusted in [true, false] {
+            let pseudo = PseudoPoint::from_cluster(&b, error_adjusted).unwrap();
+            for (j, d) in pseudo.delta.iter().enumerate() {
+                prop_assert!(d.is_finite() && *d >= 0.0,
+                    "delta[{j}] = {d} (error_adjusted = {error_adjusted})");
+            }
+        }
+    }
+
+    // Eq. 5: the error-adjusted distance is never negative and never
+    // NaN, even though its per-dimension terms `(Y_j − c_j)² − ψ_j²`
+    // routinely are negative before the max{0, ·}.
+    #[test]
+    fn eq5_distance_never_negative(
+        values in proptest::collection::vec(-1e6..1e6f64, DIM),
+        errors in proptest::collection::vec(0.0..1e6f64, DIM),
+        centroid in proptest::collection::vec(-1e6..1e6f64, DIM),
+    ) {
+        let p = UncertainPoint::new(values, errors).unwrap();
+        let d = error_adjusted_sq(&p, &centroid);
+        prop_assert!(d.is_finite() && d >= 0.0, "distance = {d}");
+        // The unclamped diagnostic variant must still be finite.
+        prop_assert!(error_adjusted_unclamped(&p, &centroid).is_finite());
+    }
+
+    // Whenever a micro-cluster KDE fits, its bandwidths are finite and
+    // positive and its density at any finite query is finite and
+    // non-negative.
+    #[test]
+    fn density_finite_for_finite_queries(
+        points in arb_points(24),
+        query in proptest::collection::vec(-2e6..2e6f64, DIM),
+    ) {
+        let mut c = MicroCluster::new(DIM);
+        for p in &points {
+            c.insert(p).unwrap();
+        }
+        if let Ok(kde) = MicroClusterKde::fit(std::slice::from_ref(&c), KdeConfig::default()) {
+            for h in kde.bandwidths() {
+                prop_assert!(h.is_finite() && *h > 0.0, "bandwidth = {h}");
+            }
+            let d = kde.density(&query).unwrap();
+            prop_assert!(d.is_finite() && d >= 0.0, "density = {d}");
+        }
+    }
+}

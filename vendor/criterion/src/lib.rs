@@ -56,6 +56,9 @@ impl Bencher {
         }
     }
 
+    // `sample_count` and `iters_per_sample` are bounded (≤ 2²⁰) well
+    // below u32::MAX, so the Duration-division casts cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up + calibration: find an iteration count per sample that
         // fills a reasonable slice of the target sample time.

@@ -184,7 +184,10 @@ pub mod strategy {
 
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     assert!(self.start < self.end, "empty range strategy");
-                    self.start + rng.below((self.end - self.start) as u64) as $t
+                    // below(n) < n = end - start, so the narrowing is exact.
+                    #[allow(clippy::cast_possible_truncation)]
+                    let offset = rng.below((self.end - self.start) as u64) as $t;
+                    self.start + offset
                 }
             }
 
@@ -194,7 +197,10 @@ pub mod strategy {
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     let (lo, hi) = (*self.start(), *self.end());
                     assert!(lo <= hi, "empty range strategy");
-                    lo + rng.below((hi - lo) as u64 + 1) as $t
+                    // below(n + 1) <= n = hi - lo, so the narrowing is exact.
+                    #[allow(clippy::cast_possible_truncation)]
+                    let offset = rng.below((hi - lo) as u64 + 1) as $t;
+                    lo + offset
                 }
             }
         )*};
@@ -325,6 +331,8 @@ pub mod collection {
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let span = self.size.max_inclusive - self.size.min + 1;
+            // below(span) < span, which is a usize quantity already.
+            #[allow(clippy::cast_possible_truncation)]
             let len = self.size.min + rng.below(span as u64) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
         }

@@ -283,6 +283,9 @@ pub mod de {
     }
 
     impl Deserialize for f32 {
+        // Narrowing is the point: f32 round-trips through the f64 JSON
+        // number space, matching real serde's behaviour.
+        #[allow(clippy::cast_possible_truncation)]
         fn from_value(v: &Value) -> Result<Self, DeError> {
             f64::from_value(v).map(|f| f as f32)
         }
