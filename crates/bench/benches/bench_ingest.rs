@@ -1,0 +1,111 @@
+//! Fault-tolerant ingest microbenchmarks: what the resilient path costs
+//! over raw maintainer insertion, how that cost scales with the fault
+//! rate, and the price of periodic checkpointing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use udm_data::fault::{FaultPlan, FaultyStream, RawRecord};
+use udm_data::{ErrorModel, UciDataset};
+use udm_microcluster::{
+    CheckpointDriver, IngestPolicy, MaintainerConfig, MicroClusterMaintainer, ResilientIngestor,
+};
+
+fn workload(rate: f64) -> Vec<RawRecord> {
+    let clean = UciDataset::Adult.generate(2000, 7);
+    let data = ErrorModel::paper(1.0).apply(&clean, 8).unwrap();
+    let (records, _) = FaultyStream::new(&data, FaultPlan::uniform(rate), 11)
+        .unwrap()
+        .records();
+    records
+}
+
+fn dim() -> usize {
+    UciDataset::Adult.generate(1, 0).dim()
+}
+
+fn bench_resilient_vs_raw(c: &mut Criterion) {
+    let records = workload(0.0);
+    let d = dim();
+
+    let mut group = c.benchmark_group("ingest_clean_stream");
+    group.bench_function("raw_maintainer", |b| {
+        b.iter(|| {
+            let mut m = MicroClusterMaintainer::new(d, MaintainerConfig::new(80)).unwrap();
+            for r in black_box(&records) {
+                let p = r.clone().into_point().unwrap();
+                m.insert(&p).unwrap();
+            }
+            m.points_seen()
+        })
+    });
+    group.bench_function("resilient_ingestor", |b| {
+        b.iter(|| {
+            let mut ing =
+                ResilientIngestor::new(d, MaintainerConfig::new(80), IngestPolicy::default())
+                    .unwrap();
+            for r in black_box(&records) {
+                ing.observe(r).unwrap();
+            }
+            ing.counters().accepted
+        })
+    });
+    group.finish();
+}
+
+fn bench_fault_rates(c: &mut Criterion) {
+    let d = dim();
+    let mut group = c.benchmark_group("ingest_fault_rate");
+    for rate in [0.05_f64, 0.15, 0.30] {
+        let records = workload(rate);
+        group.bench_with_input(
+            BenchmarkId::new("observe", format!("{rate:.2}")),
+            &records,
+            |b, records| {
+                b.iter(|| {
+                    let mut ing = ResilientIngestor::new(
+                        d,
+                        MaintainerConfig::new(80),
+                        IngestPolicy::default(),
+                    )
+                    .unwrap();
+                    for r in records {
+                        ing.observe(r).unwrap();
+                    }
+                    ing.drain_quarantine().unwrap().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_cadence(c: &mut Criterion) {
+    let d = dim();
+    let records = workload(0.10);
+    let path = std::env::temp_dir().join("udm_bench_ingest_ckpt.json");
+
+    let mut group = c.benchmark_group("ingest_checkpoint_cadence");
+    for every in [100_u64, 500, 2500] {
+        group.bench_with_input(BenchmarkId::new("every", every), &every, |b, &every| {
+            b.iter(|| {
+                let ing =
+                    ResilientIngestor::new(d, MaintainerConfig::new(80), IngestPolicy::default())
+                        .unwrap();
+                let mut driver = CheckpointDriver::new(ing, path.clone(), every).unwrap();
+                for r in black_box(&records) {
+                    driver.observe(r).unwrap();
+                }
+                driver.finish().unwrap().1.counters().arrivals
+            })
+        });
+    }
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(
+    benches,
+    bench_resilient_vs_raw,
+    bench_fault_rates,
+    bench_checkpoint_cadence
+);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! Degraded-mode evaluation: how much classification accuracy survives a
+//! faulty training stream?
+//!
+//! The chaos harness's measurement core. A clean baseline classifier is
+//! fit on the pristine training set; a *degraded* classifier is fit on
+//! whatever the fault-tolerant ingest pipeline admits after the training
+//! stream has been corrupted by a [`FaultPlan`] (NaN cells, bad ψ,
+//! timestamp disorder, drops, truncation). Both models are evaluated on
+//! the same clean test set, and the [`DegradationReport`] states the
+//! accuracy gap alongside the ingest-policy counters that explain it.
+
+use crate::config::ClassifierConfig;
+use crate::eval::{evaluate, EvalReport};
+use crate::model::DensityClassifier;
+use udm_core::{Result, UncertainDataset};
+use udm_data::fault::{FaultLog, FaultPlan, FaultyStream};
+use udm_microcluster::{IngestCounters, IngestPolicy, MaintainerConfig, ResilientIngestor};
+
+/// Everything the degraded-mode pipeline needs besides the data.
+#[derive(Debug, Clone)]
+pub struct ChaosSetup {
+    /// Fault mix injected into the training stream.
+    pub plan: FaultPlan,
+    /// Seed for the fault injector's RNG.
+    pub seed: u64,
+    /// Quarantine / degradation policy for the resilient ingestor.
+    pub policy: IngestPolicy,
+    /// Micro-cluster settings for the ingestor's summary.
+    pub maintainer: MaintainerConfig,
+    /// Classifier settings shared by the clean and degraded models.
+    pub classifier: ClassifierConfig,
+}
+
+/// Outcome of one clean-vs-degraded comparison.
+#[derive(Debug, Clone)]
+pub struct DegradationReport {
+    /// The fault rate the plan injected at.
+    pub fault_rate: f64,
+    /// Evaluation of the classifier trained on pristine data.
+    pub clean: EvalReport,
+    /// Evaluation of the classifier trained on the ingest survivors.
+    pub degraded: EvalReport,
+    /// Per-verdict ingest counters for the degraded run.
+    pub counters: IngestCounters,
+    /// What the injector actually corrupted.
+    pub faults: FaultLog,
+    /// Training records that survived ingest (admitted + released).
+    pub survivors: usize,
+}
+
+impl DegradationReport {
+    /// Clean accuracy minus degraded accuracy. Negative values (the
+    /// degraded model got *luckier*) are possible at low fault rates.
+    #[must_use]
+    pub fn accuracy_drop(&self) -> f64 {
+        self.clean.accuracy() - self.degraded.accuracy()
+    }
+
+    /// True when the accuracy drop is at most `bound`.
+    #[must_use]
+    pub fn within(&self, bound: f64) -> bool {
+        self.accuracy_drop() <= bound
+    }
+}
+
+impl std::fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fault rate {:.2}: clean accuracy {:.4}, degraded {:.4} (drop {:+.4})",
+            self.fault_rate,
+            self.clean.accuracy(),
+            self.degraded.accuracy(),
+            self.accuracy_drop()
+        )?;
+        writeln!(f, "  faults injected: {}", self.faults)?;
+        write!(
+            f,
+            "  ingest: {}; {} survivors",
+            self.counters, self.survivors
+        )
+    }
+}
+
+/// Pushes `train` through the fault injector and the resilient ingestor,
+/// returning the surviving training set plus the counters and fault log.
+///
+/// # Errors
+///
+/// Propagates [`FaultyStream`]/[`ResilientIngestor`] construction errors
+/// (invalid plan or policy, dimension mismatch) and dataset-assembly
+/// errors if every record is rejected.
+pub fn survivors_of(
+    train: &UncertainDataset,
+    setup: &ChaosSetup,
+) -> Result<(UncertainDataset, IngestCounters, FaultLog)> {
+    let faulty = FaultyStream::new(train, setup.plan.clone(), setup.seed)?;
+    let (records, log) = faulty.records();
+    let mut ingest = ResilientIngestor::new(train.dim(), setup.maintainer, setup.policy.clone())?;
+    let mut points = Vec::with_capacity(records.len());
+    for r in &records {
+        let observed = ingest.observe(r)?;
+        points.extend(observed.admitted.into_iter().map(|a| a.point));
+    }
+    points.extend(ingest.drain_quarantine()?.into_iter().map(|a| a.point));
+    let counters = *ingest.counters();
+    let survivors = UncertainDataset::from_points(points)?;
+    Ok((survivors, counters, log))
+}
+
+/// Runs the full clean-vs-degraded comparison.
+///
+/// Fits one classifier on `train` as-is and one on the ingest survivors
+/// of the corrupted copy of `train`; evaluates both on `test`.
+///
+/// # Errors
+///
+/// Propagates [`survivors_of`] errors, classifier-fit errors (e.g. the
+/// survivors lost a whole class), and evaluation errors.
+pub fn evaluate_degraded(
+    train: &UncertainDataset,
+    test: &UncertainDataset,
+    setup: &ChaosSetup,
+) -> Result<DegradationReport> {
+    let clean_model = DensityClassifier::fit(train, setup.classifier)?;
+    let clean = evaluate(&clean_model, test)?;
+
+    let (survivor_set, counters, faults) = survivors_of(train, setup)?;
+    let degraded_model = DensityClassifier::fit(&survivor_set, setup.classifier)?;
+    let degraded = evaluate(&degraded_model, test)?;
+
+    Ok(DegradationReport {
+        fault_rate: setup.plan.rate,
+        clean,
+        degraded,
+        counters,
+        faults,
+        survivors: survivor_set.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udm_core::UncertainPoint;
+    use udm_data::synth::{GaussianClassSpec, MixtureGenerator};
+
+    fn labeled_set(n: usize, seed: u64) -> UncertainDataset {
+        let gen = MixtureGenerator::new(
+            2,
+            vec![
+                GaussianClassSpec::spherical(vec![0.0, 0.0], 1.0, 1.0),
+                GaussianClassSpec::spherical(vec![6.0, 6.0], 1.0, 1.0),
+            ],
+        )
+        .unwrap();
+        // The mixture emits exact points; re-attach a modest ψ and
+        // strictly increasing timestamps so the ingest watermark policy
+        // sees a well-formed uncertain stream.
+        let points: Vec<UncertainPoint> = gen
+            .generate(n, seed)
+            .into_points()
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let label = p.label();
+                let mut q = UncertainPoint::new(p.values().to_vec(), vec![0.2; 2])
+                    .unwrap()
+                    .with_timestamp(i as u64);
+                if let Some(l) = label {
+                    q = q.with_label(l);
+                }
+                q
+            })
+            .collect();
+        UncertainDataset::from_points(points).unwrap()
+    }
+
+    fn setup(rate: f64) -> ChaosSetup {
+        ChaosSetup {
+            plan: FaultPlan::uniform(rate),
+            seed: 11,
+            policy: IngestPolicy::default(),
+            maintainer: MaintainerConfig::new(20),
+            classifier: ClassifierConfig::error_adjusted(20),
+        }
+    }
+
+    #[test]
+    fn zero_rate_pipeline_is_lossless() {
+        let train = labeled_set(300, 1);
+        let (survivors, counters, log) = survivors_of(&train, &setup(0.0)).unwrap();
+        assert_eq!(log.total(), 0);
+        assert_eq!(survivors.len(), train.len());
+        assert_eq!(counters.accepted, train.len() as u64);
+        assert_eq!(
+            counters.repaired + counters.quarantined + counters.rejected,
+            0
+        );
+    }
+
+    #[test]
+    fn faulty_pipeline_reports_and_stays_usable() {
+        let train = labeled_set(400, 2);
+        let test = labeled_set(120, 3);
+        let report = evaluate_degraded(&train, &test, &setup(0.2)).unwrap();
+        assert!(report.faults.total() > 10, "{}", report.faults);
+        assert!(report.survivors <= train.len());
+        assert!(report.counters.arrivals < train.len() as u64 + 1);
+        // Well-separated classes: even the degraded model should stay
+        // far above chance, and the report helpers must agree.
+        assert!(report.degraded.accuracy() > 0.6, "{report}");
+        assert!(report.within(1.0));
+        assert!(
+            report.within(report.accuracy_drop()),
+            "bound equal to the drop is inclusive"
+        );
+        let text = report.to_string();
+        assert!(text.contains("fault rate 0.20"), "{text}");
+        assert!(text.contains("survivors"), "{text}");
+    }
+
+    #[test]
+    fn survivor_labels_are_preserved() {
+        let train = labeled_set(200, 4);
+        let (survivors, _, _) = survivors_of(&train, &setup(0.1)).unwrap();
+        assert!(survivors.points().iter().all(|p| p.label().is_some()));
+    }
+}

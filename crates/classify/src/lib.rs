@@ -25,12 +25,15 @@
 //! * [`NnClassifier`] — the nearest-neighbor baseline.
 //!
 //! [`eval`] evaluates any [`Classifier`] (accuracy, confusion matrix,
-//! timing), optionally in parallel.
+//! timing), optionally in parallel. [`degraded`] measures how much
+//! accuracy survives when the training stream is corrupted and repaired
+//! by the fault-tolerant ingest pipeline.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod config;
+pub mod degraded;
 pub mod eval;
 pub mod kfold;
 pub mod model;
@@ -41,6 +44,7 @@ pub mod subspace_select;
 pub mod tune;
 
 pub use config::{ClassifierConfig, Fallback};
+pub use degraded::{evaluate_degraded, survivors_of, ChaosSetup, DegradationReport};
 pub use eval::{evaluate, evaluate_parallel, Classifier, EvalReport};
 pub use kfold::{cross_validate, cross_validate_parallel, CrossValidationReport};
 pub use model::{ClassificationOutcome, DensityClassifier};

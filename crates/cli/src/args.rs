@@ -98,6 +98,27 @@ pub enum Command {
         /// Seed for k-means initialization.
         seed: u64,
     },
+    /// Chaos drill: corrupt a synthetic training stream at several fault
+    /// rates, push it through the fault-tolerant ingest pipeline, and
+    /// compare degraded classification accuracy against a clean baseline.
+    Chaos {
+        /// Which dataset profile to generate the workload from.
+        dataset: UciDataset,
+        /// Training rows (test set is a third of this).
+        n: usize,
+        /// Error level `f` of the paper's noise model.
+        f: f64,
+        /// Number of micro-clusters `q` (also the classifier budget).
+        q: usize,
+        /// Accuracy threshold `a` of the subspace roll-up.
+        threshold: f64,
+        /// Fault rates to drill at (each in `[0, 1]`).
+        rates: Vec<f64>,
+        /// RNG seed for generation and fault injection.
+        seed: u64,
+        /// When set, fail unless every accuracy drop is at most this.
+        bound: Option<f64>,
+    },
     /// Print usage.
     Help,
 }
@@ -389,6 +410,50 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                 seed,
             })
         }
+        "chaos" => {
+            let dataset = parse_dataset(
+                &it.next()
+                    .ok_or_else(|| invalid("chaos needs a dataset name"))?,
+            )?;
+            let mut n = 400;
+            let mut f = 1.0;
+            let mut q = 60;
+            let mut threshold = 0.55;
+            let mut rates = vec![0.05, 0.15, 0.3];
+            let mut seed = 7;
+            let mut bound = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--n" => n = parse_num("--n", it.next())?,
+                    "--f" => f = parse_num("--f", it.next())?,
+                    "--q" => q = parse_num("--q", it.next())?,
+                    "--threshold" => threshold = parse_num("--threshold", it.next())?,
+                    "--rates" => rates = parse_f64_list("--rates", it.next())?,
+                    "--seed" => seed = parse_num("--seed", it.next())?,
+                    "--bound" => bound = Some(parse_num("--bound", it.next())?),
+                    other => return Err(invalid(format!("unknown flag {other:?}"))),
+                }
+            }
+            if rates.is_empty() {
+                return Err(invalid("--rates needs at least one fault rate"));
+            }
+            if rates
+                .iter()
+                .any(|r| !(r.is_finite() && (0.0..=1.0).contains(r)))
+            {
+                return Err(invalid("--rates entries must lie in [0, 1]"));
+            }
+            Ok(Command::Chaos {
+                dataset,
+                n,
+                f,
+                q,
+                threshold,
+                rates,
+                seed,
+                bound,
+            })
+        }
         other => Err(invalid(format!(
             "unknown subcommand {other:?}; try `udm help`"
         ))),
@@ -580,6 +645,70 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn chaos_defaults_and_flags() {
+        let c = parse(&["chaos", "breast_cancer"]).unwrap();
+        match c {
+            Command::Chaos {
+                dataset,
+                n,
+                f,
+                q,
+                threshold,
+                rates,
+                seed,
+                bound,
+            } => {
+                assert_eq!(dataset, UciDataset::BreastCancer);
+                assert_eq!(n, 400);
+                assert_eq!(f, 1.0);
+                assert_eq!(q, 60);
+                assert_eq!(threshold, 0.55);
+                assert_eq!(rates, vec![0.05, 0.15, 0.3]);
+                assert_eq!(seed, 7);
+                assert!(bound.is_none());
+            }
+            _ => panic!("wrong command"),
+        }
+        let c = parse(&[
+            "chaos",
+            "ionosphere",
+            "--n",
+            "250",
+            "--rates",
+            "0.1,0.4",
+            "--bound",
+            "0.2",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        match c {
+            Command::Chaos {
+                n,
+                rates,
+                bound,
+                seed,
+                ..
+            } => {
+                assert_eq!(n, 250);
+                assert_eq!(rates, vec![0.1, 0.4]);
+                assert_eq!(bound, Some(0.2));
+                assert_eq!(seed, 9);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn chaos_validates_rates() {
+        assert!(parse(&["chaos"]).is_err());
+        assert!(parse(&["chaos", "adult", "--rates", ""]).is_err());
+        assert!(parse(&["chaos", "adult", "--rates", "0.1,1.5"]).is_err());
+        assert!(parse(&["chaos", "adult", "--rates", "-0.1"]).is_err());
+        assert!(parse(&["chaos", "adult", "--bogus"]).is_err());
     }
 
     #[test]

@@ -4,17 +4,21 @@
 use crate::args::Command;
 use std::io::Write;
 use std::path::Path;
-use udm_classify::{evaluate, ClassifierConfig, DensityClassifier, NnClassifier};
+use udm_classify::{
+    evaluate, survivors_of, ChaosSetup, ClassifierConfig, DegradationReport, DensityClassifier,
+    NnClassifier,
+};
 use udm_cluster::{
     adjusted_rand_index, normalized_mutual_information, Dbscan, DbscanConfig, KMeans, KMeansConfig,
 };
 use udm_core::{Result, Subspace, UdmError, UncertainDataset};
 use udm_data::csv_io;
+use udm_data::fault::FaultPlan;
 use udm_data::{ErrorModel, UciDataset};
 use udm_kde::{ErrorKde, KdeConfig};
 use udm_microcluster::snapshot::Snapshot;
 use udm_microcluster::{
-    AssignmentDistance, MaintainerConfig, MicroClusterKde, MicroClusterMaintainer,
+    AssignmentDistance, IngestPolicy, MaintainerConfig, MicroClusterKde, MicroClusterMaintainer,
 };
 
 const USAGE: &str = "\
@@ -33,6 +37,9 @@ USAGE:
   udm convert   <adult|ionosphere|breast_cancer|forest_cover> RAW_FILE
                [--out FILE]
   udm aggregate <data.csv> [--group N] [--sort] [--out FILE]
+  udm chaos     <adult|ionosphere|breast_cancer|forest_cover>
+               [--n N] [--f F] [--q Q] [--threshold A]
+               [--rates R1,R2,...] [--seed S] [--bound B]
   udm help
 
 CSV layout: values[,errors][,label] with a '#udm,dim=..' header
@@ -297,6 +304,76 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<()> {
                     )?;
                 }
                 None => csv_io::write_csv(&mut *out, &aggregated)?,
+            }
+            Ok(())
+        }
+        Command::Chaos {
+            dataset,
+            n,
+            f,
+            q,
+            threshold,
+            rates,
+            seed,
+            bound,
+        } => {
+            let synthesize = |rows: usize, s: u64| -> Result<UncertainDataset> {
+                let clean = dataset.generate(rows, s);
+                if f > 0.0 {
+                    Ok(ErrorModel::paper(f).apply(&clean, s ^ 0x9E37_79B9)?)
+                } else {
+                    Ok(clean)
+                }
+            };
+            let train = synthesize(n, seed)?;
+            let test = synthesize((n / 3).max(30), seed.wrapping_add(1))?;
+
+            let mut config = ClassifierConfig::error_adjusted(q);
+            config.accuracy_threshold = threshold;
+            let clean_model = DensityClassifier::fit(&train, config)?;
+            let clean = evaluate(&clean_model, &test)?;
+            writeln!(
+                out,
+                "chaos drill on {} ({} train / {} test rows, f={f}, q={q})",
+                dataset.name(),
+                train.len(),
+                test.len()
+            )?;
+            writeln!(out, "clean baseline accuracy: {:.4}", clean.accuracy())?;
+
+            let mut worst = f64::NEG_INFINITY;
+            for (i, rate) in rates.iter().enumerate() {
+                let setup = ChaosSetup {
+                    plan: FaultPlan::uniform(*rate),
+                    seed: seed.wrapping_add(100 + i as u64),
+                    policy: IngestPolicy::default(),
+                    maintainer: MaintainerConfig::new(q),
+                    classifier: config,
+                };
+                let (survivor_set, counters, faults) = survivors_of(&train, &setup)?;
+                let model = DensityClassifier::fit(&survivor_set, config)?;
+                let degraded = evaluate(&model, &test)?;
+                let report = DegradationReport {
+                    fault_rate: *rate,
+                    clean: clean.clone(),
+                    degraded,
+                    counters,
+                    faults,
+                    survivors: survivor_set.len(),
+                };
+                writeln!(out, "{report}")?;
+                worst = worst.max(report.accuracy_drop());
+            }
+            if let Some(b) = bound {
+                if worst > b {
+                    return Err(UdmError::InvalidConfig(format!(
+                        "worst accuracy drop {worst:.4} exceeds --bound {b}"
+                    )));
+                }
+                writeln!(
+                    out,
+                    "all fault rates within bound {b} (worst drop {worst:.4})"
+                )?;
             }
             Ok(())
         }
@@ -686,6 +763,50 @@ mod tests {
         assert_eq!(parsed.len(), 10);
         assert!(parsed.iter().any(|p| !p.is_exact()));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_reports_every_rate() {
+        let out = run_cli(&[
+            "chaos",
+            "breast_cancer",
+            "--n",
+            "150",
+            "--q",
+            "15",
+            "--rates",
+            "0.0,0.2",
+            "--bound",
+            "1.0",
+        ])
+        .unwrap();
+        assert!(out.contains("clean baseline accuracy"), "{out}");
+        assert!(out.contains("fault rate 0.00"), "{out}");
+        assert!(out.contains("fault rate 0.20"), "{out}");
+        assert!(out.contains("ingest:"), "{out}");
+        assert!(out.contains("all fault rates within bound 1"), "{out}");
+    }
+
+    #[test]
+    fn chaos_bound_violation_is_an_error() {
+        // A negative bound is unsatisfiable (the zero-rate drop is 0).
+        let e = run_cli(&[
+            "chaos",
+            "breast_cancer",
+            "--n",
+            "120",
+            "--q",
+            "12",
+            "--rates",
+            "0.0",
+            "--bound",
+            "-1",
+        ])
+        .unwrap_err();
+        assert!(
+            e.to_string().contains("exceeds --bound"),
+            "unexpected error: {e}"
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! udm classify  --train TRAIN.csv --test TEST.csv
 //!               [--q Q] [--threshold A] [--unadjusted | --nn]
 //! udm cluster   <data.csv> (--k K | --dbscan EPS,MINPTS) [--euclidean] [--seed S]
+//! udm chaos     <adult|ionosphere|breast_cancer|forest_cover>
+//!               [--n N] [--f F] [--rates R1,R2,…] [--bound B]
 //! ```
 
 #![warn(missing_docs)]

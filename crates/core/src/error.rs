@@ -51,6 +51,26 @@ pub enum UdmError {
     },
     /// Wrapped I/O error (stringified so the error stays `Clone + PartialEq`).
     Io(String),
+    /// Serialization or deserialization failure (stringified serde error).
+    ///
+    /// Distinct from [`UdmError::Io`] (the bytes could not be moved) and
+    /// [`UdmError::Parse`] (external tabular data was malformed): `Serde`
+    /// means *our own* persisted structures could not be encoded or
+    /// decoded.
+    Serde(String),
+    /// A persisted snapshot failed an integrity check (content digest
+    /// mismatch, impossible field values) and must not be restored.
+    CorruptSnapshot {
+        /// Description of the failed integrity check.
+        reason: String,
+    },
+    /// A persisted snapshot was written by an incompatible schema version.
+    UnsupportedSnapshotVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for UdmError {
@@ -81,6 +101,14 @@ impl fmt::Display for UdmError {
                 write!(f, "parse error at line {line}: {message}")
             }
             UdmError::Io(msg) => write!(f, "I/O error: {msg}"),
+            UdmError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            UdmError::CorruptSnapshot { reason } => {
+                write!(f, "corrupt snapshot: {reason}")
+            }
+            UdmError::UnsupportedSnapshotVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot schema version {found} (this build supports {supported})"
+            ),
         }
     }
 }
@@ -166,6 +194,24 @@ mod tests {
         let e: UdmError = io.into();
         assert!(matches!(e, UdmError::Io(_)));
         assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn display_serde_and_snapshot_errors() {
+        assert_eq!(
+            UdmError::Serde("eof".into()).to_string(),
+            "serialization error: eof"
+        );
+        let e = UdmError::CorruptSnapshot {
+            reason: "digest mismatch".into(),
+        };
+        assert!(e.to_string().contains("digest mismatch"));
+        let e = UdmError::UnsupportedSnapshotVersion {
+            found: 9,
+            supported: 2,
+        };
+        assert!(e.to_string().contains("version 9"));
+        assert!(e.to_string().contains("supports 2"));
     }
 
     #[test]

@@ -114,6 +114,28 @@ impl RunningStats {
         self.max
     }
 
+    /// The raw Welford `M2` accumulator (sum of squared deviations from
+    /// the running mean). Exposed so the accumulator can be persisted
+    /// part-wise and restored bit-identically by [`Self::from_parts`].
+    #[inline]
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Reconstructs an accumulator from its raw parts, the inverse of
+    /// reading `count`/`mean`/`m2`/`min`/`max`. `min`/`max` are taken as
+    /// `Option` because the empty accumulator's `±∞` sentinels do not
+    /// survive JSON; `None` restores the sentinels.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: Option<f64>, max: Option<f64>) -> Self {
+        Self {
+            count,
+            mean,
+            m2,
+            min: min.unwrap_or(f64::INFINITY),
+            max: max.unwrap_or(f64::NEG_INFINITY),
+        }
+    }
+
     /// Merges another accumulator into this one (Chan et al. parallel
     /// combination), so statistics can be computed on shards and combined.
     pub fn merge(&mut self, other: &RunningStats) {
@@ -245,6 +267,17 @@ mod tests {
         let mut e = RunningStats::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_bit_identically() {
+        let s = RunningStats::from_slice(&[1.5, -2.25, 7.125, 0.0625]);
+        let back =
+            RunningStats::from_parts(s.count(), s.mean(), s.m2(), Some(s.min()), Some(s.max()));
+        assert_eq!(back, s);
+        // The empty accumulator restores its infinity sentinels from None.
+        let empty = RunningStats::from_parts(0, 0.0, 0.0, None, None);
+        assert_eq!(empty, RunningStats::new());
     }
 
     #[test]

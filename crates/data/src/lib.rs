@@ -25,6 +25,9 @@
 //!   imputation error as ψ (the paper's missing-data use case),
 //! * [`aggregate`] — partially aggregated data: group means with
 //!   std-deviation errors (the paper's demographic-statistics use case),
+//! * [`fault`] — deterministic fault injection for chaos-testing the
+//!   streaming ingest path (NaN/Inf cells, corrupted ψ, timestamp
+//!   anomalies, truncation, burst drops),
 //! * [`uci_raw`] — parsers for the raw UCI file formats (adult,
 //!   ionosphere, breast-cancer-wisconsin, covtype), so the real data can
 //!   replace the stand-ins when available.
@@ -35,6 +38,7 @@
 pub mod aggregate;
 pub mod csv_io;
 pub mod error;
+pub mod fault;
 pub mod imputation;
 pub mod noise;
 pub mod split;
@@ -45,6 +49,7 @@ pub mod uci_raw;
 
 pub use aggregate::{aggregate_groups, GroupLabelPolicy};
 pub use error::{DataError, DataResult};
+pub use fault::{FaultKind, FaultLog, FaultPlan, FaultyStream, RawRecord};
 pub use imputation::{impute_mean, impute_stochastic, IncompleteDataset, MissingnessModel};
 pub use noise::ErrorModel;
 pub use split::{stratified_split, train_test_split, Split};

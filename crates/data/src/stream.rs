@@ -216,6 +216,82 @@ mod tests {
     }
 
     #[test]
+    fn single_regime_schedule_works() {
+        let s = DriftingStream::new(
+            vec![Regime {
+                mixture: mixture_at(5.0),
+                duration: 120,
+                error_scale: 0.2,
+            }],
+            3,
+        )
+        .unwrap();
+        assert_eq!(s.total_duration(), 120);
+        assert_eq!(s.dim(), 1);
+        let d = s.generate();
+        assert_eq!(d.len(), 120);
+        let mean: f64 = d.iter().map(|p| p.value(0)).sum::<f64>() / 120.0;
+        assert!((mean - 5.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn timestamps_strictly_increase_across_regime_boundaries() {
+        // Three regimes; the u64 timestamps must keep strictly increasing
+        // through both boundaries, with no reset or repeat per regime.
+        let s = DriftingStream::new(
+            vec![
+                Regime {
+                    mixture: mixture_at(0.0),
+                    duration: 50,
+                    error_scale: 0.1,
+                },
+                Regime {
+                    mixture: mixture_at(10.0),
+                    duration: 70,
+                    error_scale: 0.1,
+                },
+                Regime {
+                    mixture: mixture_at(20.0),
+                    duration: 30,
+                    error_scale: 0.1,
+                },
+            ],
+            13,
+        )
+        .unwrap();
+        let d = s.generate();
+        assert_eq!(d.len(), 150);
+        let ts: Vec<u64> = d.iter().map(|p| p.timestamp()).collect();
+        assert!(ts.windows(2).all(|w| w[1] == w[0] + 1));
+        // Boundary arrivals continue the global clock.
+        assert_eq!(ts[49], 49);
+        assert_eq!(ts[50], 50);
+        assert_eq!(ts[119], 119);
+        assert_eq!(ts[120], 120);
+        assert_eq!(ts[149], 149);
+    }
+
+    #[test]
+    fn zero_error_scale_yields_exact_cells() {
+        let s = DriftingStream::new(
+            vec![Regime {
+                mixture: mixture_at(2.0),
+                duration: 80,
+                error_scale: 0.0,
+            }],
+            4,
+        )
+        .unwrap();
+        let d = s.generate();
+        // ψ must be bit-exact zero and the values undisplaced, so every
+        // point reports itself as exact.
+        for p in d.iter() {
+            assert!(p.is_exact());
+            assert_eq!(p.error(0).to_bits(), 0.0f64.to_bits());
+        }
+    }
+
+    #[test]
     fn feeds_the_micro_cluster_pipeline() {
         // The contract this module exists for.
         let d = two_regimes().generate();

@@ -14,3 +14,12 @@ pub fn boom(flag: bool) {
         panic!("unreachable regime");
     }
 }
+
+pub fn release_due(quarantine: &mut Vec<u64>) -> u64 {
+    // draining the quarantine buffer during recovery must not panic
+    quarantine.pop().unwrap()
+}
+
+pub fn restore_checkpoint(raw: &str) -> u64 {
+    raw.parse().expect("checkpoint digest must parse")
+}

@@ -166,7 +166,17 @@ mod tests {
             .filter(|d| d.rule == "UDM001" && d.path == "udm001.rs")
             .map(|d| d.line)
             .collect();
-        assert_eq!(udm001, vec![4, 9, 14], "{report:?}");
+        // Lines 20 and 24 are the quarantine-drain / checkpoint-restore
+        // shaped violations.
+        assert_eq!(udm001, vec![4, 9, 14, 20, 24], "{report:?}");
+        let udm005: Vec<usize> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "UDM005" && d.path == "udm005.rs")
+            .map(|d| d.line)
+            .collect();
+        // Line 19 is the recovered-estimator entry point.
+        assert_eq!(udm005, vec![8, 19], "{report:?}");
     }
 
     #[test]

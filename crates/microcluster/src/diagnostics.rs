@@ -98,6 +98,44 @@ pub fn diagnose(clusters: &[MicroCluster]) -> Result<SummaryDiagnostics> {
     })
 }
 
+/// Health report for a fault-tolerant ingest run: the policy counters
+/// plus (when the summary is non-empty) the usual summary diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestDiagnostics {
+    /// Per-verdict counters.
+    pub counters: crate::ingest::IngestCounters,
+    /// Records currently parked in quarantine.
+    pub quarantine_len: usize,
+    /// Highest admitted timestamp.
+    pub watermark: u64,
+    /// Summary health, `None` while the summary is still empty.
+    pub summary: Option<SummaryDiagnostics>,
+}
+
+impl std::fmt::Display for IngestDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}; {} in quarantine; watermark {}",
+            self.counters, self.quarantine_len, self.watermark
+        )?;
+        if let Some(s) = &self.summary {
+            write!(f, "; {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes ingest diagnostics for a resilient ingestor.
+pub fn diagnose_ingest(ingestor: &crate::ingest::ResilientIngestor) -> IngestDiagnostics {
+    IngestDiagnostics {
+        counters: *ingestor.counters(),
+        quarantine_len: ingestor.quarantine().len(),
+        watermark: ingestor.watermark(),
+        summary: diagnose(ingestor.maintainer().clusters()).ok(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +220,29 @@ mod tests {
         let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(5)).unwrap();
         let text = diagnose(m.clusters()).unwrap().to_string();
         assert!(text.contains("5 clusters / 100 points"), "{text}");
+    }
+
+    #[test]
+    fn ingest_diagnostics_surface_counters() {
+        use crate::ingest::{IngestPolicy, ResilientIngestor};
+        use udm_data::fault::RawRecord;
+        let mut ing =
+            ResilientIngestor::new(1, MaintainerConfig::new(3), IngestPolicy::default()).unwrap();
+        let empty = diagnose_ingest(&ing);
+        assert!(empty.summary.is_none());
+        for i in 0..40u64 {
+            let p = UncertainPoint::new(vec![(i % 9) as f64], vec![0.1]).unwrap();
+            ing.observe(&RawRecord::from_point(i, &p.with_timestamp(i)))
+                .unwrap();
+        }
+        let diag = diagnose_ingest(&ing);
+        assert_eq!(diag.counters.accepted, 40);
+        assert_eq!(diag.quarantine_len, 0);
+        assert_eq!(diag.watermark, 39);
+        assert!(diag.summary.is_some());
+        let text = diag.to_string();
+        assert!(text.contains("40 arrivals"), "{text}");
+        assert!(text.contains("watermark 39"), "{text}");
     }
 
     #[test]

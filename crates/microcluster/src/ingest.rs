@@ -1,0 +1,1034 @@
+//! Quarantine and degradation policies for fault-tolerant ingest.
+//!
+//! The maintainer ([`crate::maintainer`]) assumes validated
+//! [`UncertainPoint`]s; a real stream delivers [`RawRecord`]s that may
+//! carry NaN/Inf cells, negative or wildly inflated ψ, timestamp
+//! anomalies or the wrong arity. [`ResilientIngestor`] sits between the
+//! two and renders a per-record verdict:
+//!
+//! * **Accept** — the record is clean; it is admitted as-is.
+//! * **Repair** — corrupt cells are fixed in line from the running
+//!   per-column statistics (mean imputation with the column σ recorded
+//!   as the cell's ψ — the same a-priori error model as
+//!   `udm_data::imputation`), and the repaired point is admitted.
+//! * **Quarantine** — the record is repairable in principle but the
+//!   column statistics are still too immature to impute from; it is
+//!   parked in a bounded buffer and retried with exponential backoff as
+//!   the stream matures.
+//! * **Reject** — the record cannot be interpreted (arity beyond the
+//!   stream's dimensionality, timestamp policy violation, quarantine
+//!   full, or retries exhausted); it is counted and dropped.
+//!
+//! Every decision is deterministic — there is no randomness in the
+//! ingestor — so a crash-recovered ingestor that replays the same tail
+//! reproduces the same state bit for bit (see [`crate::checkpoint`]).
+
+use crate::maintainer::{MaintainerConfig, MicroClusterMaintainer};
+use serde::{Deserialize, Serialize};
+use udm_core::{ClassLabel, Result, RunningStats, UdmError, UncertainPoint};
+use udm_data::fault::RawRecord;
+use udm_data::imputation::{impute_mean, IncompleteDataset, IncompleteRow};
+
+/// Per-record ingest decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Clean record, admitted unchanged.
+    Accept,
+    /// Corrupt cells repaired in line, record admitted.
+    Repair,
+    /// Parked in the quarantine buffer for a later retry.
+    Quarantine,
+    /// Dropped permanently.
+    Reject,
+}
+
+impl Verdict {
+    /// Stable lowercase name (report keys, CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Accept => "accept",
+            Verdict::Repair => "repair",
+            Verdict::Quarantine => "quarantine",
+            Verdict::Reject => "reject",
+        }
+    }
+}
+
+/// Degradation policy: what the ingestor tolerates, repairs and refuses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestPolicy {
+    /// A recorded ψ larger than `error_cap_sigmas · σ_j` (σ_j the running
+    /// std of column `j`, once it is positive) is treated as corrupt and
+    /// repaired to σ_j.
+    pub error_cap_sigmas: f64,
+    /// Maximum records parked in quarantine; when full, further
+    /// quarantine candidates are rejected.
+    pub quarantine_capacity: usize,
+    /// Repair retries per quarantined record before it is rejected.
+    pub max_retries: u32,
+    /// Arrivals to wait before the first retry; doubles per attempt.
+    pub retry_backoff: u64,
+    /// Column observations required before statistics-based repair is
+    /// trusted; below this, repairable records are quarantined instead.
+    pub min_stats_for_repair: u64,
+    /// Reject records whose timestamp equals the current watermark
+    /// (duplicate arrivals). Off by default: merged shards legitimately
+    /// share timestamps.
+    pub reject_duplicate_timestamps: bool,
+    /// Clamp timestamps that regress below the watermark up to the
+    /// watermark (counted as a repair). When `false`, such records are
+    /// rejected.
+    pub clamp_regressing_timestamps: bool,
+}
+
+impl Default for IngestPolicy {
+    fn default() -> Self {
+        IngestPolicy {
+            error_cap_sigmas: 6.0,
+            quarantine_capacity: 256,
+            max_retries: 3,
+            retry_backoff: 32,
+            min_stats_for_repair: 16,
+            reject_duplicate_timestamps: false,
+            clamp_regressing_timestamps: true,
+        }
+    }
+}
+
+impl IngestPolicy {
+    fn validate(&self) -> Result<()> {
+        if !(self.error_cap_sigmas.is_finite() && self.error_cap_sigmas > 0.0) {
+            return Err(UdmError::InvalidValue {
+                what: "error_cap_sigmas",
+                value: self.error_cap_sigmas,
+            });
+        }
+        if self.quarantine_capacity == 0 {
+            return Err(UdmError::InvalidConfig(
+                "quarantine_capacity must be at least 1".into(),
+            ));
+        }
+        if self.retry_backoff == 0 {
+            return Err(UdmError::InvalidConfig(
+                "retry_backoff must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Monotone counters over every verdict the ingestor has rendered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestCounters {
+    /// Records observed (everything offered to the ingestor).
+    pub arrivals: u64,
+    /// Records admitted unchanged.
+    pub accepted: u64,
+    /// Records admitted after in-line cell repair.
+    pub repaired: u64,
+    /// Individual cells repaired (a record may contribute several).
+    pub repaired_cells: u64,
+    /// Records parked in quarantine.
+    pub quarantined: u64,
+    /// Quarantined records later repaired and admitted.
+    pub released: u64,
+    /// Records dropped permanently.
+    pub rejected: u64,
+    /// Timestamps clamped up to the watermark.
+    pub timestamp_repairs: u64,
+}
+
+impl IngestCounters {
+    /// Records whose data reached the micro-cluster summary.
+    pub fn admitted(&self) -> u64 {
+        self.accepted + self.repaired + self.released
+    }
+}
+
+impl std::fmt::Display for IngestCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} arrivals: {} accepted, {} repaired ({} cells), \
+             {} quarantined ({} released), {} rejected, {} timestamp repairs",
+            self.arrivals,
+            self.accepted,
+            self.repaired,
+            self.repaired_cells,
+            self.quarantined,
+            self.released,
+            self.rejected,
+            self.timestamp_repairs
+        )
+    }
+}
+
+/// A record parked in the quarantine buffer.
+///
+/// Cells and errors are stored as `Option<f64>` with `None` marking the
+/// corrupt entries — never the NaN/Inf originals, so the buffer survives
+/// JSON checkpointing losslessly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedRecord {
+    /// Stream position of the original record.
+    pub seq: u64,
+    /// Claimed arrival timestamp.
+    pub timestamp: u64,
+    /// Usable cell values (`None` = corrupt / missing).
+    pub cells: Vec<Option<f64>>,
+    /// Usable cell errors (`None` = corrupt; re-derived on repair).
+    pub errors: Vec<Option<f64>>,
+    /// Class label, if the record carried one.
+    pub label: Option<ClassLabel>,
+    /// Repair attempts so far.
+    pub attempts: u32,
+    /// Arrival count at which the next retry is due.
+    pub retry_at: u64,
+}
+
+/// A record the ingestor admitted into the summary, tagged with its
+/// original stream position so consumers (e.g. classifier training) can
+/// correlate it with the clean stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmittedRecord {
+    /// Stream position of the source record.
+    pub seq: u64,
+    /// The validated (possibly repaired) point that was admitted.
+    pub point: UncertainPoint,
+}
+
+/// Result of offering one record to the ingestor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observed {
+    /// Verdict rendered for the offered record.
+    pub verdict: Verdict,
+    /// Points admitted by this call: the offered record (if admitted)
+    /// plus any quarantined records whose retry came due.
+    pub admitted: Vec<AdmittedRecord>,
+}
+
+/// Outcome of classifying one record's cells against the policy.
+enum CellScan {
+    Clean,
+    /// Some cells corrupt; `cells`/`errors` hold the usable parts.
+    Damaged {
+        cells: Vec<Option<f64>>,
+        errors: Vec<Option<f64>>,
+    },
+    /// More cells than the stream dimensionality: uninterpretable.
+    Uninterpretable,
+}
+
+/// Fault-tolerant front end for [`MicroClusterMaintainer`].
+///
+/// # Example
+///
+/// ```
+/// use udm_core::UncertainPoint;
+/// use udm_data::fault::RawRecord;
+/// use udm_microcluster::{IngestPolicy, MaintainerConfig, ResilientIngestor, Verdict};
+///
+/// let mut ing = ResilientIngestor::new(1, MaintainerConfig::new(2), IngestPolicy::default())
+///     .unwrap();
+/// let clean = UncertainPoint::new(vec![1.0], vec![0.1]).unwrap();
+/// let obs = ing.observe(&RawRecord::from_point(0, &clean)).unwrap();
+/// assert_eq!(obs.verdict, Verdict::Accept);
+///
+/// let mut bad = RawRecord::from_point(1, &clean);
+/// bad.values[0] = f64::NAN;
+/// let obs = ing.observe(&bad).unwrap();
+/// assert_eq!(obs.verdict, Verdict::Quarantine); // column stats still immature
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResilientIngestor {
+    maintainer: MicroClusterMaintainer,
+    policy: IngestPolicy,
+    col_stats: Vec<RunningStats>,
+    quarantine: Vec<QuarantinedRecord>,
+    counters: IngestCounters,
+    watermark: u64,
+    arrivals: u64,
+}
+
+impl ResilientIngestor {
+    /// Creates an ingestor for `dim`-dimensional records.
+    ///
+    /// # Errors
+    ///
+    /// Invalid maintainer configuration or policy.
+    pub fn new(dim: usize, config: MaintainerConfig, policy: IngestPolicy) -> Result<Self> {
+        policy.validate()?;
+        Ok(ResilientIngestor {
+            maintainer: MicroClusterMaintainer::new(dim, config)?,
+            policy,
+            col_stats: vec![RunningStats::new(); dim],
+            quarantine: Vec::new(),
+            counters: IngestCounters::default(),
+            watermark: 0,
+            arrivals: 0,
+        })
+    }
+
+    /// Reassembles an ingestor from previously captured state (the
+    /// checkpoint-restore path; see [`crate::checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Invalid policy, or `col_stats` arity disagreeing with the
+    /// maintainer's dimensionality.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        maintainer: MicroClusterMaintainer,
+        policy: IngestPolicy,
+        col_stats: Vec<RunningStats>,
+        quarantine: Vec<QuarantinedRecord>,
+        counters: IngestCounters,
+        watermark: u64,
+        arrivals: u64,
+    ) -> Result<Self> {
+        policy.validate()?;
+        if col_stats.len() != maintainer.dim() {
+            return Err(UdmError::DimensionMismatch {
+                expected: maintainer.dim(),
+                actual: col_stats.len(),
+            });
+        }
+        Ok(ResilientIngestor {
+            maintainer,
+            policy,
+            col_stats,
+            quarantine,
+            counters,
+            watermark,
+            arrivals,
+        })
+    }
+
+    /// Dimensionality of the ingested stream.
+    pub fn dim(&self) -> usize {
+        self.maintainer.dim()
+    }
+
+    /// The maintained micro-cluster summary.
+    pub fn maintainer(&self) -> &MicroClusterMaintainer {
+        &self.maintainer
+    }
+
+    /// The degradation policy.
+    pub fn policy(&self) -> &IngestPolicy {
+        &self.policy
+    }
+
+    /// Per-column running statistics over admitted *observed* cells.
+    pub fn col_stats(&self) -> &[RunningStats] {
+        &self.col_stats
+    }
+
+    /// Records currently parked in quarantine.
+    pub fn quarantine(&self) -> &[QuarantinedRecord] {
+        &self.quarantine
+    }
+
+    /// The verdict counters.
+    pub fn counters(&self) -> &IngestCounters {
+        &self.counters
+    }
+
+    /// Highest timestamp admitted so far.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Records offered so far (the ingestor's logical clock; retry
+    /// backoff is scheduled in these units).
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Consumes the ingestor, returning the maintained summary.
+    pub fn into_maintainer(self) -> MicroClusterMaintainer {
+        self.maintainer
+    }
+
+    /// Offers one record; renders a verdict and admits what it can
+    /// (the record itself and/or quarantined records whose retry came
+    /// due).
+    ///
+    /// # Errors
+    ///
+    /// Only internal invariant violations (e.g. a repaired point failing
+    /// maintainer insertion) surface as errors; malformed *input* is
+    /// handled by the policy, not reported as `Err`.
+    pub fn observe(&mut self, rec: &RawRecord) -> Result<Observed> {
+        self.arrivals += 1;
+        self.counters.arrivals += 1;
+        let mut admitted = Vec::new();
+        self.release_due(&mut admitted)?;
+
+        let verdict = match self.scan_cells(rec) {
+            CellScan::Uninterpretable => {
+                self.counters.rejected += 1;
+                Verdict::Reject
+            }
+            CellScan::Clean => match self.admissible_timestamp(rec.timestamp) {
+                None => {
+                    self.counters.rejected += 1;
+                    Verdict::Reject
+                }
+                Some((ts, ts_repaired)) => {
+                    let point =
+                        self.build_point(rec.values.clone(), rec.errors.clone(), rec.label, ts)?;
+                    self.admit(rec.seq, point, true, &mut admitted)?;
+                    if ts_repaired {
+                        self.counters.timestamp_repairs += 1;
+                        self.counters.repaired += 1;
+                        Verdict::Repair
+                    } else {
+                        self.counters.accepted += 1;
+                        Verdict::Accept
+                    }
+                }
+            },
+            CellScan::Damaged { cells, errors } => match self.admissible_timestamp(rec.timestamp) {
+                None => {
+                    self.counters.rejected += 1;
+                    Verdict::Reject
+                }
+                Some((ts, ts_repaired)) => {
+                    if self.stats_mature_for(&cells) {
+                        let (point, fixed) = self.repair_cells(&cells, &errors, rec.label, ts)?;
+                        self.admit(rec.seq, point, true, &mut admitted)?;
+                        self.counters.repaired += 1;
+                        self.counters.repaired_cells += fixed;
+                        if ts_repaired {
+                            self.counters.timestamp_repairs += 1;
+                        }
+                        Verdict::Repair
+                    } else if self.quarantine.len() < self.policy.quarantine_capacity {
+                        self.quarantine.push(QuarantinedRecord {
+                            seq: rec.seq,
+                            timestamp: ts,
+                            cells,
+                            errors,
+                            label: rec.label,
+                            attempts: 0,
+                            retry_at: self.arrivals + self.policy.retry_backoff,
+                        });
+                        self.counters.quarantined += 1;
+                        if ts_repaired {
+                            self.counters.timestamp_repairs += 1;
+                        }
+                        Verdict::Quarantine
+                    } else {
+                        self.counters.rejected += 1;
+                        Verdict::Reject
+                    }
+                }
+            },
+        };
+        Ok(Observed { verdict, admitted })
+    }
+
+    /// Final flush: repairs and admits every quarantined record it can.
+    ///
+    /// Records whose columns matured since they were parked are repaired
+    /// from the running statistics; the stragglers are batch-imputed with
+    /// [`udm_data::imputation::impute_mean`] over the quarantine buffer
+    /// itself. Records that still cannot be repaired (a column with no
+    /// observed value anywhere) are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Internal invariant violations only, as [`Self::observe`].
+    pub fn drain_quarantine(&mut self) -> Result<Vec<AdmittedRecord>> {
+        let entries = std::mem::take(&mut self.quarantine);
+        let mut admitted = Vec::new();
+        let mut stragglers = Vec::new();
+        for q in entries {
+            // The final flush has no "later": maturity is relaxed to
+            // "any observations at all" on the columns that need repair.
+            if self.stats_available_for(&q.cells) {
+                let (point, fixed) =
+                    self.repair_cells(&q.cells, &q.errors, q.label, q.timestamp)?;
+                self.admit_late(&mut admitted, q.seq, point)?;
+                self.counters.repaired_cells += fixed;
+            } else {
+                stragglers.push(q);
+            }
+        }
+        if stragglers.is_empty() {
+            return Ok(admitted);
+        }
+        let mut inc = IncompleteDataset::new(self.dim());
+        for q in &stragglers {
+            inc.push(IncompleteRow {
+                values: q.cells.clone(),
+                label: q.label,
+            })?;
+        }
+        match impute_mean(&inc) {
+            Ok(imputed) => {
+                let mut fixed = 0u64;
+                for (q, p) in stragglers.iter().zip(imputed.iter()) {
+                    // Keep the record's own ψ where it was usable; the
+                    // imputer's σ fills the corrupt cells.
+                    let mut errors = Vec::with_capacity(self.dim());
+                    for j in 0..self.dim() {
+                        match (
+                            q.cells.get(j).copied().flatten(),
+                            q.errors.get(j).copied().flatten(),
+                        ) {
+                            (Some(_), Some(psi)) => errors.push(psi),
+                            _ => {
+                                errors.push(p.error(j));
+                                fixed += 1;
+                            }
+                        }
+                    }
+                    let point =
+                        self.build_point(p.values().to_vec(), errors, q.label, q.timestamp)?;
+                    self.admit_late(&mut admitted, q.seq, point)?;
+                }
+                self.counters.repaired_cells += fixed;
+            }
+            Err(_) => {
+                // A column with no observed value anywhere: nothing to
+                // impute from. Drop the stragglers.
+                self.counters.rejected += stragglers.len() as u64;
+            }
+        }
+        Ok(admitted)
+    }
+
+    /// Retries quarantined records whose backoff expired.
+    fn release_due(&mut self, admitted: &mut Vec<AdmittedRecord>) -> Result<()> {
+        if self.quarantine.is_empty() {
+            return Ok(());
+        }
+        let due: Vec<usize> = self
+            .quarantine
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.retry_at <= self.arrivals)
+            .map(|(i, _)| i)
+            .collect();
+        if due.is_empty() {
+            return Ok(());
+        }
+        let mut remove = Vec::new();
+        for i in due {
+            let mature = self.stats_mature_for(&self.quarantine[i].cells);
+            if mature {
+                let q = self.quarantine[i].clone();
+                let (point, fixed) =
+                    self.repair_cells(&q.cells, &q.errors, q.label, q.timestamp)?;
+                self.admit_late(admitted, q.seq, point)?;
+                self.counters.repaired_cells += fixed;
+                remove.push(i);
+            } else {
+                let backoff = self.policy.retry_backoff;
+                let q = &mut self.quarantine[i];
+                q.attempts += 1;
+                if q.attempts > self.policy.max_retries {
+                    self.counters.rejected += 1;
+                    remove.push(i);
+                } else {
+                    // Exponential backoff, saturating so huge attempt
+                    // counts cannot overflow the schedule.
+                    let factor = 1u64.checked_shl(q.attempts).unwrap_or(u64::MAX);
+                    q.retry_at = self.arrivals.saturating_add(backoff.saturating_mul(factor));
+                }
+            }
+        }
+        for i in remove.into_iter().rev() {
+            self.quarantine.remove(i);
+        }
+        Ok(())
+    }
+
+    /// Classifies a record's cells against the policy.
+    fn scan_cells(&self, rec: &RawRecord) -> CellScan {
+        let dim = self.dim();
+        if rec.values.len() > dim || rec.errors.len() > rec.values.len() {
+            return CellScan::Uninterpretable;
+        }
+        let mut cells = Vec::with_capacity(dim);
+        let mut errors = Vec::with_capacity(dim);
+        let mut damaged = rec.values.len() < dim || rec.errors.len() < rec.values.len();
+        for j in 0..dim {
+            let v = rec.values.get(j).copied().filter(|v| v.is_finite());
+            let psi = rec
+                .errors
+                .get(j)
+                .copied()
+                .filter(|e| e.is_finite() && *e >= 0.0)
+                .filter(|e| !self.psi_inflated(j, *e));
+            if v.is_none() || psi.is_none() {
+                damaged = true;
+            }
+            cells.push(v);
+            errors.push(psi);
+        }
+        if damaged {
+            CellScan::Damaged { cells, errors }
+        } else {
+            CellScan::Clean
+        }
+    }
+
+    /// Is this recorded ψ implausibly large for column `j`?
+    fn psi_inflated(&self, j: usize, psi: f64) -> bool {
+        let st = &self.col_stats[j];
+        if st.count() < self.policy.min_stats_for_repair {
+            return false; // too early to judge
+        }
+        let sigma = st.std_population();
+        sigma > 0.0 && psi > self.policy.error_cap_sigmas * sigma
+    }
+
+    /// Timestamp admission under the policy: returns the (possibly
+    /// clamped) timestamp and whether it was repaired, or `None` to
+    /// reject the record.
+    fn admissible_timestamp(&self, ts: u64) -> Option<(u64, bool)> {
+        if self.counters.admitted() == 0 {
+            // Nothing admitted yet: the initial watermark of 0 is a
+            // sentinel, not a real arrival to deduplicate against.
+            return Some((ts, false));
+        }
+        if ts < self.watermark {
+            if self.policy.clamp_regressing_timestamps {
+                Some((self.watermark, true))
+            } else {
+                None
+            }
+        } else if ts == self.watermark && self.policy.reject_duplicate_timestamps {
+            None
+        } else {
+            Some((ts, false))
+        }
+    }
+
+    /// Are the columns of every corrupt cell mature enough to repair?
+    fn stats_mature_for(&self, cells: &[Option<f64>]) -> bool {
+        cells.iter().enumerate().all(|(j, c)| {
+            c.is_some() || self.col_stats[j].count() >= self.policy.min_stats_for_repair
+        })
+    }
+
+    /// Weaker form for the final drain: any observations on the columns
+    /// that need repair.
+    fn stats_available_for(&self, cells: &[Option<f64>]) -> bool {
+        cells
+            .iter()
+            .enumerate()
+            .all(|(j, c)| c.is_some() || self.col_stats[j].count() > 0)
+    }
+
+    /// Repairs a damaged record from the running column statistics:
+    /// missing values become the column mean with σ as ψ; usable values
+    /// with corrupt ψ get σ as ψ. Returns the point and the number of
+    /// cells repaired.
+    fn repair_cells(
+        &self,
+        cells: &[Option<f64>],
+        errors: &[Option<f64>],
+        label: Option<ClassLabel>,
+        timestamp: u64,
+    ) -> Result<(UncertainPoint, u64)> {
+        let mut values = Vec::with_capacity(self.dim());
+        let mut psis = Vec::with_capacity(self.dim());
+        let mut fixed = 0u64;
+        for j in 0..self.dim() {
+            let st = &self.col_stats[j];
+            match (
+                cells.get(j).copied().flatten(),
+                errors.get(j).copied().flatten(),
+            ) {
+                (Some(v), Some(psi)) => {
+                    values.push(v);
+                    psis.push(psi);
+                }
+                (Some(v), None) => {
+                    values.push(v);
+                    psis.push(st.std_population());
+                    fixed += 1;
+                }
+                (None, _) => {
+                    values.push(st.mean());
+                    psis.push(st.std_population());
+                    fixed += 1;
+                }
+            }
+        }
+        let point = self.build_point(values, psis, label, timestamp)?;
+        Ok((point, fixed))
+    }
+
+    /// Builds a validated point (the values/errors are finite here by
+    /// construction; validation is kept as a typed backstop).
+    fn build_point(
+        &self,
+        values: Vec<f64>,
+        errors: Vec<f64>,
+        label: Option<ClassLabel>,
+        timestamp: u64,
+    ) -> Result<UncertainPoint> {
+        let mut p = UncertainPoint::new(values, errors)?.with_timestamp(timestamp);
+        if let Some(l) = label {
+            p = p.with_label(l);
+        }
+        Ok(p)
+    }
+
+    /// Admits a point: inserts into the maintainer, advances the
+    /// watermark, and (for directly observed records) feeds the clean
+    /// cell values into the column statistics.
+    fn admit(
+        &mut self,
+        seq: u64,
+        point: UncertainPoint,
+        update_stats: bool,
+        admitted: &mut Vec<AdmittedRecord>,
+    ) -> Result<()> {
+        self.maintainer.insert(&point)?;
+        if point.timestamp() > self.watermark {
+            self.watermark = point.timestamp();
+        }
+        if update_stats {
+            for (j, st) in self.col_stats.iter_mut().enumerate() {
+                st.push(point.value(j));
+            }
+        }
+        admitted.push(AdmittedRecord { seq, point });
+        Ok(())
+    }
+
+    /// Admits a repaired quarantine release. Its timestamp may predate
+    /// the watermark (the record arrived long ago); it is clamped so the
+    /// summary's `last_timestamp` stays monotone. Imputed cells are kept
+    /// out of the column statistics to avoid feeding estimates back into
+    /// themselves.
+    fn admit_late(
+        &mut self,
+        admitted: &mut Vec<AdmittedRecord>,
+        seq: u64,
+        point: UncertainPoint,
+    ) -> Result<()> {
+        self.counters.released += 1;
+        self.admit(seq, point, false, admitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_rec(seq: u64, v: f64) -> RawRecord {
+        RawRecord {
+            seq,
+            timestamp: seq,
+            values: vec![v, -v],
+            errors: vec![0.1, 0.2],
+            label: Some(ClassLabel(0)),
+        }
+    }
+
+    fn ingestor(policy: IngestPolicy) -> ResilientIngestor {
+        ResilientIngestor::new(2, MaintainerConfig::new(3), policy).unwrap()
+    }
+
+    fn warm(ing: &mut ResilientIngestor, n: u64) {
+        for i in 0..n {
+            let obs = ing.observe(&clean_rec(i, (i % 10) as f64)).unwrap();
+            assert_eq!(obs.verdict, Verdict::Accept);
+        }
+    }
+
+    #[test]
+    fn clean_records_are_accepted() {
+        let mut ing = ingestor(IngestPolicy::default());
+        warm(&mut ing, 50);
+        assert_eq!(ing.counters().accepted, 50);
+        assert_eq!(ing.counters().admitted(), 50);
+        assert_eq!(ing.maintainer().points_seen(), 50);
+        assert_eq!(ing.watermark(), 49);
+    }
+
+    #[test]
+    fn nan_cell_is_repaired_once_stats_mature() {
+        let mut ing = ingestor(IngestPolicy::default());
+        warm(&mut ing, 30);
+        let mut bad = clean_rec(30, 5.0);
+        bad.values[0] = f64::NAN;
+        let obs = ing.observe(&bad).unwrap();
+        assert_eq!(obs.verdict, Verdict::Repair);
+        assert_eq!(obs.admitted.len(), 1);
+        let p = &obs.admitted[0].point;
+        assert!(p.value(0).is_finite());
+        assert!(p.error(0) > 0.0); // imputation error recorded as ψ
+        assert_eq!(p.value(1), -5.0); // untouched cell survives
+        assert_eq!(ing.counters().repaired, 1);
+        assert_eq!(ing.counters().repaired_cells, 1);
+    }
+
+    #[test]
+    fn negative_and_inflated_psi_are_repaired() {
+        let mut ing = ingestor(IngestPolicy::default());
+        warm(&mut ing, 30);
+        let mut bad = clean_rec(30, 5.0);
+        bad.errors[0] = -3.0;
+        assert_eq!(ing.observe(&bad).unwrap().verdict, Verdict::Repair);
+        let mut bad = clean_rec(31, 5.0);
+        bad.errors[1] = 1e9;
+        let obs = ing.observe(&bad).unwrap();
+        assert_eq!(obs.verdict, Verdict::Repair);
+        assert!(obs.admitted[0].point.error(1) < 1e3);
+    }
+
+    #[test]
+    fn early_damage_is_quarantined_then_released() {
+        let policy = IngestPolicy {
+            min_stats_for_repair: 10,
+            retry_backoff: 5,
+            ..IngestPolicy::default()
+        };
+        let mut ing = ingestor(policy);
+        let mut bad = clean_rec(0, 1.0);
+        bad.values[0] = f64::INFINITY;
+        let obs = ing.observe(&bad).unwrap();
+        assert_eq!(obs.verdict, Verdict::Quarantine);
+        assert_eq!(ing.quarantine().len(), 1);
+        // Feed clean records until the retry comes due with mature stats.
+        let mut released = 0;
+        for i in 1..40 {
+            let obs = ing.observe(&clean_rec(i, (i % 10) as f64)).unwrap();
+            released += obs.admitted.iter().filter(|a| a.seq == 0).count();
+        }
+        assert_eq!(released, 1);
+        assert!(ing.quarantine().is_empty());
+        assert_eq!(ing.counters().released, 1);
+    }
+
+    #[test]
+    fn quarantine_is_bounded() {
+        let policy = IngestPolicy {
+            quarantine_capacity: 2,
+            min_stats_for_repair: 1000, // never matures in this test
+            ..IngestPolicy::default()
+        };
+        let mut ing = ingestor(policy);
+        for i in 0..5 {
+            let mut bad = clean_rec(i, 1.0);
+            bad.values[0] = f64::NAN;
+            ing.observe(&bad).unwrap();
+        }
+        assert_eq!(ing.quarantine().len(), 2);
+        assert_eq!(ing.counters().quarantined, 2);
+        assert!(ing.counters().rejected >= 3);
+    }
+
+    #[test]
+    fn retries_are_bounded_and_backed_off() {
+        let policy = IngestPolicy {
+            min_stats_for_repair: 1_000_000, // unrepairable
+            retry_backoff: 2,
+            max_retries: 2,
+            ..IngestPolicy::default()
+        };
+        let mut ing = ingestor(policy);
+        let mut bad = clean_rec(0, 1.0);
+        bad.values[0] = f64::NAN;
+        ing.observe(&bad).unwrap();
+        for i in 1..100 {
+            ing.observe(&clean_rec(i, 1.0)).unwrap();
+        }
+        // Exhausted its retries and was rejected, not retried forever.
+        assert!(ing.quarantine().is_empty());
+        assert_eq!(ing.counters().rejected, 1);
+    }
+
+    #[test]
+    fn truncated_records_are_repairable() {
+        let mut ing = ingestor(IngestPolicy::default());
+        warm(&mut ing, 30);
+        let bad = RawRecord {
+            seq: 30,
+            timestamp: 30,
+            values: vec![2.0],
+            errors: vec![0.1],
+            label: None,
+        };
+        let obs = ing.observe(&bad).unwrap();
+        assert_eq!(obs.verdict, Verdict::Repair);
+        assert_eq!(obs.admitted[0].point.dim(), 2);
+    }
+
+    #[test]
+    fn overlong_records_are_rejected() {
+        let mut ing = ingestor(IngestPolicy::default());
+        let bad = RawRecord {
+            seq: 0,
+            timestamp: 0,
+            values: vec![1.0, 2.0, 3.0],
+            errors: vec![0.0, 0.0, 0.0],
+            label: None,
+        };
+        assert_eq!(ing.observe(&bad).unwrap().verdict, Verdict::Reject);
+        assert_eq!(ing.counters().rejected, 1);
+    }
+
+    #[test]
+    fn regressing_timestamps_follow_policy() {
+        let mut ing = ingestor(IngestPolicy::default());
+        warm(&mut ing, 20);
+        let mut rec = clean_rec(20, 3.0);
+        rec.timestamp = 2; // far behind the watermark of 19
+        let obs = ing.observe(&rec).unwrap();
+        assert_eq!(obs.verdict, Verdict::Repair);
+        assert_eq!(obs.admitted[0].point.timestamp(), 19);
+        assert_eq!(ing.counters().timestamp_repairs, 1);
+
+        let strict = IngestPolicy {
+            clamp_regressing_timestamps: false,
+            ..IngestPolicy::default()
+        };
+        let mut ing = ingestor(strict);
+        warm(&mut ing, 20);
+        let mut rec = clean_rec(20, 3.0);
+        rec.timestamp = 2;
+        assert_eq!(ing.observe(&rec).unwrap().verdict, Verdict::Reject);
+    }
+
+    #[test]
+    fn duplicate_timestamps_follow_policy() {
+        let mut ing = ingestor(IngestPolicy::default());
+        warm(&mut ing, 5);
+        let mut rec = clean_rec(5, 1.0);
+        rec.timestamp = ing.watermark(); // duplicate of the last arrival
+        assert_eq!(ing.observe(&rec).unwrap().verdict, Verdict::Accept);
+
+        let strict = IngestPolicy {
+            reject_duplicate_timestamps: true,
+            ..IngestPolicy::default()
+        };
+        let mut ing = ingestor(strict);
+        warm(&mut ing, 5);
+        let mut rec = clean_rec(5, 1.0);
+        rec.timestamp = ing.watermark();
+        assert_eq!(ing.observe(&rec).unwrap().verdict, Verdict::Reject);
+    }
+
+    #[test]
+    fn drain_flushes_quarantine_with_batch_imputation() {
+        let policy = IngestPolicy {
+            min_stats_for_repair: 1_000_000, // inline repair never fires
+            max_retries: 1_000,              // keep records parked
+            retry_backoff: 1_000_000,
+            ..IngestPolicy::default()
+        };
+        let mut ing = ingestor(policy);
+        for i in 0..10 {
+            let mut bad = clean_rec(i, i as f64);
+            // Alternate the corrupt dimension so each column keeps some
+            // observed cells for the batch imputer to learn from.
+            bad.values[(i % 2) as usize] = f64::NAN;
+            ing.observe(&bad).unwrap();
+        }
+        assert_eq!(ing.quarantine().len(), 10);
+        let drained = ing.drain_quarantine().unwrap();
+        assert_eq!(drained.len(), 10);
+        assert!(ing.quarantine().is_empty());
+        assert_eq!(ing.counters().released, 10);
+        // Imputed cells carry the imputation ψ; intact cells keep their
+        // recorded ψ (0.1 on dim 0, 0.2 on dim 1).
+        for a in &drained {
+            let corrupt = (a.seq % 2) as usize;
+            let intact = 1 - corrupt;
+            assert!(a.point.error(corrupt) > 0.0);
+            let expected = if intact == 0 { 0.1 } else { 0.2 };
+            assert_eq!(a.point.error(intact), expected);
+        }
+    }
+
+    #[test]
+    fn drain_rejects_the_unimputable() {
+        let policy = IngestPolicy {
+            min_stats_for_repair: 1_000_000,
+            retry_backoff: 1_000_000,
+            ..IngestPolicy::default()
+        };
+        let mut ing = ingestor(policy);
+        // Every quarantined record is missing *both* dims: nothing
+        // observed anywhere, so batch imputation has no basis.
+        for i in 0..3 {
+            let bad = RawRecord {
+                seq: i,
+                timestamp: i,
+                values: vec![f64::NAN, f64::NAN],
+                errors: vec![0.1, 0.1],
+                label: None,
+            };
+            ing.observe(&bad).unwrap();
+        }
+        let drained = ing.drain_quarantine().unwrap();
+        assert!(drained.is_empty());
+        assert_eq!(ing.counters().rejected, 3);
+    }
+
+    #[test]
+    fn counters_display_is_informative() {
+        let mut ing = ingestor(IngestPolicy::default());
+        warm(&mut ing, 3);
+        let text = ing.counters().to_string();
+        assert!(text.contains("3 arrivals"), "{text}");
+        assert!(text.contains("3 accepted"), "{text}");
+    }
+
+    #[test]
+    fn invalid_policies_rejected() {
+        let bad = IngestPolicy {
+            error_cap_sigmas: f64::NAN,
+            ..IngestPolicy::default()
+        };
+        assert!(ResilientIngestor::new(1, MaintainerConfig::new(2), bad).is_err());
+        let bad = IngestPolicy {
+            quarantine_capacity: 0,
+            ..IngestPolicy::default()
+        };
+        assert!(ResilientIngestor::new(1, MaintainerConfig::new(2), bad).is_err());
+        let bad = IngestPolicy {
+            retry_backoff: 0,
+            ..IngestPolicy::default()
+        };
+        assert!(ResilientIngestor::new(1, MaintainerConfig::new(2), bad).is_err());
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let mut ing = ingestor(IngestPolicy::default());
+        warm(&mut ing, 25);
+        let back = ResilientIngestor::from_parts(
+            ing.maintainer().clone(),
+            ing.policy().clone(),
+            ing.col_stats().to_vec(),
+            ing.quarantine().to_vec(),
+            *ing.counters(),
+            ing.watermark(),
+            ing.arrivals(),
+        )
+        .unwrap();
+        assert_eq!(back.counters(), ing.counters());
+        assert_eq!(back.maintainer().clusters(), ing.maintainer().clusters());
+        // Dimension mismatch is rejected.
+        assert!(ResilientIngestor::from_parts(
+            ing.maintainer().clone(),
+            ing.policy().clone(),
+            vec![RunningStats::new(); 5],
+            vec![],
+            IngestCounters::default(),
+            0,
+            0,
+        )
+        .is_err());
+    }
+}

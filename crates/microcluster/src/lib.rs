@@ -36,27 +36,41 @@
 //! * [`pseudo`] — Lemma 1 pseudo-points,
 //! * [`density`] — the micro-cluster density estimator (Eqs. 9–10),
 //! * [`snapshot`] — JSON persistence of maintainer state,
+//! * [`ingest`] — fault-tolerant ingest: per-record Accept / Repair /
+//!   Quarantine / Reject verdicts under a configurable degradation
+//!   policy,
+//! * [`checkpoint`] — versioned, checksummed checkpoints with atomic
+//!   writes and replay-aware crash recovery,
 //! * [`diagnostics`] — summary-health reporting (occupancy balance,
-//!   radii, error mass),
+//!   radii, error mass) and ingest-policy counters,
 //! * [`pyramid`] — the CluStream pyramidal time frame: geometrically
 //!   spaced snapshots with additive subtraction for horizon queries.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod checkpoint;
 pub mod density;
 pub mod diagnostics;
 pub mod distance;
 pub mod feature;
+pub mod ingest;
 pub mod maintainer;
 pub mod pseudo;
 pub mod pyramid;
 pub mod snapshot;
 
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointDriver, CheckpointPayload, SCHEMA_VERSION,
+};
 pub use density::MicroClusterKde;
-pub use diagnostics::{diagnose, SummaryDiagnostics};
+pub use diagnostics::{diagnose, diagnose_ingest, IngestDiagnostics, SummaryDiagnostics};
 pub use distance::AssignmentDistance;
 pub use feature::MicroCluster;
+pub use ingest::{
+    AdmittedRecord, IngestCounters, IngestPolicy, Observed, QuarantinedRecord, ResilientIngestor,
+    Verdict,
+};
 pub use maintainer::{ConcurrentMaintainer, MaintainerConfig, MicroClusterMaintainer};
 pub use pseudo::PseudoPoint;
 pub use pyramid::{subtract_clusters, subtract_snapshots, PyramidalStore, TimedSnapshot};

@@ -30,40 +30,71 @@ impl Snapshot {
     }
 
     /// Restores a maintainer from the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::DimensionMismatch`] when the cluster set is not
+    /// dimensionally uniform (checked up front, against the first
+    /// cluster's dimensionality, rather than deferred to the first
+    /// divergence `from_clusters` happens to hit); otherwise as
+    /// [`MicroClusterMaintainer::from_clusters`].
     pub fn restore(self) -> Result<MicroClusterMaintainer> {
+        if let Some(first) = self.clusters.first() {
+            let expected = first.dim();
+            for c in &self.clusters {
+                if c.dim() != expected {
+                    return Err(UdmError::DimensionMismatch {
+                        expected,
+                        actual: c.dim(),
+                    });
+                }
+            }
+        }
         MicroClusterMaintainer::from_clusters(self.clusters, self.config)
     }
 
     /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::Serde`] on encoding failure.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self).map_err(|e| UdmError::Io(e.to_string()))
+        serde_json::to_string(self).map_err(|e| UdmError::Serde(e.to_string()))
     }
 
     /// Deserializes from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::Serde`] on malformed or mistyped JSON.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json).map_err(|e| UdmError::Parse {
-            line: 0,
-            message: e.to_string(),
-        })
+        serde_json::from_str(json).map_err(|e| UdmError::Serde(e.to_string()))
     }
 
     /// Writes the snapshot to a file as JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::Serde`] on encoding failure, [`UdmError::Io`] on
+    /// filesystem failure.
     pub fn save(&self, path: &Path) -> Result<()> {
         let file = std::fs::File::create(path)?;
         let mut w = BufWriter::new(file);
-        serde_json::to_writer(&mut w, self).map_err(|e| UdmError::Io(e.to_string()))?;
+        serde_json::to_writer(&mut w, self).map_err(|e| UdmError::Serde(e.to_string()))?;
         w.flush()?;
         Ok(())
     }
 
     /// Reads a snapshot from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::Serde`] on malformed content, [`UdmError::Io`] when
+    /// the file cannot be read.
     pub fn load(path: &Path) -> Result<Self> {
         let file = std::fs::File::open(path)?;
         let r = BufReader::new(file);
-        serde_json::from_reader(r).map_err(|e| UdmError::Parse {
-            line: 0,
-            message: e.to_string(),
-        })
+        serde_json::from_reader(r).map_err(|e| UdmError::Serde(e.to_string()))
     }
 }
 
@@ -117,9 +148,31 @@ mod tests {
     }
 
     #[test]
-    fn malformed_json_is_a_parse_error() {
+    fn malformed_json_is_a_serde_error() {
         let e = Snapshot::from_json("{not json").unwrap_err();
-        assert!(matches!(e, UdmError::Parse { .. }));
+        assert!(matches!(e, UdmError::Serde(_)), "{e:?}");
+    }
+
+    #[test]
+    fn restore_rejects_mixed_dimensions_directly() {
+        use udm_core::UncertainPoint;
+        let c2 =
+            MicroCluster::from_point(&UncertainPoint::new(vec![0.0, 1.0], vec![0.0, 0.0]).unwrap());
+        let c3 = MicroCluster::from_point(
+            &UncertainPoint::new(vec![0.0, 1.0, 2.0], vec![0.0, 0.0, 0.0]).unwrap(),
+        );
+        let snap = Snapshot {
+            config: MaintainerConfig::new(4),
+            clusters: vec![c2, c3],
+        };
+        let e = snap.restore().unwrap_err();
+        assert_eq!(
+            e,
+            UdmError::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Crash drill: kill the ingest mid-stream, restore from the checksummed
+//! checkpoint, replay the tail, and demand *bit-identical* micro-cluster
+//! sufficient statistics vs. an uninterrupted run.
+
+use std::path::PathBuf;
+use udm_data::fault::{FaultPlan, FaultyStream, RawRecord};
+use udm_data::stream::{DriftingStream, Regime};
+use udm_data::synth::{GaussianClassSpec, MixtureGenerator};
+use udm_microcluster::{
+    load_checkpoint, CheckpointDriver, IngestPolicy, MaintainerConfig, ResilientIngestor,
+};
+
+fn tmp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("udm_recovery_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+fn faulty_records() -> Vec<RawRecord> {
+    let mixture = |centers: &[(f64, f64)]| {
+        MixtureGenerator::new(
+            2,
+            centers
+                .iter()
+                .map(|&(x, y)| GaussianClassSpec::spherical(vec![x, y], 1.0, 1.0))
+                .collect(),
+        )
+        .unwrap()
+    };
+    let stream = DriftingStream::new(
+        vec![
+            Regime {
+                mixture: mixture(&[(0.0, 0.0), (8.0, 8.0)]),
+                duration: 600,
+                error_scale: 0.5,
+            },
+            Regime {
+                mixture: mixture(&[(20.0, -5.0), (28.0, 3.0)]),
+                duration: 400,
+                error_scale: 1.5,
+            },
+        ],
+        42,
+    )
+    .unwrap();
+    let faulty = FaultyStream::new(&stream.generate(), FaultPlan::uniform(0.15), 7).unwrap();
+    let (records, log) = faulty.records();
+    assert!(log.total() > 50, "fault mix too thin to drill: {log}");
+    records
+}
+
+fn fresh_driver(path: PathBuf, every: u64) -> CheckpointDriver {
+    let ingestor =
+        ResilientIngestor::new(2, MaintainerConfig::new(25), IngestPolicy::default()).unwrap();
+    CheckpointDriver::new(ingestor, path, every).unwrap()
+}
+
+#[test]
+fn killed_ingest_recovers_bit_identically() {
+    let records = faulty_records();
+
+    // Uninterrupted reference run.
+    let path_a = tmp_file("uninterrupted.json");
+    let mut reference = fresh_driver(path_a.clone(), 50);
+    for r in &records {
+        reference.observe(r).unwrap();
+    }
+    let (_, reference) = reference.finish().unwrap();
+
+    // Crashed run: killed at an arbitrary record NOT aligned to the
+    // checkpoint cadence, so a genuine tail must be replayed.
+    let path_b = tmp_file("crashed.json");
+    let kill_at = 537usize;
+    {
+        let mut doomed = fresh_driver(path_b.clone(), 50);
+        for r in &records[..kill_at] {
+            doomed.observe(r).unwrap();
+        }
+        // The driver is dropped here without finish(): the crash.
+    }
+    let persisted = load_checkpoint(&path_b).unwrap();
+    assert!(
+        persisted.next_seq < records[kill_at].seq,
+        "checkpoint ({}) must predate the kill point ({}) for the drill \
+         to exercise tail replay",
+        persisted.next_seq,
+        records[kill_at].seq
+    );
+
+    // Recover and replay the entire stream; the driver fast-forwards
+    // through everything the checkpoint already covers.
+    let mut recovered = CheckpointDriver::recover(path_b.clone(), 50).unwrap();
+    let mut skipped = 0usize;
+    for r in &records {
+        if recovered.observe(r).unwrap().is_none() {
+            skipped += 1;
+        }
+    }
+    assert!(skipped > 0, "replay should fast-forward the covered prefix");
+    let (_, recovered) = recovered.finish().unwrap();
+
+    // Bit-identical sufficient statistics: CF2x, EF2x, CF1x, n and the
+    // timestamps, across every cluster. MicroCluster's PartialEq is
+    // exact f64 equality — no tolerance anywhere.
+    assert_eq!(
+        recovered.maintainer().clusters(),
+        reference.maintainer().clusters()
+    );
+    assert_eq!(
+        recovered.maintainer().points_seen(),
+        reference.maintainer().points_seen()
+    );
+    assert_eq!(recovered.col_stats(), reference.col_stats());
+    assert_eq!(recovered.counters(), reference.counters());
+    assert_eq!(recovered.watermark(), reference.watermark());
+
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+}
+
+#[test]
+fn recovery_at_every_checkpoint_boundary_is_exact() {
+    // Harden the drill: kill right AT a checkpoint boundary and just
+    // after one — both must recover exactly.
+    let records = faulty_records();
+    let path_a = tmp_file("boundary_ref.json");
+    let mut reference = fresh_driver(path_a.clone(), 100);
+    for r in &records {
+        reference.observe(r).unwrap();
+    }
+    let (_, reference) = reference.finish().unwrap();
+
+    for (name, kill_at) in [("at_boundary.json", 300usize), ("after_boundary.json", 301)] {
+        let path = tmp_file(name);
+        {
+            let mut doomed = fresh_driver(path.clone(), 100);
+            for r in &records[..kill_at] {
+                doomed.observe(r).unwrap();
+            }
+        }
+        let mut recovered = CheckpointDriver::recover(path.clone(), 100).unwrap();
+        for r in &records {
+            recovered.observe(r).unwrap();
+        }
+        let (_, recovered) = recovered.finish().unwrap();
+        assert_eq!(
+            recovered.maintainer().clusters(),
+            reference.maintainer().clusters(),
+            "kill at record {kill_at}"
+        );
+        assert_eq!(
+            recovered.counters(),
+            reference.counters(),
+            "kill at {kill_at}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_file(&path_a).ok();
+}

@@ -1,0 +1,138 @@
+//! Chaos suite: corrupt a drifting labelled stream at several fault
+//! rates, push it through the fault-tolerant ingest pipeline, and demand
+//! that classification accuracy stays within a stated bound of the clean
+//! baseline — with the per-policy counters accounting for every record.
+
+use udm_classify::{evaluate_degraded, ChaosSetup, ClassifierConfig};
+use udm_core::UncertainDataset;
+use udm_data::fault::{FaultKind, FaultPlan};
+use udm_data::stream::{DriftingStream, Regime};
+use udm_data::synth::{GaussianClassSpec, MixtureGenerator};
+use udm_microcluster::{IngestPolicy, MaintainerConfig};
+
+/// Accuracy loss the pipeline must stay within at every drilled rate.
+/// The classes are well separated, so a healthy repair/quarantine path
+/// keeps the degraded model close to the clean one even at 30% faults.
+const ACCURACY_BOUND: f64 = 0.15;
+
+const TRAIN_LEN: u64 = 600;
+
+fn drifting_set(seed: u64) -> UncertainDataset {
+    // Two classes that drift between regimes but keep their labels, so a
+    // single classifier is meaningful over the whole stream.
+    let mixture = |centers: &[(f64, f64)]| {
+        MixtureGenerator::new(
+            2,
+            centers
+                .iter()
+                .map(|&(x, y)| GaussianClassSpec::spherical(vec![x, y], 1.0, 1.0))
+                .collect(),
+        )
+        .unwrap()
+    };
+    DriftingStream::new(
+        vec![
+            Regime {
+                mixture: mixture(&[(0.0, 0.0), (8.0, 8.0)]),
+                duration: TRAIN_LEN * 2 / 3,
+                error_scale: 0.4,
+            },
+            Regime {
+                mixture: mixture(&[(1.0, 1.0), (9.0, 9.0)]),
+                duration: TRAIN_LEN / 3,
+                error_scale: 0.6,
+            },
+        ],
+        seed,
+    )
+    .unwrap()
+    .generate()
+}
+
+fn setup(rate: f64, seed: u64) -> ChaosSetup {
+    ChaosSetup {
+        plan: FaultPlan::uniform(rate),
+        seed,
+        policy: IngestPolicy::default(),
+        maintainer: MaintainerConfig::new(25),
+        classifier: ClassifierConfig::error_adjusted(25),
+    }
+}
+
+#[test]
+fn accuracy_loss_is_bounded_at_three_fault_rates() {
+    let train = drifting_set(41);
+    let test = drifting_set(42);
+
+    for (i, rate) in [0.05, 0.15, 0.30].into_iter().enumerate() {
+        let report = evaluate_degraded(&train, &test, &setup(rate, 900 + i as u64)).unwrap();
+        // Per-policy counters, reported for the record.
+        println!("{report}");
+
+        assert!(report.faults.total() > 0, "rate {rate} injected nothing");
+        // Every emitted record is accounted for: the injector drops some
+        // outright (burst faults), the ingestor sees the rest.
+        assert_eq!(
+            report.counters.arrivals,
+            (train.len() as u64) - report.faults.dropped,
+            "rate {rate}: arrivals must equal emitted records"
+        );
+        assert!(
+            report.within(ACCURACY_BOUND),
+            "rate {rate}: accuracy drop {:.4} exceeds bound {ACCURACY_BOUND}\n{report}",
+            report.accuracy_drop()
+        );
+        assert!(
+            report.degraded.accuracy() > 0.75,
+            "rate {rate}: degraded accuracy collapsed\n{report}"
+        );
+    }
+}
+
+#[test]
+fn repair_dominates_at_low_rates_quarantine_grows_with_stress() {
+    let train = drifting_set(43);
+    let test = drifting_set(44);
+
+    let low = evaluate_degraded(&train, &test, &setup(0.05, 5)).unwrap();
+    let high = evaluate_degraded(&train, &test, &setup(0.35, 5)).unwrap();
+    println!("low:  {low}");
+    println!("high: {high}");
+
+    // More injected faults must translate into more policy activity, not
+    // silent acceptance.
+    let activity = |c: &udm_microcluster::IngestCounters| {
+        c.repaired + c.quarantined + c.rejected + c.timestamp_repairs
+    };
+    assert!(high.faults.total() > low.faults.total());
+    assert!(
+        activity(&high.counters) > activity(&low.counters),
+        "policy activity should grow with the fault rate\nlow {} vs high {}",
+        low.counters,
+        high.counters
+    );
+    assert!(
+        high.counters.accepted < low.counters.accepted,
+        "clean acceptances should shrink as faults grow"
+    );
+}
+
+#[test]
+fn single_kind_drills_keep_the_pipeline_usable() {
+    // Each fault kind alone, at a stiff rate: the pipeline must neither
+    // error out nor lose the classification signal.
+    let train = drifting_set(45);
+    let test = drifting_set(46);
+
+    for kind in FaultKind::ALL {
+        let mut s = setup(0.0, 77);
+        s.plan = FaultPlan::only(kind, 0.25);
+        let report = evaluate_degraded(&train, &test, &s).unwrap();
+        assert!(
+            report.within(ACCURACY_BOUND),
+            "{}: drop {:.4} exceeds bound\n{report}",
+            kind.name(),
+            report.accuracy_drop()
+        );
+    }
+}
