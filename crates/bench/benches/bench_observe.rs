@@ -1,0 +1,73 @@
+//! udm-observe overhead microbenchmark: the instrumented KDE hot loop
+//! with telemetry recording versus runtime-disabled. The subsystem's
+//! budget is <= 3% overhead while recording and ~0% when disabled; the
+//! interleaved A/B pass prints an `OVERHEAD:` line with the measured
+//! ratio so CI logs carry the number alongside the criterion output.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use udm_data::{ErrorModel, UciDataset};
+use udm_kde::{ErrorKde, KdeConfig};
+
+fn fixture() -> (udm_core::UncertainDataset, Vec<Vec<f64>>) {
+    let clean = UciDataset::Adult.generate(1500, 7);
+    let data = ErrorModel::paper(1.0).apply(&clean, 8).unwrap();
+    let queries: Vec<Vec<f64>> = (0..16).map(|i| data.point(i).values().to_vec()).collect();
+    (data, queries)
+}
+
+fn density_sweep(kde: &ErrorKde, queries: &[Vec<f64>]) -> f64 {
+    queries.iter().map(|q| kde.density(q).unwrap()).sum()
+}
+
+fn bench_instrumented_vs_disabled(c: &mut Criterion) {
+    let (data, queries) = fixture();
+    let kde = ErrorKde::fit(&data, KdeConfig::default()).unwrap();
+    let mut group = c.benchmark_group("observe_kde_density");
+    udm_observe::set_enabled(true);
+    group.bench_function("telemetry_enabled", |b| {
+        b.iter(|| density_sweep(black_box(&kde), black_box(&queries)))
+    });
+    udm_observe::set_enabled(false);
+    group.bench_function("telemetry_disabled", |b| {
+        b.iter(|| density_sweep(black_box(&kde), black_box(&queries)))
+    });
+    udm_observe::set_enabled(true);
+    group.finish();
+}
+
+fn bench_overhead_report(_c: &mut Criterion) {
+    let (data, queries) = fixture();
+    let kde = ErrorKde::fit(&data, KdeConfig::default()).unwrap();
+    // Interleave enabled/disabled rounds so thermal drift and cache
+    // state hit both sides equally.
+    let rounds = 20;
+    let iters_per_round = 4;
+    let mut on = 0.0_f64;
+    let mut off = 0.0_f64;
+    for _ in 0..rounds {
+        udm_observe::set_enabled(true);
+        let start = Instant::now();
+        for _ in 0..iters_per_round {
+            black_box(density_sweep(&kde, &queries));
+        }
+        on += start.elapsed().as_secs_f64();
+
+        udm_observe::set_enabled(false);
+        let start = Instant::now();
+        for _ in 0..iters_per_round {
+            black_box(density_sweep(&kde, &queries));
+        }
+        off += start.elapsed().as_secs_f64();
+    }
+    udm_observe::set_enabled(true);
+    let overhead = (on - off) / off * 100.0;
+    println!("OVERHEAD: instrumented KDE is {overhead:+.2}% vs telemetry-disabled (budget <= 3%)");
+}
+
+criterion_group!(
+    benches,
+    bench_instrumented_vs_disabled,
+    bench_overhead_report
+);
+criterion_main!(benches);

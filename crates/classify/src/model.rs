@@ -113,6 +113,11 @@ impl<'a> KdeOracle<'a> {
     /// then serves as the fallback — it performs the same validation and
     /// surfaces the underlying error per query).
     fn columns(&self) -> Option<&ColumnSet> {
+        if self.columns.get().is_some() {
+            udm_observe::counter_inc!("udm_classify_column_cache_hits_total");
+        } else {
+            udm_observe::counter_inc!("udm_classify_column_cache_misses_total");
+        }
         self.columns
             .get_or_init(|| {
                 let global = self
@@ -174,6 +179,7 @@ impl DensityClassifier {
     /// Configuration validation errors; [`UdmError::InvalidConfig`] when
     /// the training data has fewer than 2 classes.
     pub fn fit(train: &UncertainDataset, config: ClassifierConfig) -> Result<Self> {
+        let _span_fit = udm_observe::span!("classify_fit");
         config.validate()?;
         let partition = train.partition_by_class();
         if partition.num_classes() < 2 {
@@ -259,6 +265,7 @@ impl DensityClassifier {
     /// are deterministic functions of their input partition, and the
     /// per-class results are merged in label order.
     pub fn fit_parallel(train: &UncertainDataset, config: ClassifierConfig) -> Result<Self> {
+        let _span_fit = udm_observe::span!("classify_fit_parallel");
         config.validate()?;
         let partition = train.partition_by_class();
         if partition.num_classes() < 2 {
@@ -464,6 +471,7 @@ impl DensityClassifier {
         }
         udm_core::num::ensure_finite_slice("query point values", x.values())?;
         udm_core::num::ensure_finite_slice("query point errors", x.errors())?;
+        let _span_point = udm_observe::span!("classify_point");
         let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
         let outcome = rollup(
             &oracle,

@@ -90,10 +90,17 @@ pub fn rollup<O: AccuracyOracle>(
     threshold: f64,
     limits: RollupLimits,
 ) -> Result<RollupOutcome> {
+    let _span_rollup = udm_observe::span!("rollup");
     let labels = oracle.labels().to_vec();
     let mut qualifying: Vec<DiscriminativeSubspace> = Vec::new();
     let mut best_singleton: Option<DiscriminativeSubspace> = None;
     let mut candidates_evaluated = 0usize;
+    // Apriori bookkeeping, tallied locally and published once at the end:
+    // a candidate with a dominant class whose accuracy misses `a` is a
+    // threshold rejection; any evaluated candidate that does not qualify
+    // is pruned from further expansion.
+    let mut threshold_rejects: u64 = 0;
+    let mut pruned: u64 = 0;
 
     // Level 1: all singletons.
     let mut l1: Vec<Subspace> = Vec::new();
@@ -102,6 +109,7 @@ pub fn rollup<O: AccuracyOracle>(
         let s = Subspace::singleton(dim)?;
         let accs = oracle.accuracies(s)?;
         candidates_evaluated += 1;
+        let mut qualified = false;
         if let Some((label, accuracy)) = dominant(&labels, &accs) {
             let ds = DiscriminativeSubspace {
                 subspace: s,
@@ -118,7 +126,13 @@ pub fn rollup<O: AccuracyOracle>(
                 qualifying.push(ds);
                 l1.push(s);
                 current_level.push(s);
+                qualified = true;
+            } else {
+                threshold_rejects += 1;
             }
+        }
+        if !qualified {
+            pruned += 1;
         }
     }
 
@@ -148,6 +162,7 @@ pub fn rollup<O: AccuracyOracle>(
             }
             let accs = oracle.accuracies(s)?;
             candidates_evaluated += 1;
+            let mut qualified = false;
             if let Some((label, accuracy)) = dominant(&labels, &accs) {
                 if accuracy > threshold {
                     qualifying.push(DiscriminativeSubspace {
@@ -156,11 +171,27 @@ pub fn rollup<O: AccuracyOracle>(
                         label,
                     });
                     next_level.push(s);
+                    qualified = true;
+                } else {
+                    threshold_rejects += 1;
                 }
+            }
+            if !qualified {
+                pruned += 1;
             }
         }
         current_level = next_level;
     }
+
+    udm_observe::counter_add!(
+        "udm_classify_rollup_candidates_total",
+        u64::try_from(candidates_evaluated).unwrap_or(u64::MAX)
+    );
+    udm_observe::counter_add!("udm_classify_rollup_pruned_total", pruned);
+    udm_observe::counter_add!(
+        "udm_classify_rollup_threshold_rejects_total",
+        threshold_rejects
+    );
 
     Ok(RollupOutcome {
         qualifying,

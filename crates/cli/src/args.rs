@@ -119,8 +119,77 @@ pub enum Command {
         /// When set, fail unless every accuracy drop is at most this.
         bound: Option<f64>,
     },
+    /// Export the in-process telemetry registry.
+    Metrics {
+        /// Output encoding.
+        format: MetricsFormat,
+        /// Output file (absent = stdout).
+        out: Option<PathBuf>,
+    },
     /// Print usage.
     Help,
+}
+
+/// Output encoding for `udm metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition format.
+    Prometheus,
+    /// JSON snapshot.
+    Json,
+    /// Human-readable console table.
+    Table,
+}
+
+/// Global observability flags, valid on every subcommand.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObserveOptions {
+    /// `--metrics PATH`: write a Prometheus snapshot (plus a
+    /// `PATH.manifest.json` run manifest) after the command finishes.
+    pub metrics: Option<PathBuf>,
+    /// `--trace PATH`: stream span events to a JSONL trace file.
+    pub trace: Option<PathBuf>,
+}
+
+/// A parsed command plus the global observability flags and the raw
+/// argument vector (recorded verbatim in the run manifest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The subcommand to execute.
+    pub command: Command,
+    /// Global `--metrics` / `--trace` flags.
+    pub observe: ObserveOptions,
+    /// The argument vector as given (without the program name).
+    pub raw: Vec<String>,
+}
+
+/// Parses `udm` arguments including the global `--metrics PATH` and
+/// `--trace PATH` flags, which may appear anywhere in the argument list.
+pub fn parse_invocation<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation> {
+    let raw: Vec<String> = args.into_iter().collect();
+    let mut observe = ObserveOptions::default();
+    let mut rest = Vec::with_capacity(raw.len());
+    let mut it = raw.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics" => {
+                observe.metrics = Some(PathBuf::from(
+                    it.next().ok_or_else(|| invalid("--metrics needs a path"))?,
+                ));
+            }
+            "--trace" => {
+                observe.trace = Some(PathBuf::from(
+                    it.next().ok_or_else(|| invalid("--trace needs a path"))?,
+                ));
+            }
+            _ => rest.push(arg),
+        }
+    }
+    Ok(Invocation {
+        command: parse_args(rest)?,
+        observe,
+        raw,
+    })
 }
 
 fn invalid(msg: impl Into<String>) -> UdmError {
@@ -454,6 +523,36 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                 bound,
             })
         }
+        "metrics" => {
+            let mut format = MetricsFormat::Prometheus;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--format" => {
+                        let raw = it
+                            .next()
+                            .ok_or_else(|| invalid("--format needs prom|json|table"))?;
+                        format = match raw.as_str() {
+                            "prom" | "prometheus" => MetricsFormat::Prometheus,
+                            "json" => MetricsFormat::Json,
+                            "table" => MetricsFormat::Table,
+                            other => {
+                                return Err(invalid(format!(
+                                    "--format: unknown encoding {other:?}; expected prom, json, or table"
+                                )))
+                            }
+                        };
+                    }
+                    "--out" => {
+                        out = Some(PathBuf::from(
+                            it.next().ok_or_else(|| invalid("--out needs a path"))?,
+                        ))
+                    }
+                    other => return Err(invalid(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Metrics { format, out })
+        }
         other => Err(invalid(format!(
             "unknown subcommand {other:?}; try `udm help`"
         ))),
@@ -463,6 +562,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     fn parse(args: &[&str]) -> Result<Command> {
         parse_args(args.iter().map(|s| s.to_string()))
@@ -714,5 +814,78 @@ mod tests {
     #[test]
     fn unknown_subcommand() {
         assert!(parse(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn metrics_defaults_and_formats() {
+        let c = parse(&["metrics"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Metrics {
+                format: MetricsFormat::Prometheus,
+                out: None,
+            }
+        );
+        let c = parse(&["metrics", "--format", "json", "--out", "m.json"]).unwrap();
+        match c {
+            Command::Metrics { format, out } => {
+                assert_eq!(format, MetricsFormat::Json);
+                assert_eq!(out.unwrap(), PathBuf::from("m.json"));
+            }
+            _ => panic!("wrong command"),
+        }
+        assert_eq!(
+            parse(&["metrics", "--format", "prometheus"]).unwrap(),
+            Command::Metrics {
+                format: MetricsFormat::Prometheus,
+                out: None,
+            }
+        );
+        match parse(&["metrics", "--format", "table"]).unwrap() {
+            Command::Metrics { format, .. } => assert_eq!(format, MetricsFormat::Table),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&["metrics", "--format", "xml"]).is_err());
+        assert!(parse(&["metrics", "--format"]).is_err());
+        assert!(parse(&["metrics", "--bogus"]).is_err());
+    }
+
+    fn invoke(args: &[&str]) -> Result<Invocation> {
+        parse_invocation(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn invocation_extracts_observe_flags_anywhere() {
+        let inv = invoke(&[
+            "classify",
+            "--train",
+            "a.csv",
+            "--metrics",
+            "m.prom",
+            "--test",
+            "b.csv",
+            "--trace",
+            "t.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(inv.observe.metrics.as_deref(), Some(Path::new("m.prom")));
+        assert_eq!(inv.observe.trace.as_deref(), Some(Path::new("t.jsonl")));
+        match inv.command {
+            Command::Classify { train, test, .. } => {
+                assert_eq!(train, PathBuf::from("a.csv"));
+                assert_eq!(test, PathBuf::from("b.csv"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(inv.raw.len(), 9);
+    }
+
+    #[test]
+    fn invocation_without_observe_flags_is_plain() {
+        let inv = invoke(&["help"]).unwrap();
+        assert_eq!(inv.command, Command::Help);
+        assert_eq!(inv.observe, ObserveOptions::default());
+        assert!(invoke(&["help", "--metrics"]).is_err());
+        assert!(invoke(&["help", "--trace"]).is_err());
     }
 }

@@ -1,7 +1,7 @@
 //! Command execution. Every command writes its human-readable output to
 //! a caller-supplied writer, so the whole tool is testable in-process.
 
-use crate::args::Command;
+use crate::args::{Command, Invocation, MetricsFormat};
 use std::io::Write;
 use std::path::Path;
 use udm_classify::{
@@ -40,11 +40,51 @@ USAGE:
   udm chaos     <adult|ionosphere|breast_cancer|forest_cover>
                [--n N] [--f F] [--q Q] [--threshold A]
                [--rates R1,R2,...] [--seed S] [--bound B]
+  udm metrics   [--format prom|json|table] [--out FILE]
   udm help
+
+GLOBAL FLAGS (valid on every subcommand):
+  --metrics FILE   after the command, write a Prometheus metric snapshot
+                   to FILE and a run manifest to FILE.manifest.json
+  --trace FILE     stream span events to FILE as JSON lines
 
 CSV layout: values[,errors][,label] with a '#udm,dim=..' header
 (files produced by `udm generate` are already in this layout).
 ";
+
+/// Executes a parsed invocation: installs the JSONL trace writer when
+/// `--trace` was given, runs the command, then flushes tracing and — when
+/// `--metrics` was given — writes a Prometheus snapshot plus a
+/// `PATH.manifest.json` run manifest. The snapshot is written even when
+/// the command fails, so a crashed run still leaves its telemetry behind.
+pub fn run_invocation<W: Write>(invocation: Invocation, out: &mut W) -> Result<()> {
+    let started = std::time::Instant::now();
+    if let Some(path) = &invocation.observe.trace {
+        udm_observe::init_tracing(path)?;
+    }
+    let seed = seed_of(&invocation.command);
+    let config = format!("{:?}", invocation.command);
+    let result = run(invocation.command, out);
+    udm_observe::flush_tracing();
+    if let Some(path) = &invocation.observe.metrics {
+        let snapshot = udm_observe::Snapshot::capture();
+        std::fs::write(path, udm_observe::to_prometheus(&snapshot))?;
+        let manifest = udm_observe::RunManifest::capture(&invocation.raw, seed, &config, started);
+        let manifest_path = std::path::PathBuf::from(format!("{}.manifest.json", path.display()));
+        manifest.write_to(&manifest_path)?;
+    }
+    result
+}
+
+/// The RNG seed of a command, when it has one (recorded in the manifest).
+fn seed_of(command: &Command) -> Option<u64> {
+    match command {
+        Command::Generate { seed, .. }
+        | Command::Cluster { seed, .. }
+        | Command::Chaos { seed, .. } => Some(*seed),
+        _ => None,
+    }
+}
 
 fn load(path: &Path) -> Result<UncertainDataset> {
     // DataError -> UdmError keeps the file/line/column context in the
@@ -57,6 +97,22 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<()> {
     match command {
         Command::Help => {
             write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Metrics { format, out: file } => {
+            let snapshot = udm_observe::Snapshot::capture();
+            let rendered = match format {
+                MetricsFormat::Prometheus => udm_observe::to_prometheus(&snapshot),
+                MetricsFormat::Json => udm_observe::to_json(&snapshot),
+                MetricsFormat::Table => udm_observe::to_table(&snapshot),
+            };
+            match file {
+                Some(path) => {
+                    std::fs::write(&path, &rendered)?;
+                    writeln!(out, "wrote metric snapshot to {}", path.display())?;
+                }
+                None => write!(out, "{rendered}")?,
+            }
             Ok(())
         }
         Command::Generate {
@@ -187,10 +243,14 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<()> {
             unadjusted,
             nn,
         } => {
-            let train_data = load(&train)?;
-            let test_data = load(&test)?;
+            let _span_cmd = udm_observe::span!("cli_classify");
+            let (train_data, test_data) = {
+                let _span_load = udm_observe::span!("load");
+                (load(&train)?, load(&test)?)
+            };
             let report = if nn {
                 let model = NnClassifier::fit(&train_data)?;
+                let _span_eval = udm_observe::span!("evaluate");
                 evaluate(&model, &test_data)?
             } else {
                 let mut config = if unadjusted {
@@ -199,7 +259,11 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<()> {
                     ClassifierConfig::error_adjusted(q)
                 };
                 config.accuracy_threshold = threshold;
-                let model = DensityClassifier::fit(&train_data, config)?;
+                let model = {
+                    let _span_fit = udm_observe::span!("fit");
+                    DensityClassifier::fit(&train_data, config)?
+                };
+                let _span_eval = udm_observe::span!("evaluate");
                 evaluate(&model, &test_data)?
             };
             let kind = if nn {
@@ -317,6 +381,7 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<()> {
             seed,
             bound,
         } => {
+            let _span_cmd = udm_observe::span!("cli_chaos");
             let synthesize = |rows: usize, s: u64| -> Result<UncertainDataset> {
                 let clean = dataset.generate(rows, s);
                 if f > 0.0 {
@@ -813,5 +878,114 @@ mod tests {
     fn missing_file_is_io_error() {
         let e = run_cli(&["density", "/nonexistent/x.csv", "--at", "1.0"]).unwrap_err();
         assert!(matches!(e, UdmError::Io(_)));
+    }
+
+    #[test]
+    fn metrics_subcommand_exports_live_registry() {
+        // Drive a classification so the registry has something to show.
+        let dir = tmpdir();
+        let train = dir.join("train.csv");
+        run_cli(&[
+            "generate",
+            "breast_cancer",
+            "--n",
+            "120",
+            "--f",
+            "0.5",
+            "--out",
+            train.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_cli(&[
+            "classify",
+            "--train",
+            train.to_str().unwrap(),
+            "--test",
+            train.to_str().unwrap(),
+            "--q",
+            "12",
+        ])
+        .unwrap();
+        let prom = run_cli(&["metrics"]).unwrap();
+        let table = run_cli(&["metrics", "--format", "table"]).unwrap();
+        if udm_observe::enabled() {
+            assert!(prom.contains("udm_kde_kernel_evals_total"), "{prom}");
+            assert!(
+                prom.contains("udm_classify_column_cache_hits_total"),
+                "{prom}"
+            );
+            assert!(prom.contains("udm_span_self_seconds"), "{prom}");
+            assert!(table.contains("cli_classify"), "{table}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observability_pipeline_end_to_end() {
+        let dir = tmpdir();
+        let metrics_path = dir.join("metrics.prom");
+        let trace_path = dir.join("trace.jsonl");
+        // Chaos exercises generation, the fault-tolerant ingest pipeline,
+        // micro-clustering, and classification in a single command.
+        let inv = crate::args::parse_invocation(
+            [
+                "chaos",
+                "breast_cancer",
+                "--n",
+                "120",
+                "--q",
+                "12",
+                "--rates",
+                "0.3",
+                "--metrics",
+                metrics_path.to_str().unwrap(),
+                "--trace",
+                trace_path.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run_invocation(inv, &mut buf).unwrap();
+
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        if udm_observe::enabled() {
+            assert!(
+                prom.contains("udm_microcluster_kernel_evals_total"),
+                "{prom}"
+            );
+            assert!(prom.contains("udm_ingest_arrivals_total"), "{prom}");
+            assert!(prom.contains("udm_ingest_quarantined_total"), "{prom}");
+            assert!(prom.contains("udm_span_self_seconds"), "{prom}");
+
+            // Every trace line is a JSON object with a span path.
+            let trace = std::fs::read_to_string(&trace_path).unwrap();
+            assert!(!trace.trim().is_empty(), "trace file is empty");
+            for line in trace.lines() {
+                let value = serde_json::parse_value(line).expect("trace line parses");
+                match value {
+                    serde::Value::Map(entries) => {
+                        assert!(entries.iter().any(|(k, _)| k == "path"), "{line}");
+                    }
+                    other => panic!("trace line is not an object: {other:?}"),
+                }
+            }
+        }
+
+        // The manifest rides along at <metrics>.manifest.json and is
+        // well-formed JSON carrying the raw argument vector.
+        let manifest_path = dir.join("metrics.prom.manifest.json");
+        let manifest = std::fs::read_to_string(&manifest_path).unwrap();
+        let value = serde_json::parse_value(&manifest).expect("manifest parses");
+        match value {
+            serde::Value::Map(entries) => {
+                assert!(entries.iter().any(|(k, _)| k == "schema_version"));
+                assert!(entries.iter().any(|(k, _)| k == "command"));
+                assert!(entries.iter().any(|(k, _)| k == "wall_seconds"));
+            }
+            other => panic!("manifest is not an object: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -14,7 +14,13 @@
 //! udm cluster   <data.csv> (--k K | --dbscan EPS,MINPTS) [--euclidean] [--seed S]
 //! udm chaos     <adult|ionosphere|breast_cancer|forest_cover>
 //!               [--n N] [--f F] [--rates R1,R2,…] [--bound B]
+//! udm metrics   [--format prom|json|table] [--out FILE]
 //! ```
+//!
+//! Every subcommand also accepts the global observability flags
+//! `--metrics FILE` (write a Prometheus snapshot plus a
+//! `FILE.manifest.json` run manifest after the command finishes) and
+//! `--trace FILE` (stream span events to FILE as JSON lines).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -22,5 +28,5 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse_args, Command};
-pub use commands::run;
+pub use args::{parse_args, parse_invocation, Command, Invocation, MetricsFormat, ObserveOptions};
+pub use commands::{run, run_invocation};

@@ -2,8 +2,8 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let command = match udm_cli::parse_args(args) {
-        Ok(c) => c,
+    let invocation = match udm_cli::parse_invocation(args) {
+        Ok(inv) => inv,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("try `udm help`");
@@ -12,7 +12,7 @@ fn main() {
     };
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
-    if let Err(e) = udm_cli::run(command, &mut lock) {
+    if let Err(e) = udm_cli::run_invocation(invocation, &mut lock) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

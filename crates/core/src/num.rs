@@ -21,10 +21,15 @@
 //! arguments to be routed through here.
 
 use crate::error::{Result, UdmError};
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Process-wide count of clamp events (see [`clamp_non_negative`]).
-static NEGATIVE_CLAMPS: AtomicU64 = AtomicU64::new(0);
+/// Name of the clamp-event counter in the `udm-observe` registry.
+pub const NEGATIVE_CLAMPS_METRIC: &str = "udm_core_negative_clamps_total";
+
+/// Registry handle for the clamp counter; the recording macro in
+/// [`clamp_non_negative`] and these accessors resolve to the same metric
+/// by name.
+static NEGATIVE_CLAMPS: udm_observe::LazyCounter =
+    udm_observe::LazyCounter::new("udm_core_negative_clamps_total");
 
 /// Number of times [`clamp_non_negative`] / [`clamped_sqrt`] actually had
 /// to clamp a negative (or NaN) input since process start (or the last
@@ -33,13 +38,24 @@ static NEGATIVE_CLAMPS: AtomicU64 = AtomicU64::new(0);
 /// A small number of events on near-degenerate clusters is expected FP
 /// cancellation; a rapidly growing count signals corrupted sufficient
 /// statistics upstream.
+///
+/// The count is backed by the `udm-observe` metrics registry (metric
+/// [`NEGATIVE_CLAMPS_METRIC`]); this accessor is a thin shim kept for
+/// existing callers. When telemetry is disabled the clamps still happen
+/// but are not counted, and this returns 0.
 pub fn negative_clamp_count() -> u64 {
-    NEGATIVE_CLAMPS.load(Ordering::Relaxed)
+    if udm_observe::enabled() {
+        NEGATIVE_CLAMPS.get().get()
+    } else {
+        0
+    }
 }
 
 /// Resets the clamp counter to zero (test and monitoring hook).
 pub fn reset_negative_clamp_count() {
-    NEGATIVE_CLAMPS.store(0, Ordering::Relaxed);
+    if udm_observe::enabled() {
+        NEGATIVE_CLAMPS.get().reset();
+    }
 }
 
 /// Clamps a mathematically non-negative quantity at zero.
@@ -53,7 +69,7 @@ pub fn clamp_non_negative(x: f64) -> f64 {
     if x >= 0.0 {
         x
     } else {
-        NEGATIVE_CLAMPS.fetch_add(1, Ordering::Relaxed);
+        udm_observe::counter_inc!("udm_core_negative_clamps_total");
         0.0
     }
 }

@@ -118,10 +118,10 @@ impl FaultKind {
     }
 
     fn index(self) -> usize {
-        // udm-lint: allow(UDM001) ALL contains every variant by construction
         FaultKind::ALL
             .iter()
             .position(|&k| k == self)
+            // udm-lint: allow(UDM001) ALL contains every variant by construction
             .expect("kind in ALL")
     }
 }

@@ -160,6 +160,9 @@ impl<'a> ErrorKde<'a> {
         }
         ensure_finite_slice("query coordinate", x)?;
         let mut sum = 0.0;
+        // Kernel evaluations are tallied locally and published once per
+        // query, so the hot loop carries no atomic traffic.
+        let mut evals: u64 = 0;
         for p in self.data.iter() {
             let mut prod = 1.0;
             for j in subspace.dims() {
@@ -167,6 +170,7 @@ impl<'a> ErrorKde<'a> {
                 prod *= self
                     .kernel
                     .evaluate(x[j] - p.value(j), self.bandwidths[j], psi);
+                evals += 1;
                 // udm-lint: allow(UDM002) exact underflow short-circuit (bit-for-bit cache contract)
                 if prod == 0.0 {
                     break;
@@ -174,6 +178,7 @@ impl<'a> ErrorKde<'a> {
             }
             sum += prod;
         }
+        udm_observe::counter_add!("udm_kde_kernel_evals_total", evals);
         Ok(sum / f64_from_usize(self.data.len()))
     }
 
@@ -211,6 +216,11 @@ impl<'a> ErrorKde<'a> {
                 );
             }
         }
+        udm_observe::counter_inc!("udm_kde_column_builds_total");
+        udm_observe::counter_add!(
+            "udm_kde_kernel_evals_total",
+            u64::try_from(cols.len()).unwrap_or(u64::MAX)
+        );
         KernelColumns::new(dim, cols, None, f64_from_usize(self.data.len()))
     }
 

@@ -1,0 +1,16 @@
+//! UDM006 fixture: span guards dropped before their scope runs.
+
+pub fn fit_model(rows: usize) -> usize {
+    let _ = udm_observe::span!("fit");
+    rows * 2
+}
+
+pub fn evaluate_model(rows: usize) -> usize {
+    udm_observe::span!("evaluate");
+    rows + 1
+}
+
+pub fn well_instrumented(rows: usize) -> usize {
+    let _span_fit = udm_observe::span!("fit");
+    rows
+}

@@ -20,6 +20,9 @@
 //! * **UDM005** — public estimator entry points (`density*`,
 //!   `classify*`) must validate finite inputs or delegate to an entry
 //!   point that does.
+//! * **UDM006** — `udm_observe::span!` guards must be bound to a named
+//!   variable; `let _ = span!(..)` and bare `span!(..);` statements drop
+//!   the RAII guard immediately, so the span covers nothing.
 //!
 //! Waivers: inline `// udm-lint: allow(RULE) reason` comments (cover
 //! their own line and the next code line), or `lint.toml` entries

@@ -4,7 +4,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-udm-lint: workspace invariant linter (rules UDM001-UDM005)
+udm-lint: workspace invariant linter (rules UDM001-UDM006)
 
 USAGE:
   udm-lint check [--root PATH] [--stats]

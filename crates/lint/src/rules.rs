@@ -7,6 +7,7 @@
 //! | UDM003 | `sqrt` of variance-like expressions must use `udm_core::num::clamped_sqrt` |
 //! | UDM004 | no lossy `as` casts in hot-path modules |
 //! | UDM005 | public estimator entry points must validate finite inputs |
+//! | UDM006 | `span!` guards must be bound to a named variable |
 
 use crate::context::FileContext;
 use crate::lexer::{Lexed, Tok, TokKind};
@@ -14,7 +15,7 @@ use crate::lexer::{Lexed, Tok, TokKind};
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
-    /// Stable rule id (`UDM001` … `UDM005`).
+    /// Stable rule id (`UDM001` … `UDM006`).
     pub rule: &'static str,
     /// Root-relative path of the offending file.
     pub path: String,
@@ -27,7 +28,7 @@ pub struct Diagnostic {
 }
 
 /// All rule ids, in order.
-pub const ALL_RULES: [&str; 5] = ["UDM001", "UDM002", "UDM003", "UDM004", "UDM005"];
+pub const ALL_RULES: [&str; 6] = ["UDM001", "UDM002", "UDM003", "UDM004", "UDM005", "UDM006"];
 
 /// Runs every rule over one lexed file.
 pub fn run_all(lexed: &Lexed, ctx: &FileContext) -> Vec<Diagnostic> {
@@ -37,6 +38,7 @@ pub fn run_all(lexed: &Lexed, ctx: &FileContext) -> Vec<Diagnostic> {
     udm003_variance_sqrt(lexed, ctx, &mut out);
     udm004_lossy_casts(lexed, ctx, &mut out);
     udm005_entry_validation(lexed, ctx, &mut out);
+    udm006_span_binding(lexed, ctx, &mut out);
     out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     out
 }
@@ -459,6 +461,56 @@ fn udm005_entry_validation(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagn
     }
 }
 
+/// UDM006: `span!` guards must be bound to a named variable. Both
+/// `let _ = span!(..)` and a bare `span!(..);` statement drop the RAII
+/// guard at once, closing the span before the work it was meant to
+/// cover has run — the profile then credits the phase ~zero time.
+fn udm006_span_binding(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_library {
+        return;
+    }
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("span")
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            || ctx.in_test(t.start)
+        {
+            continue;
+        }
+        // Walk back over a `udm_observe::` / `$crate::` path prefix so the
+        // token before the whole macro path is inspected.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        let discarded = if j == 0 {
+            // The macro call opens the file: statement position.
+            true
+        } else {
+            let prev = &toks[j - 1];
+            if prev.is_punct("=") {
+                // Wildcard binding `let _ = span!(..)` drops the guard;
+                // any named pattern (`let _fit = …`) keeps it alive.
+                j >= 3 && toks[j - 2].is_ident("_") && toks[j - 3].is_ident("let")
+            } else {
+                // Statement position: the guard temporary drops at the `;`.
+                prev.is_punct(";") || prev.is_punct("{") || prev.is_punct("}")
+            }
+        };
+        if discarded {
+            diag(
+                out,
+                "UDM006",
+                ctx,
+                t,
+                "span! guard dropped immediately; bind it to a named variable \
+                 (`let _guard = span!(..);`) so the span covers its scope"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,6 +626,31 @@ mod tests {
             "pub fn density_meta(&self) -> usize { 3 }",
         ] {
             assert!(!rules_of(&lint(src)).contains(&"UDM005"), "{src}");
+        }
+    }
+
+    #[test]
+    fn udm006_flags_discarded_span_guards() {
+        for src in [
+            "fn f() { let _ = udm_observe::span!(\"fit\"); work(); }",
+            "fn f() { let _ = span!(\"fit\"); work(); }",
+            "fn f() { udm_observe::span!(\"fit\"); work(); }",
+            "fn f() { work(); span!(\"fit\"); more(); }",
+        ] {
+            assert!(rules_of(&lint(src)).contains(&"UDM006"), "{src}");
+        }
+    }
+
+    #[test]
+    fn udm006_accepts_named_guards() {
+        for src in [
+            "fn f() { let _guard = udm_observe::span!(\"fit\"); work(); }",
+            "fn f() { let _span_fit = span!(\"fit\"); work(); }",
+            "fn f() { let g = span!(\"fit\"); work(); drop(g); }",
+            // Not the macro at all: a method or variable named span.
+            "fn f(span: usize) -> usize { span + 1 }",
+        ] {
+            assert!(!rules_of(&lint(src)).contains(&"UDM006"), "{src}");
         }
     }
 }

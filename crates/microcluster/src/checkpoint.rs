@@ -177,6 +177,7 @@ impl CheckpointPayload {
 /// [`UdmError::Serde`] on encoding failure, [`UdmError::Io`] on
 /// filesystem failure.
 pub fn save_checkpoint(path: &Path, payload: &CheckpointPayload) -> Result<()> {
+    let started = std::time::Instant::now();
     let payload_json =
         serde_json::to_string(payload).map_err(|e| UdmError::Serde(e.to_string()))?;
     let envelope = Envelope {
@@ -194,6 +195,11 @@ pub fn save_checkpoint(path: &Path, payload: &CheckpointPayload) -> Result<()> {
     // Atomic publish: readers see either the old checkpoint or the new
     // one, never a torn write.
     std::fs::rename(&tmp, path)?;
+    udm_observe::counter_inc!("udm_checkpoint_saves_total");
+    udm_observe::histogram_observe!(
+        "udm_checkpoint_save_seconds",
+        started.elapsed().as_secs_f64()
+    );
     Ok(())
 }
 
@@ -209,6 +215,7 @@ pub fn save_checkpoint(path: &Path, payload: &CheckpointPayload) -> Result<()> {
 /// * [`UdmError::Serde`] — the verified payload fails to decode (a
 ///   writer/reader type skew within the same schema version).
 pub fn load_checkpoint(path: &Path) -> Result<CheckpointPayload> {
+    let started = std::time::Instant::now();
     let text = std::fs::read_to_string(path)?;
     let envelope: Envelope =
         serde_json::from_str(&text).map_err(|e| UdmError::CorruptSnapshot {
@@ -229,7 +236,14 @@ pub fn load_checkpoint(path: &Path) -> Result<CheckpointPayload> {
             ),
         });
     }
-    serde_json::from_str(&envelope.payload).map_err(|e| UdmError::Serde(e.to_string()))
+    let payload: CheckpointPayload =
+        serde_json::from_str(&envelope.payload).map_err(|e| UdmError::Serde(e.to_string()))?;
+    udm_observe::counter_inc!("udm_checkpoint_loads_total");
+    udm_observe::histogram_observe!(
+        "udm_checkpoint_load_seconds",
+        started.elapsed().as_secs_f64()
+    );
+    Ok(payload)
 }
 
 fn tmp_path(path: &Path) -> PathBuf {

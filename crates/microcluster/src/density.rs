@@ -208,6 +208,8 @@ impl MicroClusterKde {
         ensure_finite_slice("query coordinate", x)?;
         ensure_finite_slice_opt("query error", query_errors)?;
         let mut sum = 0.0;
+        // Tallied locally, published once per query: no atomics in the loop.
+        let mut evals: u64 = 0;
         for p in &self.pseudos {
             let mut prod = f64_from_count(p.weight);
             for j in subspace.dims() {
@@ -218,6 +220,7 @@ impl MicroClusterKde {
                 prod *= self
                     .kernel
                     .evaluate(x[j] - p.centroid[j], self.bandwidths[j], psi);
+                evals += 1;
                 // udm-lint: allow(UDM002) exact underflow short-circuit (bit-for-bit cache contract)
                 if prod == 0.0 {
                     break;
@@ -225,6 +228,7 @@ impl MicroClusterKde {
             }
             sum += prod;
         }
+        udm_observe::counter_add!("udm_microcluster_kernel_evals_total", evals);
         Ok(sum / f64_from_count(self.total_n))
     }
 
@@ -275,6 +279,11 @@ impl MicroClusterKde {
                 );
             }
         }
+        udm_observe::counter_inc!("udm_microcluster_column_builds_total");
+        udm_observe::counter_add!(
+            "udm_microcluster_kernel_evals_total",
+            u64::try_from(cols.len()).unwrap_or(u64::MAX)
+        );
         KernelColumns::new(self.dim, cols, Some(weights), f64_from_count(self.total_n))
     }
 }

@@ -246,6 +246,53 @@ mod tests {
     }
 
     #[test]
+    fn ingest_diagnostics_report_high_water_and_retry_exhaustion() {
+        use crate::ingest::{IngestPolicy, ResilientIngestor};
+        use udm_data::fault::RawRecord;
+        let policy = IngestPolicy {
+            // Statistics never mature, so damaged records sit in
+            // quarantine until their retry budget runs out.
+            min_stats_for_repair: 1_000,
+            max_retries: 0,
+            // Long enough that both damaged records are parked at once
+            // before the first retry comes due.
+            retry_backoff: 5,
+            ..IngestPolicy::default()
+        };
+        let mut ing = ResilientIngestor::new(2, MaintainerConfig::new(3), policy).unwrap();
+        for seq in 0..2u64 {
+            let rec = RawRecord {
+                seq,
+                timestamp: seq,
+                values: vec![1.0, f64::NAN],
+                errors: vec![0.1, 0.1],
+                label: None,
+            };
+            ing.observe(&rec).unwrap();
+        }
+        assert_eq!(diagnose_ingest(&ing).counters.quarantine_high_water, 2);
+        // Clean arrivals drive the stream past the retry deadline; with a
+        // zero retry budget both parked records exhaust and are dropped.
+        for seq in 2..10u64 {
+            let rec = RawRecord {
+                seq,
+                timestamp: seq,
+                values: vec![1.0, 2.0],
+                errors: vec![0.1, 0.1],
+                label: None,
+            };
+            ing.observe(&rec).unwrap();
+        }
+        let diag = diagnose_ingest(&ing);
+        assert_eq!(diag.counters.quarantine_high_water, 2);
+        assert_eq!(diag.counters.retry_exhausted, 2);
+        assert_eq!(diag.quarantine_len, 0);
+        let text = diag.to_string();
+        assert!(text.contains("quarantine high-water 2"), "{text}");
+        assert!(text.contains("2 retry-exhausted"), "{text}");
+    }
+
+    #[test]
     fn radius_tracks_granularity() {
         let d = uniformish(1000, 0.0);
         let coarse = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(4)).unwrap();

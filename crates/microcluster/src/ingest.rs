@@ -136,6 +136,11 @@ pub struct IngestCounters {
     pub rejected: u64,
     /// Timestamps clamped up to the watermark.
     pub timestamp_repairs: u64,
+    /// Largest quarantine-buffer depth ever reached (high-water mark).
+    pub quarantine_high_water: u64,
+    /// Quarantined records dropped because their retry budget ran out
+    /// (a subset of `rejected`).
+    pub retry_exhausted: u64,
 }
 
 impl IngestCounters {
@@ -150,7 +155,8 @@ impl std::fmt::Display for IngestCounters {
         write!(
             f,
             "{} arrivals: {} accepted, {} repaired ({} cells), \
-             {} quarantined ({} released), {} rejected, {} timestamp repairs",
+             {} quarantined ({} released), {} rejected ({} retry-exhausted), \
+             {} timestamp repairs; quarantine high-water {}",
             self.arrivals,
             self.accepted,
             self.repaired,
@@ -158,7 +164,9 @@ impl std::fmt::Display for IngestCounters {
             self.quarantined,
             self.released,
             self.rejected,
-            self.timestamp_repairs
+            self.retry_exhausted,
+            self.timestamp_repairs,
+            self.quarantine_high_water
         )
     }
 }
@@ -415,6 +423,10 @@ impl ResilientIngestor {
                             retry_at: self.arrivals + self.policy.retry_backoff,
                         });
                         self.counters.quarantined += 1;
+                        let depth = self.quarantine.len() as u64;
+                        if depth > self.counters.quarantine_high_water {
+                            self.counters.quarantine_high_water = depth;
+                        }
                         if ts_repaired {
                             self.counters.timestamp_repairs += 1;
                         }
@@ -426,6 +438,19 @@ impl ResilientIngestor {
                 }
             },
         };
+        if udm_observe::enabled() {
+            match verdict {
+                Verdict::Accept => udm_observe::counter_inc!("udm_ingest_accepted_total"),
+                Verdict::Repair => udm_observe::counter_inc!("udm_ingest_repaired_total"),
+                Verdict::Quarantine => udm_observe::counter_inc!("udm_ingest_quarantined_total"),
+                Verdict::Reject => udm_observe::counter_inc!("udm_ingest_rejected_total"),
+            }
+            udm_observe::counter_inc!("udm_ingest_arrivals_total");
+            udm_observe::gauge_set!(
+                "udm_ingest_quarantine_len",
+                udm_core::num::f64_from_usize(self.quarantine.len())
+            );
+        }
         Ok(Observed { verdict, admitted })
     }
 
@@ -531,6 +556,8 @@ impl ResilientIngestor {
                 q.attempts += 1;
                 if q.attempts > self.policy.max_retries {
                     self.counters.rejected += 1;
+                    self.counters.retry_exhausted += 1;
+                    udm_observe::counter_inc!("udm_ingest_retry_exhausted_total");
                     remove.push(i);
                 } else {
                     // Exponential backoff, saturating so huge attempt
@@ -715,6 +742,7 @@ impl ResilientIngestor {
         point: UncertainPoint,
     ) -> Result<()> {
         self.counters.released += 1;
+        udm_observe::counter_inc!("udm_ingest_released_total");
         self.admit(seq, point, false, admitted)
     }
 }

@@ -283,6 +283,12 @@ impl MicroClusterMaintainer {
             // cluster exists after warm-up; the error path is unreachable
             // but typed rather than panicking.
             let idx = self.nearest(point).ok_or(UdmError::EmptyDataset)?;
+            if udm_observe::enabled() {
+                // One extra distance evaluation per absorbed point, only
+                // when telemetry is recording.
+                let d = self.config.distance.evaluate(point, &self.centroids[idx]);
+                udm_observe::histogram_observe!("udm_microcluster_assign_distance", d);
+            }
             self.absorb_at(idx, point)?;
             Ok(idx)
         }

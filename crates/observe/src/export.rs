@@ -1,0 +1,246 @@
+//! Snapshot exporters: Prometheus text format, JSON, and a console table.
+
+use crate::registry::{HistogramSnapshot, Snapshot};
+use std::fmt::Write;
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges emit a `# TYPE` line followed by the sample.
+/// Histograms emit cumulative `_bucket{le="..."}` samples (including the
+/// `+Inf` bucket), `_sum`, and `_count`, per the Prometheus convention.
+/// Span aggregates are exported as three labelled families:
+/// `udm_span_self_seconds`, `udm_span_total_seconds`, and
+/// `udm_span_calls_total`, keyed by `path`.
+#[must_use]
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        let _ = writeln!(out, "# TYPE {} counter", c.name);
+        let _ = writeln!(out, "{} {}", c.name, c.value);
+    }
+    for g in &snapshot.gauges {
+        let _ = writeln!(out, "# TYPE {} gauge", g.name);
+        let _ = writeln!(out, "{} {}", g.name, format_f64(g.value));
+    }
+    for h in &snapshot.histograms {
+        write_prometheus_histogram(&mut out, h);
+    }
+    if !snapshot.spans.is_empty() {
+        let _ = writeln!(out, "# TYPE udm_span_self_seconds gauge");
+        for s in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "udm_span_self_seconds{{path=\"{}\"}} {}",
+                escape_label(&s.path),
+                format_f64(s.self_seconds)
+            );
+        }
+        let _ = writeln!(out, "# TYPE udm_span_total_seconds gauge");
+        for s in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "udm_span_total_seconds{{path=\"{}\"}} {}",
+                escape_label(&s.path),
+                format_f64(s.total_seconds)
+            );
+        }
+        let _ = writeln!(out, "# TYPE udm_span_calls_total counter");
+        for s in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "udm_span_calls_total{{path=\"{}\"}} {}",
+                escape_label(&s.path),
+                s.calls
+            );
+        }
+    }
+    out
+}
+
+fn write_prometheus_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {} histogram", h.name);
+    let mut cumulative = 0u64;
+    for (i, &bound) in h.bounds.iter().enumerate() {
+        cumulative = cumulative.saturating_add(h.bucket_counts[i]);
+        let _ = writeln!(out, "{}_bucket{{le=\"{bound:?}\"}} {cumulative}", h.name);
+    }
+    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
+    let _ = writeln!(out, "{}_sum {}", h.name, format_f64(h.sum));
+    let _ = writeln!(out, "{}_count {}", h.name, h.count);
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// `{:?}` gives the shortest round-trippable float text; non-finite
+/// values use Prometheus spellings.
+fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Renders a snapshot as a JSON document.
+#[must_use]
+pub fn to_json(snapshot: &Snapshot) -> String {
+    serde_json::to_string(snapshot).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// Renders a snapshot as a human-readable console table: counters,
+/// gauges, histogram summaries (count/sum/quantiles), and the span
+/// profile tree with self/total time per path.
+#[must_use]
+pub fn to_table(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        let width = name_width(snapshot.counters.iter().map(|c| c.name.len()));
+        for c in &snapshot.counters {
+            let _ = writeln!(out, "  {:<width$}  {}", c.name, c.value);
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        let width = name_width(snapshot.gauges.iter().map(|g| g.name.len()));
+        for g in &snapshot.gauges {
+            let _ = writeln!(out, "  {:<width$}  {}", g.name, format_f64(g.value));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        let width = name_width(snapshot.histograms.iter().map(|h| h.name.len()));
+        for h in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<width$}  count={} sum={} p50={} p95={} p99={}",
+                h.name,
+                h.count,
+                format_f64(h.sum),
+                format_f64(h.p50),
+                format_f64(h.p95),
+                format_f64(h.p99),
+            );
+        }
+    }
+    if !snapshot.spans.is_empty() {
+        let _ = writeln!(out, "spans (self / total / calls):");
+        for s in &snapshot.spans {
+            // Indent children under their parents via path depth.
+            let depth = s.path.matches('/').count();
+            let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+            let _ = writeln!(
+                out,
+                "  {:indent$}{name}  {:.6}s / {:.6}s / {}",
+                "",
+                s.self_seconds,
+                s.total_seconds,
+                s.calls,
+                indent = depth * 2,
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+fn name_width<I: Iterator<Item = usize>>(lens: I) -> usize {
+    lens.max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{CounterSnapshot, GaugeSnapshot, Registry};
+    use crate::span::SpanNode;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.counter("exp_kernel_evals_total").add(42);
+        r.gauge("exp_quarantine_len").set(3.0);
+        let h = r.histogram_with_bounds("exp_latency_seconds", &[0.001, 0.01, 0.1]);
+        h.observe(0.0005);
+        h.observe(0.05);
+        h.observe(5.0);
+        let mut snap = r.snapshot();
+        snap.spans = vec![
+            SpanNode {
+                path: "classify".to_string(),
+                calls: 1,
+                total_seconds: 1.5,
+                self_seconds: 0.5,
+            },
+            SpanNode {
+                path: "classify/fit".to_string(),
+                calls: 1,
+                total_seconds: 1.0,
+                self_seconds: 1.0,
+            },
+        ];
+        snap
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE exp_latency_seconds histogram"));
+        assert!(text.contains("exp_latency_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("exp_latency_seconds_bucket{le=\"0.01\"} 1"));
+        assert!(text.contains("exp_latency_seconds_bucket{le=\"0.1\"} 2"));
+        assert!(text.contains("exp_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("exp_latency_seconds_count 3"));
+        assert!(text.contains("exp_kernel_evals_total 42"));
+        assert!(text.contains("udm_span_self_seconds{path=\"classify/fit\"} 1.0"));
+        assert!(text.contains("udm_span_calls_total{path=\"classify\"} 1"));
+    }
+
+    #[test]
+    fn json_parses_back() {
+        let text = to_json(&sample_snapshot());
+        let value = serde_json::parse_value(&text).unwrap();
+        match value {
+            serde::Value::Map(entries) => {
+                assert!(entries.iter().any(|(k, _)| k == "counters"));
+                assert!(entries.iter().any(|(k, _)| k == "spans"));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_indents_span_children() {
+        let text = to_table(&sample_snapshot());
+        assert!(text.contains("counters:"));
+        assert!(text.contains("exp_kernel_evals_total"));
+        assert!(text.contains("\n  classify  "));
+        assert!(text.contains("\n    fit  "));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let empty = Snapshot {
+            counters: Vec::<CounterSnapshot>::new(),
+            gauges: Vec::<GaugeSnapshot>::new(),
+            histograms: Vec::new(),
+            spans: Vec::new(),
+        };
+        assert_eq!(to_table(&empty), "(no metrics recorded)\n");
+        assert_eq!(to_prometheus(&empty), "");
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-run manifests: what ran, with which inputs, for how long.
+//!
+//! A [`RunManifest`] is written next to a run's results so that any
+//! metric snapshot or trace file can be tied back to the exact command,
+//! seed, and source revision that produced it.
+
+use crate::registry::Snapshot;
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+
+/// Manifest schema version, bumped on incompatible field changes.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// A record of one run: command line, seed, config summary, source
+/// revision, wall/CPU time, and the final metric snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunManifest {
+    /// Schema version of this manifest document.
+    pub schema_version: u32,
+    /// The argv that produced the run.
+    pub command: Vec<String>,
+    /// RNG seed, when the command took one.
+    pub seed: Option<u64>,
+    /// Free-form one-line config summary.
+    pub config: String,
+    /// `git describe --always --dirty` of the source tree, if available.
+    pub git_describe: Option<String>,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_seconds: f64,
+    /// Process CPU time (user + system), seconds, when the platform
+    /// exposes it.
+    pub cpu_seconds: Option<f64>,
+    /// Metric + span snapshot at the end of the run.
+    pub metrics: Snapshot,
+}
+
+impl RunManifest {
+    /// Builds a manifest for a run that started at `started`, capturing
+    /// the current global snapshot, git revision, and CPU time.
+    #[must_use]
+    pub fn capture(command: &[String], seed: Option<u64>, config: &str, started: Instant) -> Self {
+        RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            command: command.to_vec(),
+            seed,
+            config: config.to_string(),
+            git_describe: git_describe(),
+            wall_seconds: started.elapsed().as_secs_f64(),
+            cpu_seconds: cpu_seconds(),
+            metrics: Snapshot::capture(),
+        }
+    }
+
+    /// Writes the manifest as JSON to `path`.
+    ///
+    /// # Errors
+    /// Returns an error when the file cannot be created or written.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json)
+    }
+}
+
+/// Runs `git describe --always --dirty` in the current directory;
+/// `None` when git is unavailable or the cwd is not a repository.
+#[must_use]
+pub fn git_describe() -> Option<String> {
+    let output = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(output.stdout).ok()?;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        None
+    } else {
+        Some(trimmed.to_string())
+    }
+}
+
+/// Process CPU time (utime + stime) in seconds from `/proc/self/stat`.
+#[cfg(target_os = "linux")]
+#[must_use]
+pub fn cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field is parenthesised and may contain spaces; fields
+    // after the closing paren are space-separated. utime and stime are
+    // the 14th and 15th overall fields, i.e. indices 11 and 12 of the
+    // post-paren tail.
+    let tail = stat.rsplit(')').next()?;
+    let fields: Vec<&str> = tail.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    // USER_HZ is 100 on every supported Linux configuration.
+    Some(ticks_to_seconds(utime.saturating_add(stime)))
+}
+
+/// Process CPU time is unavailable off Linux without external crates.
+#[cfg(not(target_os = "linux"))]
+#[must_use]
+pub fn cpu_seconds() -> Option<f64> {
+    None
+}
+
+#[cfg(target_os = "linux")]
+#[allow(clippy::cast_precision_loss)]
+fn ticks_to_seconds(ticks: u64) -> f64 {
+    ticks as f64 / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_serialises_with_all_fields() {
+        let started = Instant::now();
+        let manifest = RunManifest::capture(
+            &["udm".to_string(), "classify".to_string()],
+            Some(7),
+            "q=40 threshold=0.3",
+            started,
+        );
+        assert_eq!(manifest.schema_version, MANIFEST_SCHEMA_VERSION);
+        assert!(manifest.wall_seconds >= 0.0);
+        let json = serde_json::to_string(&manifest).unwrap();
+        let value = serde_json::parse_value(&json).unwrap();
+        let entries = match value {
+            serde::Value::Map(entries) => entries,
+            other => panic!("expected object, got {other:?}"),
+        };
+        for key in ["schema_version", "command", "seed", "config", "metrics"] {
+            assert!(entries.iter().any(|(k, _)| k == key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn manifest_writes_parseable_file() {
+        let dir = std::env::temp_dir().join("udm_observe_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.manifest.json");
+        let manifest = RunManifest::capture(&["udm".to_string()], None, "none", Instant::now());
+        manifest.write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(serde_json::parse_value(&text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn cpu_seconds_reads_proc() {
+        // Burn a little CPU so the value is meaningful, then just check
+        // it parses to a non-negative number.
+        let mut acc = 0u64;
+        for i in 0..1_000_000u64 {
+            acc = acc.wrapping_add(i.wrapping_mul(2_654_435_761));
+        }
+        assert!(acc != 1); // keep the loop alive
+        let cpu = cpu_seconds().expect("linux exposes /proc/self/stat");
+        assert!(cpu >= 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Golden-file test for the Prometheus text exporter: a fixed snapshot
+//! must render byte-for-byte identically to the checked-in exposition.
+
+use udm_observe::span::SpanNode;
+use udm_observe::{to_prometheus, Registry};
+
+const GOLDEN: &str = include_str!("golden/prometheus.txt");
+
+#[test]
+fn prometheus_export_matches_golden_file() {
+    let registry = Registry::new();
+    registry.counter("golden_kernel_evals_total").add(1200);
+    registry.counter("golden_cache_hits_total").add(9);
+    registry.gauge("golden_quarantine_len").set(4.0);
+    let h = registry.histogram_with_bounds("golden_assign_distance", &[0.5, 1.0, 2.0]);
+    for v in [0.1, 0.4, 0.9, 1.5, 1.6, 4.75] {
+        h.observe(v);
+    }
+    let mut snapshot = registry.snapshot();
+    snapshot.spans = vec![
+        SpanNode {
+            path: "classify".to_string(),
+            calls: 1,
+            total_seconds: 1.0,
+            self_seconds: 0.25,
+        },
+        SpanNode {
+            path: "classify/fit".to_string(),
+            calls: 3,
+            total_seconds: 0.75,
+            self_seconds: 0.75,
+        },
+    ];
+    let rendered = to_prometheus(&snapshot);
+    assert_eq!(
+        rendered, GOLDEN,
+        "Prometheus exposition drifted from tests/golden/prometheus.txt"
+    );
+}
