@@ -1,0 +1,154 @@
+//! Parallelism seams with a sequential-fallback crossover.
+//!
+//! Forking work onto the rayon pool has a fixed cost: closure setup,
+//! chunk bookkeeping, cross-thread cache traffic, and the join. For the
+//! per-point work in this crate (one column build plus a handful of
+//! subspace products) that overhead is only amortized once a batch
+//! carries enough points; below the crossover a parallel map *loses* to
+//! the plain sequential loop. Every rayon seam in the crate therefore
+//! routes through [`guarded_par_map`], which runs small batches
+//! sequentially and only pays for the pool above
+//! [`PAR_CROSSOVER_POINTS`] — so the parallel entry points can never be
+//! slower than their sequential counterparts on small inputs (the
+//! `BENCH_simd_parallel.json` invariant).
+
+use rayon::prelude::*;
+use udm_core::{ClassLabel, Result, UncertainDataset, UncertainPoint};
+
+use crate::eval::Classifier;
+
+/// Minimum number of work items before a parallel map is profitable.
+///
+/// Chosen from the bench matrix in `udm-bench` (`rollup_batch_seq` vs
+/// `rollup_batch_rayon`): per-item work in this crate is tens of
+/// microseconds (column build + subspace roll-up), and rayon's
+/// fork/join overhead is low single-digit microseconds per chunk, so
+/// profitability arrives at a few dozen items. 32 is conservative: at
+/// the crossover the two schedules are within noise of each other, and
+/// well below it the sequential loop wins outright.
+pub const PAR_CROSSOVER_POINTS: usize = 32;
+
+/// Maps `f` over `items`, in parallel only when the batch is large
+/// enough to amortize the fork/join overhead.
+///
+/// `threads <= 1` or `items.len() < PAR_CROSSOVER_POINTS` runs the
+/// plain sequential loop. Results are in input order in both schedules,
+/// and `f` must be deterministic for the two schedules to be
+/// indistinguishable (every classifier in this crate is).
+///
+/// # Errors
+///
+/// The first `Err` from `f` (in input order) is returned.
+pub fn guarded_par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Result<Vec<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Result<U> + Sync,
+{
+    if threads <= 1 || items.len() < PAR_CROSSOVER_POINTS {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads).max(1);
+    let partials: Vec<Result<Vec<U>>> = items
+        .par_chunks(chunk)
+        .map(|slice| slice.iter().map(&f).collect())
+        .collect();
+    let mut out = Vec::with_capacity(items.len());
+    for partial in partials {
+        out.extend(partial?);
+    }
+    Ok(out)
+}
+
+/// Classifies every point of `test` with the crossover-guarded parallel
+/// map, returning predictions in dataset order (`None` for points the
+/// classifier is not asked about — none here, the whole set is
+/// classified).
+///
+/// # Errors
+///
+/// Propagates the first classification error.
+pub fn classify_batch<C: Classifier>(
+    model: &C,
+    test: &UncertainDataset,
+    threads: usize,
+) -> Result<Vec<ClassLabel>> {
+    guarded_par_map(test.points(), threads, |p: &UncertainPoint| {
+        model.classify(p)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udm_core::UdmError;
+
+    struct SignClassifier;
+
+    impl Classifier for SignClassifier {
+        fn classify(&self, x: &UncertainPoint) -> Result<ClassLabel> {
+            Ok(ClassLabel(u32::from(x.value(0) >= 0.0)))
+        }
+    }
+
+    fn set(n: usize) -> UncertainDataset {
+        UncertainDataset::from_points(
+            (0..n)
+                .map(|i| UncertainPoint::exact(vec![i as f64 - n as f64 / 2.0]).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn small_batches_run_sequentially_and_match() {
+        // Below the crossover: must behave exactly like the plain loop.
+        let d = set(PAR_CROSSOVER_POINTS - 1);
+        let seq: Vec<ClassLabel> = d
+            .points()
+            .iter()
+            .map(|p| SignClassifier.classify(p).unwrap())
+            .collect();
+        let got = classify_batch(&SignClassifier, &d, 8).unwrap();
+        assert_eq!(got, seq);
+    }
+
+    #[test]
+    fn large_batches_match_in_input_order() {
+        let d = set(10 * PAR_CROSSOVER_POINTS);
+        let seq: Vec<ClassLabel> = d
+            .points()
+            .iter()
+            .map(|p| SignClassifier.classify(p).unwrap())
+            .collect();
+        for threads in [1, 2, 4, 8, 200] {
+            let got = classify_batch(&SignClassifier, &d, threads).unwrap();
+            assert_eq!(got, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn first_error_in_input_order_propagates() {
+        struct FailAt(f64);
+        impl Classifier for FailAt {
+            fn classify(&self, x: &UncertainPoint) -> Result<ClassLabel> {
+                if (x.value(0) - self.0).abs() < 0.5 {
+                    Err(UdmError::EmptyDataset)
+                } else {
+                    Ok(ClassLabel(0))
+                }
+            }
+        }
+        let d = set(100);
+        assert!(classify_batch(&FailAt(7.0), &d, 4).is_err());
+        assert!(classify_batch(&FailAt(7.0), &d, 1).is_err());
+    }
+
+    #[test]
+    fn guarded_map_plain_values() {
+        let items: Vec<u64> = (0..100).collect();
+        let got = guarded_par_map(&items, 4, |&x| Ok(x * 2)).unwrap();
+        let want: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -168,13 +168,17 @@ pub fn evaluate<C: Classifier>(model: &C, test: &UncertainDataset) -> Result<Eva
 /// reports in chunk order.
 ///
 /// Produces the same counts as [`evaluate`] for any deterministic
-/// classifier; only `elapsed` (wall-clock) differs.
+/// classifier; only `elapsed` (wall-clock) differs. Batches below
+/// [`crate::batch::PAR_CROSSOVER_POINTS`] run sequentially — rayon's
+/// fork/join overhead is not amortized there, so the guard keeps the
+/// parallel entry point from ever losing to [`evaluate`] on small
+/// test sets.
 pub fn evaluate_parallel<C: Classifier>(
     model: &C,
     test: &UncertainDataset,
     threads: usize,
 ) -> Result<EvalReport> {
-    if threads <= 1 {
+    if threads <= 1 || test.len() < crate::batch::PAR_CROSSOVER_POINTS {
         return evaluate(model, test);
     }
     let start = Instant::now();

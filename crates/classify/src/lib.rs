@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod config;
 pub mod degraded;
 pub mod eval;
@@ -43,6 +44,7 @@ pub mod rollup;
 pub mod subspace_select;
 pub mod tune;
 
+pub use batch::{classify_batch, guarded_par_map, PAR_CROSSOVER_POINTS};
 pub use config::{ClassifierConfig, Fallback};
 pub use degraded::{evaluate_degraded, survivors_of, ChaosSetup, DegradationReport};
 pub use eval::{evaluate, evaluate_parallel, Classifier, EvalReport};

@@ -115,10 +115,18 @@ mod tests {
         let d = data_1d();
         let classic = ClassicKde::fit(&d, GaussianKernel, BandwidthRule::Silverman).unwrap();
         let error_kde = ErrorKde::fit(&d, KdeConfig::unadjusted()).unwrap();
+        // The error-based path routes its exp through hot_exp, so under
+        // fast-math it may differ from the libm-exp classic kernel by
+        // the documented fast_exp budget (amplified by the prefactor).
+        let tol = if cfg!(feature = "fast-math") {
+            1e-6
+        } else {
+            1e-12
+        };
         for x in [-1.0, 0.0, 0.7, 2.0, 4.2] {
             let a = classic.density(&[x]).unwrap();
             let b = error_kde.density(&[x]).unwrap();
-            assert!((a - b).abs() < 1e-12, "x={x}: {a} vs {b}");
+            assert!((a - b).abs() < tol, "x={x}: {a} vs {b}");
         }
     }
 

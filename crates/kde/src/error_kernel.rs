@@ -28,6 +28,7 @@
 //! of §3 implicitly assume. The difference is benchmarked in the ablation
 //! suite.
 
+use crate::fastexp::hot_exp;
 use crate::kernel::INV_SQRT_2PI;
 use serde::{Deserialize, Serialize};
 use udm_core::num::clamped_sqrt;
@@ -69,18 +70,42 @@ impl GaussianErrorKernel {
     /// point mass (`+∞` at `diff == 0`, else `0`).
     #[inline]
     pub fn evaluate(&self, diff: f64, h: f64, psi: f64) -> f64 {
+        match self.factors(h, psi) {
+            Some((pref, two_var)) => pref * hot_exp(-diff * diff / two_var),
+            None => {
+                // udm-lint: allow(UDM002) degenerate point mass sits exactly at diff == 0
+                if diff == 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The diff-independent factors of the kernel: the normalizing
+    /// prefactor `1/(√2π·scale)` and the doubled variance `2·(h²+ψ²)`,
+    /// so that `evaluate(diff, h, psi)` is exactly
+    /// `pref · exp(−diff²/two_var)`.
+    ///
+    /// `None` for the degenerate point-mass case (`h = ψ = 0`). The
+    /// columnar builders precompute these per (row, dimension) pair and
+    /// stay bit-for-bit identical to [`Self::evaluate`] because the
+    /// remaining per-element operations (`−diff·diff/two_var`, one
+    /// multiply) are the same operations on the same operands.
+    #[inline]
+    pub fn factors(&self, h: f64, psi: f64) -> Option<(f64, f64)> {
         debug_assert!(h >= 0.0 && psi >= 0.0);
         let var = h * h + psi * psi;
         if var <= 0.0 {
-            // udm-lint: allow(UDM002) degenerate point mass sits exactly at diff == 0
-            return if diff == 0.0 { f64::INFINITY } else { 0.0 };
+            return None;
         }
         let scale = match self.form {
             // `clamped_sqrt` is bit-for-bit `sqrt` on this var ≥ 0 branch.
             ErrorKernelForm::Normalized => clamped_sqrt(var),
             ErrorKernelForm::PaperFaithful => h + psi,
         };
-        INV_SQRT_2PI / scale * (-diff * diff / (2.0 * var)).exp()
+        Some((INV_SQRT_2PI / scale, 2.0 * var))
     }
 
     /// Effective standard deviation of the bump: `√(h² + ψ²)`.
@@ -102,11 +127,18 @@ mod tests {
         // converges to the standard kernel function when ψ(X_i) is 0".
         let ek = GaussianErrorKernel::new(ErrorKernelForm::Normalized);
         let pk = GaussianErrorKernel::new(ErrorKernelForm::PaperFaithful);
+        // Under fast-math the error-based kernel's exp carries the
+        // documented fast_exp budget vs the libm-exp standard kernel.
+        let tol = if cfg!(feature = "fast-math") {
+            1e-6
+        } else {
+            1e-12
+        };
         for diff in [-2.0, -0.5, 0.0, 0.7, 3.0] {
             for h in [0.2, 1.0, 4.0] {
                 let std = GaussianKernel.evaluate(diff, h);
-                assert!((ek.evaluate(diff, h, 0.0) - std).abs() < 1e-12);
-                assert!((pk.evaluate(diff, h, 0.0) - std).abs() < 1e-12);
+                assert!((ek.evaluate(diff, h, 0.0) - std).abs() < tol);
+                assert!((pk.evaluate(diff, h, 0.0) - std).abs() < tol);
             }
         }
     }
@@ -117,9 +149,14 @@ mod tests {
         // error exactly ψ.
         let ek = GaussianErrorKernel::default();
         let psi = 1.5;
+        let tol = if cfg!(feature = "fast-math") {
+            1e-6
+        } else {
+            1e-12
+        };
         for diff in [-1.0, 0.0, 2.0] {
             let expected = INV_SQRT_2PI / psi * (-diff * diff / (2.0 * psi * psi)).exp();
-            assert!((ek.evaluate(diff, 0.0, psi) - expected).abs() < 1e-12);
+            assert!((ek.evaluate(diff, 0.0, psi) - expected).abs() < tol);
         }
     }
 

@@ -206,14 +206,17 @@ impl<'a> ErrorKde<'a> {
         }
         ensure_finite_slice("query coordinate", x)?;
         let dim = self.data.dim();
-        let mut cols = Vec::with_capacity(self.data.len() * dim);
-        for p in self.data.iter() {
-            for (j, &xj) in x.iter().enumerate() {
+        let rows = self.data.len();
+        // Filled dimension-major so the cache's internal SoA layout is
+        // produced directly (no transpose). Each kernel evaluation is
+        // independent, so the fill order does not affect the values.
+        let mut cols = vec![0.0; rows * dim];
+        for (j, &xj) in x.iter().enumerate() {
+            let h = self.bandwidths[j];
+            let col = &mut cols[j * rows..(j + 1) * rows];
+            for (r, p) in self.data.iter().enumerate() {
                 let psi = if self.error_adjusted { p.error(j) } else { 0.0 };
-                cols.push(
-                    self.kernel
-                        .evaluate(xj - p.value(j), self.bandwidths[j], psi),
-                );
+                col[r] = self.kernel.evaluate(xj - p.value(j), h, psi);
             }
         }
         udm_observe::counter_inc!("udm_kde_column_builds_total");
@@ -221,7 +224,7 @@ impl<'a> ErrorKde<'a> {
             "udm_kde_kernel_evals_total",
             u64::try_from(cols.len()).unwrap_or(u64::MAX)
         );
-        KernelColumns::new(dim, cols, None, f64_from_usize(self.data.len()))
+        KernelColumns::from_dim_major(dim, cols, None, f64_from_usize(self.data.len()))
     }
 
     /// Batch evaluation of many subspace densities of one query through

@@ -27,7 +27,12 @@
 //! * [`estimator`] — the point-based density estimator over datasets and
 //!   subspaces (Eqs. 1, 4),
 //! * [`columns`] — the factorized per-query kernel-column cache that the
-//!   subspace roll-up reuses across every subspace it enumerates,
+//!   subspace roll-up reuses across every subspace it enumerates, stored
+//!   dimension-major (SoA) for SIMD-friendly subspace products,
+//! * [`chunked`] — the unrolled contiguous inner loops behind the
+//!   columnar path (column multiply, ordered reduction, column build),
+//! * [`fastexp`] — a bounded-error fast `exp` selected by the
+//!   `fast-math` feature (default off; the default build is bit-exact),
 //! * [`grid`] — dense grid evaluation for plotting and numeric checks,
 //! * [`quadrature`] — trapezoidal integration used to verify normalization,
 //! * [`cdf`] — closed-form CDF/quantile/interval-mass queries for 1-D
@@ -40,10 +45,12 @@
 pub mod ascii;
 pub mod bandwidth;
 pub mod cdf;
+pub mod chunked;
 pub mod classic;
 pub mod columns;
 pub mod error_kernel;
 pub mod estimator;
+pub mod fastexp;
 pub mod grid;
 pub mod kernel;
 pub mod quadrature;
@@ -56,6 +63,7 @@ pub use classic::ClassicKde;
 pub use columns::KernelColumns;
 pub use error_kernel::{ErrorKernelForm, GaussianErrorKernel};
 pub use estimator::{ErrorKde, KdeConfig};
+pub use fastexp::{fast_exp, hot_exp, FAST_EXP_MAX_ABS_ERROR};
 pub use grid::{Grid1D, Grid2D};
 pub use kernel::{EpanechnikovKernel, GaussianKernel, Kernel, TriangularKernel, UniformKernel};
 pub use sampling::{sample_dataset, sample_one};

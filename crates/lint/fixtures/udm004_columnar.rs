@@ -1,0 +1,26 @@
+//! UDM004 fixture: lossy casts inside a chunked columnar inner loop —
+//! the shape of `kde/chunked` / `kde/fastexp` hot-path code, where
+//! index-to-float and bit-trick conversions must use the checked
+//! `udm_core::num` helpers (or bit ops) instead of `as`.
+
+pub fn chunked_mul_with_index_weights(acc: &mut [f64]) {
+    let mut chunks = acc.chunks_exact_mut(4);
+    let mut base = 0usize;
+    for chunk in chunks.by_ref() {
+        chunk[0] *= base as f64;
+        chunk[1] *= (base + 1) as f64;
+        chunk[2] *= (base + 2) as f64;
+        chunk[3] *= (base + 3) as f64;
+        base += 4;
+    }
+    for (i, v) in chunks.into_remainder().iter_mut().enumerate() {
+        *v *= (base + i) as f64;
+    }
+}
+
+pub fn exponent_assembly(k: f64) -> f64 {
+    // The fastexp-shaped violation: extracting the integer part with a
+    // lossy cast instead of the magic-number bit trick.
+    let ki = k as i64;
+    f64::from_bits(((1023 + ki) as u64) << 52)
+}

@@ -11,10 +11,12 @@ pub const LIBRARY_CRATES: [&str; 6] =
 
 /// Hot-path modules (crate/file-stem) where lossy `as` casts are
 /// forbidden (UDM004): the per-query kernels and micro-cluster math.
-pub const HOT_PATH_MODULES: [&str; 8] = [
+pub const HOT_PATH_MODULES: [&str; 10] = [
     "kde/error_kernel",
     "kde/estimator",
     "kde/columns",
+    "kde/chunked",
+    "kde/fastexp",
     "kde/classic",
     "kde/kernel",
     "microcluster/density",

@@ -10,12 +10,70 @@
 //!
 //! Evaluation cost is `O(q·|S|)` per query — independent of the original
 //! data size `N`, which is the entire point of the compression (§2.1).
+//!
+//! ## Columnar hot path
+//!
+//! The per-query kernel-column cache ([`MicroClusterKde::kernel_columns`])
+//! is built from a lazily derived structure-of-arrays layout: centroids,
+//! squared spreads and the diff-independent kernel factors stored
+//! dimension-major, so each dimension's column is one contiguous unrolled
+//! loop (`udm_kde::chunked`) instead of a strided gather over
+//! pseudo-point structs. The scalar builder
+//! ([`MicroClusterKde::kernel_columns_scalar`]) remains the bit-for-bit
+//! reference; the naive [`MicroClusterKde::density_subspace_with_error`]
+//! loop is the end-to-end oracle.
 
 use crate::feature::MicroCluster;
 use crate::pseudo::PseudoPoint;
+use std::sync::OnceLock;
 use udm_core::num::{clamped_sqrt, ensure_finite_slice, ensure_finite_slice_opt, f64_from_count};
 use udm_core::{Result, Subspace, UdmError};
-use udm_kde::{ErrorKernelForm, GaussianErrorKernel, KdeConfig, KernelColumns};
+use udm_kde::{chunked, ErrorKernelForm, GaussianErrorKernel, KdeConfig, KernelColumns};
+
+/// Precomputed dimension-major (SoA) pseudo-point statistics for the
+/// columnar kernel build.
+///
+/// Each vector holds `rows × dim` values with column `j` contiguous at
+/// `[j·rows, (j+1)·rows)`, so the per-dimension build loop streams
+/// through memory. `prefs`/`two_vars` are the diff-independent factors
+/// of the error-based kernel at `ψ = Δ_j(C_i)`
+/// ([`GaussianErrorKernel::factors`]); `delta2` keeps `Δ²` for queries
+/// that convolve their own error (`ψ` then varies per query and the
+/// factors cannot be precomputed).
+#[derive(Debug, Clone, Default)]
+struct ColumnLayout {
+    centroids: Vec<f64>,
+    delta2: Vec<f64>,
+    prefs: Vec<f64>,
+    two_vars: Vec<f64>,
+    weights: Vec<f64>,
+    /// Any (row, dim) pair hit the degenerate point-mass kernel
+    /// (`h = ψ = 0`): the columnar factored build cannot represent it,
+    /// so column builds route through the scalar reference path.
+    degenerate: bool,
+}
+
+/// Lazily built [`ColumnLayout`], excluded from serialization.
+///
+/// The layout is derived state: it is fully reconstructible from the
+/// pseudo-points and bandwidths, so it serializes as `null` and
+/// deserializes to the empty (unbuilt) cache — persisted models from
+/// before the columnar path load unchanged, and round-tripping a model
+/// never embeds redundant data in the JSON.
+#[derive(Debug, Clone, Default)]
+struct LayoutCache(OnceLock<ColumnLayout>);
+
+impl serde::Serialize for LayoutCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for LayoutCache {
+    fn from_value(_: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        Ok(LayoutCache::default())
+    }
+}
 
 /// Density estimator over micro-cluster summaries.
 ///
@@ -29,6 +87,7 @@ pub struct MicroClusterKde {
     kernel: GaussianErrorKernel,
     total_n: u64,
     dim: usize,
+    layout: LayoutCache,
 }
 
 impl MicroClusterKde {
@@ -83,6 +142,7 @@ impl MicroClusterKde {
             kernel: GaussianErrorKernel::new(config.form),
             total_n,
             dim,
+            layout: LayoutCache::default(),
         })
     }
 
@@ -130,6 +190,7 @@ impl MicroClusterKde {
             kernel: GaussianErrorKernel::new(form),
             total_n,
             dim,
+            layout: LayoutCache::default(),
         })
     }
 
@@ -248,6 +309,51 @@ impl MicroClusterKde {
     ///
     /// [`UdmError::DimensionMismatch`] on wrong query or error arity.
     pub fn kernel_columns(&self, x: &[f64], query_errors: Option<&[f64]>) -> Result<KernelColumns> {
+        self.validate_query(x, query_errors)?;
+        let layout = self.layout();
+        if layout.degenerate {
+            // Point-mass kernels (∞/0) have no factored form; the scalar
+            // reference builder handles them, and KernelColumns routes
+            // the resulting non-finite cache through its row-wise path.
+            return self.build_scalar(x, query_errors);
+        }
+        match query_errors {
+            None => self.build_columnar(x, layout, udm_kde::hot_exp),
+            Some(errs) => self.build_columnar_with_errors(x, errs, layout),
+        }
+    }
+
+    /// The scalar reference column builder: row-major kernel evaluations
+    /// in the exact order of the naive density loop. This is the
+    /// correctness oracle the columnar build is tested against, and the
+    /// fallback for degenerate (point-mass) kernels.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::kernel_columns`].
+    pub fn kernel_columns_scalar(
+        &self,
+        x: &[f64],
+        query_errors: Option<&[f64]>,
+    ) -> Result<KernelColumns> {
+        self.validate_query(x, query_errors)?;
+        self.build_scalar(x, query_errors)
+    }
+
+    #[doc(hidden)]
+    /// Columnar build with the bounded-error exponential *explicitly*,
+    /// regardless of the `fast-math` feature: the benchmark suite A/Bs
+    /// the exact and fast builds inside one binary with this.
+    pub fn kernel_columns_fastexp(&self, x: &[f64]) -> Result<KernelColumns> {
+        self.validate_query(x, None)?;
+        let layout = self.layout();
+        if layout.degenerate {
+            return self.build_scalar(x, None);
+        }
+        self.build_columnar(x, layout, udm_kde::fast_exp)
+    }
+
+    fn validate_query(&self, x: &[f64], query_errors: Option<&[f64]>) -> Result<()> {
         if x.len() != self.dim {
             return Err(UdmError::DimensionMismatch {
                 expected: self.dim,
@@ -264,6 +370,108 @@ impl MicroClusterKde {
         }
         ensure_finite_slice("query coordinate", x)?;
         ensure_finite_slice_opt("query error", query_errors)?;
+        Ok(())
+    }
+
+    /// The lazily built SoA layout (first call pays the transpose; all
+    /// later column builds stream through it).
+    fn layout(&self) -> &ColumnLayout {
+        self.layout.0.get_or_init(|| {
+            let rows = self.pseudos.len();
+            let dim = self.dim;
+            let mut layout = ColumnLayout {
+                centroids: vec![0.0; rows * dim],
+                delta2: vec![0.0; rows * dim],
+                prefs: vec![0.0; rows * dim],
+                two_vars: vec![0.0; rows * dim],
+                weights: Vec::with_capacity(rows),
+                degenerate: false,
+            };
+            for (r, p) in self.pseudos.iter().enumerate() {
+                layout.weights.push(f64_from_count(p.weight));
+                for j in 0..dim {
+                    let at = j * rows + r;
+                    layout.centroids[at] = p.centroid[j];
+                    layout.delta2[at] = p.delta[j] * p.delta[j];
+                    match self.kernel.factors(self.bandwidths[j], p.delta[j]) {
+                        Some((pref, two_var)) => {
+                            layout.prefs[at] = pref;
+                            layout.two_vars[at] = two_var;
+                        }
+                        None => layout.degenerate = true,
+                    }
+                }
+            }
+            layout
+        })
+    }
+
+    /// Columnar build for plain queries: one [`chunked::gaussian_kernel_row`]
+    /// per dimension over the precomputed factors — the same operations
+    /// as [`GaussianErrorKernel::evaluate`] per element, so the cache is
+    /// bit-identical to the scalar builder's under the same `exp`.
+    fn build_columnar<F: Fn(f64) -> f64 + Copy>(
+        &self,
+        x: &[f64],
+        layout: &ColumnLayout,
+        exp: F,
+    ) -> Result<KernelColumns> {
+        let rows = self.pseudos.len();
+        let mut cols = vec![0.0; rows * self.dim];
+        for (j, &xj) in x.iter().enumerate() {
+            let span = j * rows..(j + 1) * rows;
+            chunked::gaussian_kernel_row(
+                &mut cols[span.clone()],
+                xj,
+                &layout.centroids[span.clone()],
+                &layout.prefs[span.clone()],
+                &layout.two_vars[span],
+                exp,
+            );
+        }
+        self.publish_build_counters(cols.len());
+        KernelColumns::from_dim_major(
+            self.dim,
+            cols,
+            Some(layout.weights.clone()),
+            f64_from_count(self.total_n),
+        )
+    }
+
+    /// Columnar build for error-convolved queries: `ψ` depends on the
+    /// query's own per-dimension error, so the kernel factors cannot be
+    /// precomputed; still dimension-major and contiguous, with `Δ²` and
+    /// `ψ_q²` reused from the layout instead of recomputed per element.
+    fn build_columnar_with_errors(
+        &self,
+        x: &[f64],
+        errs: &[f64],
+        layout: &ColumnLayout,
+    ) -> Result<KernelColumns> {
+        let rows = self.pseudos.len();
+        let mut cols = vec![0.0; rows * self.dim];
+        for j in 0..self.dim {
+            let e2 = errs[j] * errs[j];
+            let base = j * rows;
+            let h = self.bandwidths[j];
+            let xj = x[j];
+            for r in 0..rows {
+                let psi = clamped_sqrt(layout.delta2[base + r] + e2);
+                cols[base + r] = self
+                    .kernel
+                    .evaluate(xj - layout.centroids[base + r], h, psi);
+            }
+        }
+        self.publish_build_counters(cols.len());
+        KernelColumns::from_dim_major(
+            self.dim,
+            cols,
+            Some(layout.weights.clone()),
+            f64_from_count(self.total_n),
+        )
+    }
+
+    fn build_scalar(&self, x: &[f64], query_errors: Option<&[f64]>) -> Result<KernelColumns> {
         let mut cols = Vec::with_capacity(self.pseudos.len() * self.dim);
         let mut weights = Vec::with_capacity(self.pseudos.len());
         for p in &self.pseudos {
@@ -279,12 +487,16 @@ impl MicroClusterKde {
                 );
             }
         }
+        self.publish_build_counters(cols.len());
+        KernelColumns::new(self.dim, cols, Some(weights), f64_from_count(self.total_n))
+    }
+
+    fn publish_build_counters(&self, evals: usize) {
         udm_observe::counter_inc!("udm_microcluster_column_builds_total");
         udm_observe::counter_add!(
             "udm_microcluster_kernel_evals_total",
-            u64::try_from(cols.len()).unwrap_or(u64::MAX)
+            u64::try_from(evals).unwrap_or(u64::MAX)
         );
-        KernelColumns::new(self.dim, cols, Some(weights), f64_from_count(self.total_n))
     }
 }
 

@@ -1,0 +1,168 @@
+//! Satellite property tests for the columnar kernel hot path.
+//!
+//! Two contracts, checked in both feature builds:
+//!
+//! 1. **Bit-exact caching**: the SoA column cache evaluates every
+//!    subspace bit-for-bit identically to the naive row-wise density
+//!    loop — under the default build *and* under `fast-math` (both
+//!    paths route their exponential through `hot_exp`, so the contract
+//!    is exp-agnostic).
+//! 2. **Bounded drift**: against an independently computed `f64::exp`
+//!    reference (rebuilt by hand from the public pseudo-point
+//!    statistics), the density is float-noise exact by default and
+//!    within the documented `fast_exp` budget under `fast-math`.
+
+use proptest::prelude::*;
+use udm_core::num::f64_from_count;
+use udm_core::{Subspace, UncertainDataset, UncertainPoint};
+use udm_kde::{ErrorKernelForm, KdeConfig};
+use udm_microcluster::{MaintainerConfig, MicroClusterKde, MicroClusterMaintainer, PseudoPoint};
+
+const MAX_DIM: usize = 4;
+
+/// (dataset, query point, query errors) of one consistent dimension.
+fn case() -> impl Strategy<Value = (UncertainDataset, Vec<f64>, Vec<f64>)> {
+    (1usize..=MAX_DIM).prop_flat_map(|dim| {
+        let point = (
+            collection::vec(-25.0f64..25.0, dim),
+            collection::vec(0.0f64..3.0, dim),
+        )
+            .prop_map(|(vals, errs)| UncertainPoint::new(vals, errs).unwrap());
+        (
+            collection::vec(point, 3..40)
+                .prop_map(|pts| UncertainDataset::from_points(pts).unwrap()),
+            collection::vec(-30.0f64..30.0, dim),
+            collection::vec(0.0f64..4.0, dim),
+        )
+    })
+}
+
+fn fit(d: &UncertainDataset, max_clusters: usize) -> MicroClusterKde {
+    let m = MicroClusterMaintainer::from_dataset(d, MaintainerConfig::new(max_clusters)).unwrap();
+    MicroClusterKde::fit(m.clusters(), KdeConfig::default()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Contract 1a: columnar cache == naive loop, bitwise, every subspace.
+    #[test]
+    fn cached_density_is_bit_identical_to_naive((d, x, _e) in case()) {
+        let mc = fit(&d, 6);
+        let cols = mc.kernel_columns(&x, None).unwrap();
+        for bits in 1u64..(1u64 << d.dim()) {
+            let s = Subspace::from_bits(bits);
+            let naive = mc.density_subspace(&x, s).unwrap();
+            let cached = cols.density(s).unwrap();
+            prop_assert!(
+                naive.to_bits() == cached.to_bits(),
+                "subspace {:#b}: naive {} vs cached {}", bits, naive, cached
+            );
+        }
+    }
+
+    // Contract 1b: same, with query-error convolution (the per-query-ψ
+    // path that cannot precompute kernel factors).
+    #[test]
+    fn cached_density_with_query_errors_is_bit_identical((d, x, e) in case()) {
+        let mc = fit(&d, 5);
+        let cols = mc.kernel_columns(&x, Some(&e)).unwrap();
+        for bits in 1u64..(1u64 << d.dim()) {
+            let s = Subspace::from_bits(bits);
+            let naive = mc.density_subspace_with_error(&x, Some(&e), s).unwrap();
+            let cached = cols.density(s).unwrap();
+            prop_assert!(
+                naive.to_bits() == cached.to_bits(),
+                "subspace {:#b}", bits
+            );
+        }
+    }
+
+    // Contract 1c: the columnar builder matches the scalar reference
+    // builder bitwise (cache-to-cache, not just density-to-density).
+    #[test]
+    fn columnar_builder_matches_scalar_builder((d, x, e) in case()) {
+        let mc = fit(&d, 6);
+        for errs in [None, Some(e.as_slice())] {
+            let fast = mc.kernel_columns(&x, errs).unwrap();
+            let reference = mc.kernel_columns_scalar(&x, errs).unwrap();
+            for bits in 1u64..(1u64 << d.dim()) {
+                let s = Subspace::from_bits(bits);
+                prop_assert!(
+                    fast.density(s).unwrap().to_bits()
+                        == reference.density(s).unwrap().to_bits(),
+                    "subspace {:#b} errs {:?}", bits, errs
+                );
+            }
+        }
+    }
+
+    // Contract 2: drift against an independent f64::exp reference. The
+    // reference recomputes Eq. 10 from scratch out of the public
+    // pseudo-point statistics with libm exp — it shares no kernel code
+    // with the estimator.
+    #[test]
+    fn density_within_budget_of_std_exp_reference((d, x, _e) in case()) {
+        prop_assume!(d.dim() == 1);
+        let m = MicroClusterMaintainer::from_dataset(&d, MaintainerConfig::new(6)).unwrap();
+        let h = 0.8;
+        let mc = MicroClusterKde::fit_with_bandwidths(
+            m.clusters(), vec![h], ErrorKernelForm::Normalized, true,
+        ).unwrap();
+        let got = mc.density(&[x[0]]).unwrap();
+
+        let pseudos: Vec<PseudoPoint> = m
+            .clusters()
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|c| PseudoPoint::from_cluster(c, true).unwrap())
+            .collect();
+        let inv_sqrt_2pi = 1.0 / (2.0 * std::f64::consts::PI).sqrt();
+        let mut sum = 0.0;
+        let mut n_total = 0.0;
+        for p in &pseudos {
+            let w = f64_from_count(p.weight);
+            n_total += w;
+            let var = h * h + p.delta[0] * p.delta[0];
+            let diff = x[0] - p.centroid[0];
+            sum += w * inv_sqrt_2pi / var.sqrt() * (-diff * diff / (2.0 * var)).exp();
+        }
+        let reference = sum / n_total;
+
+        let tol = if cfg!(feature = "fast-math") { 1e-6 } else { 1e-12 };
+        prop_assert!(
+            (got - reference).abs() <= tol * (1.0 + reference.abs()),
+            "density {} vs std-exp reference {} (tol {})", got, reference, tol
+        );
+    }
+}
+
+// The fastexp A/B builder (used by the benches) must stay within the
+// documented budget of the exact scalar build — the per-cache analogue
+// of the `fast_exp` unit bound, exercised through the full mixture
+// including weights and normalization. Runs in both feature builds.
+#[test]
+fn fastexp_builder_within_budget_of_exact_builder() {
+    let pts: Vec<UncertainPoint> = (0..60)
+        .map(|i| {
+            let x = (i as f64 * 0.618_033_988_749).fract() * 20.0 - 10.0;
+            let y = (i as f64 * 0.414_213_562_373).fract() * 6.0;
+            UncertainPoint::new(vec![x, y], vec![(i % 4) as f64 * 0.2, 0.1]).unwrap()
+        })
+        .collect();
+    let d = UncertainDataset::from_points(pts).unwrap();
+    let mc = fit(&d, 8);
+    for q in [[-9.5, 0.3], [0.0, 3.0], [4.2, 5.9], [11.0, -1.0]] {
+        let exact = mc.kernel_columns_scalar(&q, None).unwrap();
+        let fast = mc.kernel_columns_fastexp(&q).unwrap();
+        for bits in 1u64..4 {
+            let s = Subspace::from_bits(bits);
+            let a = exact.density(s).unwrap();
+            let b = fast.density(s).unwrap();
+            assert!(
+                (a - b).abs() <= 1e-6 * (1.0 + a.abs()),
+                "query {q:?} subspace {bits:#b}: exact {a} vs fastexp {b}"
+            );
+        }
+    }
+}
