@@ -450,7 +450,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                         if parts.len() != 2 {
                             return Err(invalid("--dbscan expects EPS,MIN_PTS"));
                         }
-                        // udm-lint: allow(UDM002) fract() == 0 is the exact integer-ness test
+                        // fract() != 0 is the IEEE-exact integer-ness test (UDM002-exempt)
                         if parts[1] < 1.0 || parts[1].fract() != 0.0 {
                             return Err(invalid("--dbscan MIN_PTS must be a positive integer"));
                         }

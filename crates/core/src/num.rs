@@ -218,17 +218,17 @@ pub fn f64_from_count(n: u64) -> f64 {
         n <= (1u64 << f64::MANTISSA_DIGITS),
         "count {n} exceeds the exactly-representable f64 range"
     );
-    n as f64 // udm-lint: allow(UDM004) guarded by the debug_assert above
+    n as f64 // guarded by the debug_assert above
 }
 
 /// `usize` length as `f64` (same contract as [`f64_from_count`]).
 #[inline]
 pub fn f64_from_usize(n: usize) -> f64 {
     debug_assert!(
-        (n as u64) <= (1u64 << f64::MANTISSA_DIGITS), // udm-lint: allow(UDM004) widening on 64-bit targets
+        (n as u64) <= (1u64 << f64::MANTISSA_DIGITS), // widening on 64-bit targets
         "length {n} exceeds the exactly-representable f64 range"
     );
-    n as f64 // udm-lint: allow(UDM004) guarded by the debug_assert above
+    n as f64 // guarded by the debug_assert above
 }
 
 /// Debug-build assertion that a slice of floats is entirely finite.

@@ -1,0 +1,56 @@
+//! UDM007 fixture: non-Sync state captured by parallel-seam closures.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub fn densities_shared_cell(xs: &[f64]) -> f64 {
+    let cache = RefCell::new(0.0_f64);
+    // firing: RefCell captured into a guarded_par_map closure
+    guarded_par_map(xs, |x| {
+        *cache.borrow_mut() += x;
+        x * 2.0
+    });
+    0.0
+}
+
+pub fn densities_mut_capture(xs: &[f64], out: &mut Vec<f64>) {
+    let mut total = 0.0_f64;
+    // firing: the closure assigns to a captured binding
+    guarded_par_map(xs, |x| {
+        total += x;
+        x + 1.0
+    });
+    out.push(total);
+}
+
+pub fn densities_atomic(xs: &[f64]) -> usize {
+    let hits = AtomicUsize::new(0);
+    // non-firing: atomics are safe to share across the seam
+    guarded_par_map(xs, |x| {
+        hits.fetch_add(1, Ordering::Relaxed);
+        x * 2.0
+    });
+    hits.load(Ordering::Relaxed)
+}
+
+pub fn densities_pure(xs: &[f64], bandwidth: f64) -> Vec<f64> {
+    // non-firing: read-only capture of a Copy value
+    guarded_par_map(xs, |x| x / bandwidth)
+}
+
+pub fn densities_mutex(xs: &[f64]) -> f64 {
+    let acc = Mutex::new(0.0_f64);
+    // non-firing: sync wrapper mediates the shared state
+    guarded_par_map(xs, |x| {
+        let mut guard = acc.lock().unwrap_or_else(|e| e.into_inner());
+        *guard += x;
+        x
+    });
+    let v = *acc.lock().unwrap_or_else(|e| e.into_inner());
+    v
+}
+
+fn guarded_par_map(xs: &[f64], f: impl Fn(f64) -> f64) -> Vec<f64> {
+    xs.iter().map(|&x| f(x)).collect()
+}

@@ -1,0 +1,47 @@
+//! UDM008 fixture: fast-math-gated items reached from default-build code.
+
+#[cfg(feature = "fast-math")]
+pub fn approx_kernel(x: f64) -> f64 {
+    x * x
+}
+
+#[cfg(feature = "fast-math")]
+pub const APPROX_TABLE_BITS: usize = 11;
+
+pub fn default_path(x: f64) -> f64 {
+    // firing: ungated call into a fast-math-only item
+    approx_kernel(x) + 1.0
+}
+
+pub fn table_len() -> usize {
+    // firing: gated constant referenced from default-build code
+    1usize << APPROX_TABLE_BITS
+}
+
+#[cfg(feature = "fast-math")]
+pub fn approx_density(x: f64) -> f64 {
+    // non-firing: caller carries the same gate
+    approx_kernel(x)
+}
+
+pub fn hot_kernel(x: f64) -> f64 {
+    #[cfg(feature = "fast-math")]
+    {
+        approx_kernel(x)
+    }
+    #[cfg(not(feature = "fast-math"))]
+    {
+        x.exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ab_compare() {
+        // non-firing: benches/tests are exactly where A/B comparisons live
+        assert!(approx_kernel(1.0) > 0.0);
+    }
+}

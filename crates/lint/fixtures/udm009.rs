@@ -1,0 +1,37 @@
+//! UDM009 fixture: nondeterministic one-time initialisers.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static SEED: OnceLock<u64> = OnceLock::new();
+static WEIGHTS: OnceLock<Vec<f64>> = OnceLock::new();
+static ORDER: OnceLock<Vec<String>> = OnceLock::new();
+static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+
+pub fn seed() -> u64 {
+    // firing: wall-clock time decides the cached value
+    *SEED.get_or_init(|| u64::from(Instant::now().elapsed().subsec_nanos()))
+}
+
+pub fn flat_weights(map: &HashMap<String, f64>) -> usize {
+    // firing: HashMap iteration order leaks into the cached vector
+    WEIGHTS
+        .get_or_init(|| map.iter().map(|(_, v)| *v).collect())
+        .len()
+}
+
+pub fn ordered(map: &BTreeMap<String, f64>) -> usize {
+    // non-firing: BTreeMap iteration is deterministic
+    ORDER
+        .get_or_init(|| map.keys().cloned().collect())
+        .len()
+}
+
+pub fn kernel_table(n: usize) -> f64 {
+    // non-firing: pure arithmetic initialiser
+    TABLE
+        .get_or_init(|| std::iter::repeat(0.5).take(n).collect())
+        .iter()
+        .sum()
+}

@@ -1,0 +1,33 @@
+//! UDM010 fixture: `unsafe` blocks without an adjacent SAFETY comment.
+
+pub fn sum_unchecked(xs: &[f64], n: usize) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..n {
+        // firing: no SAFETY justification for the unchecked access
+        acc += unsafe { *xs.get_unchecked(i) };
+    }
+    acc
+}
+
+pub fn reinterpret(bits: u64) -> f64 {
+    // firing: comment above is not a SAFETY comment
+    // fast path used by the table kernel
+    unsafe { std::mem::transmute::<u64, f64>(bits) }
+}
+
+pub fn head_unchecked(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    // non-firing: justified block
+    // SAFETY: emptiness was checked on the line above, so index 0 exists.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn tail_unchecked(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    // non-firing: same-line justification
+    unsafe { *xs.get_unchecked(xs.len() - 1) } // SAFETY: non-empty checked above
+}

@@ -1,6 +1,7 @@
 //! Per-file lint context: which crate a file belongs to, whether the
 //! rules apply to it, and which byte regions are test code.
 
+use crate::ast::Ast;
 use crate::lexer::{Lexed, Tok};
 use std::path::Path;
 
@@ -68,6 +69,30 @@ impl FileContext {
             test_regions: find_test_regions(&lexed.toks),
             rel_path,
         }
+    }
+
+    /// Builds the context with *scope-aware* test regions derived from
+    /// the parsed AST (exact item extents and full `cfg` predicate
+    /// evaluation) instead of the token heuristic. Used whenever the
+    /// parser produced a full-coverage tree; `FileContext::new` remains
+    /// the lexer-fallback path.
+    pub fn from_ast(rel_path: &str, lexed: &Lexed, ast: &Ast, fixture_mode: bool) -> Self {
+        let mut ctx = Self::new(rel_path, lexed, fixture_mode);
+        let mut regions = Vec::new();
+        ast.visit_items(&mut |item, ancestors| {
+            // Only the outermost test-gated item opens a region.
+            if item.is_test_gated() && !ancestors.iter().any(|a| a.is_test_gated()) {
+                let (s, e) = item.span;
+                if let (Some(st), Some(et)) = (
+                    lexed.toks.get(s),
+                    e.checked_sub(1).and_then(|k| lexed.toks.get(k)),
+                ) {
+                    regions.push((st.start, et.end));
+                }
+            }
+        });
+        ctx.test_regions = regions;
+        ctx
     }
 
     /// True if the byte offset lies inside test code.

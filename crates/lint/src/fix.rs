@@ -1,16 +1,27 @@
-//! `udm-lint fix --rule UDM002`: rewrites *trivial* bare float
-//! comparisons against literals into `udm_core::num::approx_eq` calls.
+//! `udm-lint fix`: automated rewrites for the mechanically fixable
+//! rules.
 //!
-//! Trivial means: the left side is a plain identifier or field chain
-//! (`x`, `self.total`, `p.delta`), the right side is a float literal
-//! (optionally negated), and the comparison is cleanly bounded by
-//! `if`/`(`/`&&`/… on both sides. Anything more complex is left for a
-//! human. Dry-run by default; `--apply` writes the files.
+//! * **UDM002** — rewrites *trivial* bare float comparisons against
+//!   literals into `udm_core::num::approx_eq` calls. Trivial means: the
+//!   left side is a plain identifier or field chain (`x`, `self.total`,
+//!   `p.delta`), the right side is a float literal (optionally
+//!   negated), and the comparison is cleanly bounded by `if`/`(`/`&&`/…
+//!   on both sides. Anything more complex is left for a human. Dry-run
+//!   by default; `--apply` writes the files.
+//! * **UDM010** — plans a `// SAFETY: TODO(justify)` stub comment above
+//!   each unjustified `unsafe` block, at matching indentation. Dry-run
+//!   only: a SAFETY comment that nobody wrote is worse than a lint
+//!   finding, so the stubs are shown for a human to fill in, never
+//!   auto-applied.
 
 use crate::context::FileContext;
 use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::run_token_rules;
 use crate::waivers::{apply_waivers, inline_waivers, TomlWaiver};
 use std::path::Path;
+
+/// Rules `udm-lint fix` knows how to rewrite.
+pub const SUPPORTED_FIX_RULES: [&str; 2] = ["UDM002", "UDM010"];
 
 /// One planned rewrite.
 #[derive(Debug, Clone)]
@@ -173,6 +184,61 @@ pub fn fix_udm002(root: &Path, apply: bool, toml: &[TomlWaiver]) -> Result<Vec<R
     Ok(all)
 }
 
+/// Plans the UDM010 SAFETY-stub insertions for one file: a
+/// `// SAFETY: TODO(justify)` line above each unjustified `unsafe`
+/// block, indented to match. Honours waivers — a waived block needs no
+/// stub.
+pub fn plan_udm010_stubs(
+    src: &str,
+    rel_path: &str,
+    fixture_mode: bool,
+    toml: &[TomlWaiver],
+) -> Vec<Rewrite> {
+    let lexed = lex(src);
+    let ctx = FileContext::new(rel_path, &lexed, fixture_mode);
+    let inline = inline_waivers(&lexed);
+    let diags: Vec<_> = run_token_rules(&lexed, &ctx, false)
+        .into_iter()
+        .filter(|d| d.rule == "UDM010")
+        .collect();
+    let mut out = Vec::new();
+    for d in apply_waivers(diags, &inline, toml).remaining {
+        let line_start = src[..d.offset].rfind('\n').map_or(0, |i| i + 1);
+        let indent: String = src[line_start..]
+            .chars()
+            .take_while(|c| *c == ' ' || *c == '\t')
+            .collect();
+        out.push(Rewrite {
+            path: ctx.rel_path.clone(),
+            line: d.line,
+            old: String::new(),
+            new: format!("{indent}// SAFETY: TODO(justify)\n"),
+            span: (line_start, line_start),
+        });
+    }
+    out
+}
+
+/// Plans the UDM010 stubs under `root`. Always a dry run — the caller
+/// rejects `--apply` for this rule.
+pub fn fix_udm010(root: &Path, toml: &[TomlWaiver]) -> Result<Vec<Rewrite>, String> {
+    let fixture_mode = !crate::engine::is_workspace_root(root);
+    let files = crate::engine::collect_rust_files(root)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut all = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        all.extend(plan_udm010_stubs(&src, &rel, fixture_mode, toml));
+    }
+    Ok(all)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +294,29 @@ mod tests {
     fn skips_test_code() {
         let src = "#[cfg(test)]\nmod tests { fn t(x: f64) -> bool { x == 0.5 } }";
         assert!(plan_rewrites_in_source(src, "crates/core/src/f.rs", false).is_empty());
+    }
+
+    #[test]
+    fn udm010_stub_matches_indentation() {
+        let src = "fn f(p: *mut f64) {\n    unsafe { *p = 1.0; }\n}";
+        let rs = plan_udm010_stubs(src, "f.rs", true, &[]);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].new, "    // SAFETY: TODO(justify)\n");
+        let mut patched = src.to_string();
+        patched.insert_str(rs[0].span.0, &rs[0].new);
+        assert_eq!(
+            patched,
+            "fn f(p: *mut f64) {\n    // SAFETY: TODO(justify)\n    unsafe { *p = 1.0; }\n}"
+        );
+    }
+
+    #[test]
+    fn udm010_stub_skips_justified_and_waived_blocks() {
+        let justified =
+            "fn f(p: *mut f64) {\n    // SAFETY: caller contract\n    unsafe { *p = 1.0; }\n}";
+        assert!(plan_udm010_stubs(justified, "f.rs", true, &[]).is_empty());
+        let waived = "fn f(p: *mut f64) {\n    // udm-lint: allow(UDM010) audited externally\n    unsafe { *p = 1.0; }\n}";
+        assert!(plan_udm010_stubs(waived, "f.rs", true, &[]).is_empty());
     }
 
     #[test]

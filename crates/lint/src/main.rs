@@ -2,17 +2,30 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use udm_lint::fix::SUPPORTED_FIX_RULES;
 
 const USAGE: &str = "\
-udm-lint: workspace invariant linter (rules UDM001-UDM006)
+udm-lint: workspace invariant linter (rules UDM001-UDM010)
 
 USAGE:
-  udm-lint check [--root PATH] [--stats]
-  udm-lint fix --rule UDM002 [--root PATH] [--apply]
+  udm-lint check [--root PATH] [--stats] [--format text|json|sarif]
+                 [--deny-fallback] [--deny-unused-waivers]
+  udm-lint parse [--root PATH]
+  udm-lint fix --rule UDM002|UDM010 [--root PATH] [--apply]
   udm-lint help
 
 check exits 0 when no unwaived diagnostics remain, 1 otherwise.
-fix is a dry run unless --apply is given.
+  --format json|sarif writes the machine-readable report to stdout
+    (diagnostics still gate the exit code).
+  --deny-fallback also fails when any file degraded to the lexer-only
+    rule path because its parse was incomplete.
+  --deny-unused-waivers also fails when an inline or lint.toml waiver
+    matched nothing (stale allows must be deleted).
+parse is a parser robustness smoke: parses every .rs file under the
+  root (including vendored code) and reports per-file fallbacks; exits
+  0 unless a file cannot be read.
+fix is a dry run unless --apply is given. UDM010 plans
+  `// SAFETY: TODO(justify)` stubs and is dry-run only.
 ";
 
 struct Args {
@@ -21,6 +34,9 @@ struct Args {
     stats: bool,
     apply: bool,
     rule: Option<String>,
+    format: String,
+    deny_fallback: bool,
+    deny_unused_waivers: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -30,6 +46,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         stats: false,
         apply: false,
         rule: None,
+        format: "text".into(),
+        deny_fallback: false,
+        deny_unused_waivers: false,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -43,6 +62,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--stats" => args.stats = true,
             "--apply" => args.apply = true,
+            "--deny-fallback" => args.deny_fallback = true,
+            "--deny-unused-waivers" => args.deny_unused_waivers = true,
+            "--format" => {
+                i += 1;
+                let f = argv
+                    .get(i)
+                    .ok_or_else(|| "--format needs text|json|sarif".to_string())?;
+                if !["text", "json", "sarif"].contains(&f.as_str()) {
+                    return Err(format!("--format must be text|json|sarif, got {f:?}"));
+                }
+                args.format = f.clone();
+            }
             "--rule" => {
                 i += 1;
                 args.rule = Some(
@@ -69,6 +100,7 @@ fn main() -> ExitCode {
     };
     match args.command.as_str() {
         "check" => run_check(&args),
+        "parse" => run_parse(&args),
         "fix" => run_fix(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -89,52 +121,116 @@ fn run_check(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for d in &report.diagnostics {
-        println!("{}:{}: {} {}", d.path, d.line, d.rule, d.message);
-    }
-    if args.stats {
-        println!("--- stats ---");
-        println!("files scanned: {}", report.files_scanned);
-        for (rule, (hits, waived)) in &report.per_rule {
-            println!(
-                "{rule}: {hits} hit(s), {waived} waived, {} reported",
-                hits - waived
-            );
+    match args.format.as_str() {
+        "json" => print!("{}", udm_lint::output::render_json(&report)),
+        "sarif" => print!("{}", udm_lint::output::render_sarif(&report)),
+        _ => {
+            for d in &report.diagnostics {
+                println!("{}:{}: {} {}", d.path, d.line, d.rule, d.message);
+            }
+            if args.stats {
+                println!("--- stats ---");
+                println!(
+                    "files scanned: {} ({} fully parsed, {} lexer fallback)",
+                    report.files_scanned,
+                    report.parsed_files,
+                    report.parse_fallbacks.len()
+                );
+                for (rule, (hits, waived)) in &report.per_rule {
+                    println!(
+                        "{rule}: {hits} hit(s), {waived} waived, {} reported",
+                        hits - waived
+                    );
+                }
+                println!("total waived: {}", report.waived);
+            }
         }
-        println!("total waived: {}", report.waived);
-        for w in &report.unused_toml_waivers {
-            println!("unused lint.toml waiver: {w}");
-        }
     }
-    if report.diagnostics.is_empty() {
-        if !args.stats {
+    // Health signals always go to stderr so they survive --format json.
+    for f in &report.parse_fallbacks {
+        eprintln!("udm-lint: parse fallback (lexer-only rules): {f}");
+    }
+    for w in &report.unused_inline_waivers {
+        eprintln!("udm-lint: unused inline waiver: {w}");
+    }
+    for w in &report.unused_toml_waivers {
+        eprintln!("udm-lint: unused lint.toml waiver: {w}");
+    }
+    let mut failed = false;
+    if !report.diagnostics.is_empty() {
+        eprintln!(
+            "udm-lint: {} unwaived diagnostic(s)",
+            report.diagnostics.len()
+        );
+        failed = true;
+    }
+    if args.deny_fallback && !report.parse_fallbacks.is_empty() {
+        eprintln!(
+            "udm-lint: {} file(s) degraded to lexer-only rules (--deny-fallback)",
+            report.parse_fallbacks.len()
+        );
+        failed = true;
+    }
+    if args.deny_unused_waivers
+        && (!report.unused_inline_waivers.is_empty() || !report.unused_toml_waivers.is_empty())
+    {
+        eprintln!(
+            "udm-lint: {} unused waiver(s) (--deny-unused-waivers)",
+            report.unused_inline_waivers.len() + report.unused_toml_waivers.len()
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        if args.format == "text" && !args.stats {
             println!(
                 "udm-lint: clean ({} files, {} waived)",
                 report.files_scanned, report.waived
             );
         }
         ExitCode::SUCCESS
-    } else {
-        eprintln!(
-            "udm-lint: {} unwaived diagnostic(s)",
-            report.diagnostics.len()
-        );
-        ExitCode::FAILURE
+    }
+}
+
+fn run_parse(args: &Args) -> ExitCode {
+    match udm_lint::engine::parse_smoke(&args.root) {
+        Ok((ok, fallbacks)) => {
+            for f in &fallbacks {
+                println!("fallback: {f}");
+            }
+            println!(
+                "udm-lint parse: {} file(s) fully parsed, {} fallback(s)",
+                ok,
+                fallbacks.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
 fn run_fix(args: &Args) -> ExitCode {
-    match args.rule.as_deref() {
-        Some("UDM002") => {}
+    let rule = match args.rule.as_deref() {
+        Some(r) if SUPPORTED_FIX_RULES.contains(&r) => r.to_string(),
         Some(other) => {
-            eprintln!("error: fix supports only UDM002, got {other}");
+            eprintln!(
+                "error: fix does not support {other}; supported rules: {}",
+                SUPPORTED_FIX_RULES.join(", ")
+            );
             return ExitCode::from(2);
         }
         None => {
-            eprintln!("error: fix requires --rule UDM002");
+            eprintln!(
+                "error: fix requires --rule (supported: {})",
+                SUPPORTED_FIX_RULES.join(", ")
+            );
             return ExitCode::from(2);
         }
-    }
+    };
     let toml = match udm_lint::engine::load_lint_toml(&args.root) {
         Ok(t) => t,
         Err(e) => {
@@ -142,17 +238,39 @@ fn run_fix(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match udm_lint::fix::fix_udm002(&args.root, args.apply, &toml) {
+    let rewrites = match rule.as_str() {
+        "UDM002" => udm_lint::fix::fix_udm002(&args.root, args.apply, &toml),
+        _ => {
+            if args.apply {
+                eprintln!(
+                    "error: --apply is not supported for UDM010; the SAFETY \
+                     justification must be written by a human (stubs are shown dry-run)"
+                );
+                return ExitCode::from(2);
+            }
+            udm_lint::fix::fix_udm010(&args.root, &toml)
+        }
+    };
+    match rewrites {
         Ok(rewrites) => {
             for r in &rewrites {
-                println!("{}:{}: `{}` -> `{}`", r.path, r.line, r.old, r.new);
+                if r.old.is_empty() {
+                    println!("{}:{}: insert `{}`", r.path, r.line, r.new.trim_end());
+                } else {
+                    println!("{}:{}: `{}` -> `{}`", r.path, r.line, r.old, r.new);
+                }
             }
             if args.apply {
                 println!("udm-lint: applied {} rewrite(s)", rewrites.len());
             } else {
                 println!(
-                    "udm-lint: {} rewrite(s) planned (dry run; pass --apply to write)",
-                    rewrites.len()
+                    "udm-lint: {} rewrite(s) planned (dry run{})",
+                    rewrites.len(),
+                    if rule == "UDM002" {
+                        "; pass --apply to write"
+                    } else {
+                        "; UDM010 stubs are never auto-applied"
+                    }
                 );
             }
             ExitCode::SUCCESS

@@ -8,6 +8,15 @@
 //! | UDM004 | no lossy `as` casts in hot-path modules |
 //! | UDM005 | public estimator entry points must validate finite inputs |
 //! | UDM006 | `span!` guards must be bound to a named variable |
+//! | UDM007 | closures at parallel seams must not capture mutable shared state |
+//! | UDM008 | `fast-math`-gated items unreachable from default-feature code |
+//! | UDM009 | once-init closures must be deterministic |
+//! | UDM010 | every `unsafe` block needs an adjacent `// SAFETY:` comment |
+//!
+//! UDM001–UDM004, UDM006 and UDM010 are token rules (they also run on
+//! the lexer-only fallback path). UDM005, UDM007 and UDM009 live in
+//! [`crate::astrules`]; UDM008 is the cross-file pass in
+//! [`crate::callgraph`].
 
 use crate::context::FileContext;
 use crate::lexer::{Lexed, Tok, TokKind};
@@ -28,19 +37,75 @@ pub struct Diagnostic {
 }
 
 /// All rule ids, in order.
-pub const ALL_RULES: [&str; 6] = ["UDM001", "UDM002", "UDM003", "UDM004", "UDM005", "UDM006"];
+pub const ALL_RULES: [&str; 10] = [
+    "UDM001", "UDM002", "UDM003", "UDM004", "UDM005", "UDM006", "UDM007", "UDM008", "UDM009",
+    "UDM010",
+];
 
-/// Runs every rule over one lexed file.
-pub fn run_all(lexed: &Lexed, ctx: &FileContext) -> Vec<Diagnostic> {
+/// One-line description per rule id (drives `--format json`/`sarif`).
+pub const RULE_INFO: [(&str, &str); 10] = [
+    (
+        "UDM001",
+        "no unwrap/expect/panic!/todo!/unimplemented! in non-test library code",
+    ),
+    (
+        "UDM002",
+        "no bare ==/!= against float expressions outside test code",
+    ),
+    (
+        "UDM003",
+        "sqrt of variance-like expressions must use udm_core::num::clamped_sqrt",
+    ),
+    ("UDM004", "no lossy `as` casts in hot-path modules"),
+    (
+        "UDM005",
+        "public estimator entry points must validate finite inputs",
+    ),
+    ("UDM006", "span! guards must be bound to a named variable"),
+    (
+        "UDM007",
+        "closures at parallel seams must not capture mutable or non-atomic shared state",
+    ),
+    (
+        "UDM008",
+        "fast-math-gated items must be unreachable from default-feature code",
+    ),
+    (
+        "UDM009",
+        "OnceLock/OnceCell/Lazy init closures must be deterministic",
+    ),
+    (
+        "UDM010",
+        "every unsafe block requires an adjacent // SAFETY: comment",
+    ),
+];
+
+/// Runs every *token* rule over one lexed file. With `ast_rules_active`
+/// the UDM005 token implementation is skipped (the scope-aware port in
+/// [`crate::astrules`] replaces it); on the lexer fallback path it runs
+/// here so the rule never goes dark.
+pub fn run_token_rules(
+    lexed: &Lexed,
+    ctx: &FileContext,
+    ast_rules_active: bool,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     udm001_no_panics(lexed, ctx, &mut out);
     udm002_float_eq(lexed, ctx, &mut out);
     udm003_variance_sqrt(lexed, ctx, &mut out);
     udm004_lossy_casts(lexed, ctx, &mut out);
-    udm005_entry_validation(lexed, ctx, &mut out);
+    if !ast_rules_active {
+        udm005_entry_validation(lexed, ctx, &mut out);
+    }
     udm006_span_binding(lexed, ctx, &mut out);
+    udm010_unsafe_safety_comment(lexed, ctx, &mut out);
     out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     out
+}
+
+/// Runs every token rule (legacy entry point, UDM005 included).
+pub fn run_all(lexed: &Lexed, ctx: &FileContext) -> Vec<Diagnostic> {
+    run_token_rules(lexed, ctx, false)
 }
 
 fn diag(
@@ -173,6 +238,12 @@ fn udm002_float_eq(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagnostic>) 
             .into_iter()
             .chain(operand_right(toks, i))
             .collect();
+        // `.fract() == 0.0` is the IEEE-exact integer-ness test: fract()
+        // returns exactly 0.0 for integral inputs, so bare equality is
+        // correct there.
+        if sides.iter().any(|&j| toks[j].is_ident("fract")) {
+            continue;
+        }
         if sides.iter().any(|&j| toks[j].is_float_literal()) {
             diag(
                 out,
@@ -511,6 +582,59 @@ fn udm006_span_binding(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagnosti
     }
 }
 
+/// UDM010: every `unsafe { .. }` block needs a `// SAFETY:` comment on
+/// the same line or in the contiguous comment run directly above it.
+/// `unsafe fn` / `unsafe impl` / `unsafe trait` declare an obligation
+/// rather than discharging one and are exempt; this is a token rule so
+/// it keeps working on the lexer fallback path.
+fn udm010_unsafe_safety_comment(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") || ctx.in_test(t.start) {
+            continue;
+        }
+        // Only `unsafe {` blocks; `unsafe fn`/`impl`/`trait` are exempt.
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct("{")) {
+            continue;
+        }
+        if has_adjacent_safety_comment(lexed, t.line) {
+            continue;
+        }
+        diag(
+            out,
+            "UDM010",
+            ctx,
+            t,
+            "unsafe block without an adjacent `// SAFETY:` comment; justify \
+             why the invariants hold (or hoist the block behind a safe API)"
+                .to_string(),
+        );
+    }
+}
+
+/// True when a comment containing `SAFETY:` sits on `line` itself or in
+/// the unbroken run of comment lines directly above it.
+fn has_adjacent_safety_comment(lexed: &Lexed, line: usize) -> bool {
+    let has_safety_on = |l: usize| {
+        lexed
+            .comments
+            .iter()
+            .any(|c| c.line == l && c.text.contains("SAFETY:"))
+    };
+    let has_comment_on = |l: usize| lexed.comments.iter().any(|c| c.line == l);
+    if has_safety_on(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 && has_comment_on(l - 1) {
+        l -= 1;
+        if has_safety_on(l) {
+            return true;
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,6 +762,37 @@ mod tests {
             "fn f() { work(); span!(\"fit\"); more(); }",
         ] {
             assert!(rules_of(&lint(src)).contains(&"UDM006"), "{src}");
+        }
+    }
+
+    #[test]
+    fn udm002_fract_zero_test_is_exempt() {
+        let ds = lint("fn f(x: f64) -> bool { x.fract() == 0.0 }");
+        assert!(!rules_of(&ds).contains(&"UDM002"));
+        let ds = lint("fn f(x: f64) -> bool { 0.0 != x.fract() }");
+        assert!(!rules_of(&ds).contains(&"UDM002"));
+    }
+
+    #[test]
+    fn udm010_flags_uncommented_unsafe_blocks() {
+        for src in [
+            "fn f(p: *mut f64) { unsafe { *p = 1.0; } }",
+            "fn f(p: *mut f64) {\n    // fast path\n    unsafe { *p = 1.0; }\n}",
+        ] {
+            assert!(rules_of(&lint(src)).contains(&"UDM010"), "{src}");
+        }
+    }
+
+    #[test]
+    fn udm010_accepts_safety_comments_and_unsafe_items() {
+        for src in [
+            "fn f(p: *mut f64) {\n    // SAFETY: p is valid for writes per the caller contract.\n    unsafe { *p = 1.0; }\n}",
+            "fn f(p: *mut f64) { unsafe { *p = 1.0; } // SAFETY: caller contract\n}",
+            "fn f(p: *mut f64) {\n    // SAFETY: p valid,\n    // and aligned.\n    unsafe { *p = 1.0; }\n}",
+            "unsafe fn raw(p: *mut f64) {}",
+            "unsafe impl Send for S {}",
+        ] {
+            assert!(!rules_of(&lint(src)).contains(&"UDM010"), "{src}");
         }
     }
 

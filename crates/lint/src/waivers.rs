@@ -149,6 +149,8 @@ pub struct WaiverOutcome {
     pub waived: usize,
     /// Indices into the toml waiver list that matched something.
     pub used_toml: BTreeSet<usize>,
+    /// Indices into the inline waiver list that matched something.
+    pub used_inline: BTreeSet<usize>,
 }
 
 /// Filters `diags` for one file through its inline waivers and the
@@ -162,7 +164,7 @@ pub fn apply_waivers(
     for d in diags {
         let inline_hit = inline
             .iter()
-            .any(|w| w.rules.iter().any(|r| r == d.rule) && w.lines.contains(&d.line));
+            .position(|w| w.rules.iter().any(|r| r == d.rule) && w.lines.contains(&d.line));
         let toml_hit = toml.iter().position(|w| {
             w.rule == d.rule
                 && w.path == d.path
@@ -171,8 +173,9 @@ pub fn apply_waivers(
                     Some(l) => l == d.line,
                 }
         });
-        if inline_hit {
+        if let Some(i) = inline_hit {
             out.waived += 1;
+            out.used_inline.insert(i);
         } else if let Some(i) = toml_hit {
             out.waived += 1;
             out.used_toml.insert(i);
@@ -269,5 +272,6 @@ mod tests {
         assert_eq!(out.remaining.len(), 1);
         assert_eq!(out.remaining[0].line, 10);
         assert!(out.used_toml.contains(&0));
+        assert!(out.used_inline.contains(&0));
     }
 }

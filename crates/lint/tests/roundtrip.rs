@@ -1,0 +1,141 @@
+//! Round-trip guarantees for the lexer → parser pipeline.
+//!
+//! Two layers:
+//!
+//! 1. Every workspace `.rs` file must lex with exact byte spans
+//!    (`src[t.start..t.end] == t.text`) and parse with zero errors and
+//!    total token coverage — the acceptance bar is 100% of workspace
+//!    sources, no fallback engagements.
+//! 2. A proptest over randomly concatenated Rust snippets: the parser
+//!    must stay total (never panic, never lose a token) on arbitrary —
+//!    including ill-formed — token streams.
+
+use proptest::prelude::*;
+use std::path::Path;
+use udm_lint::engine::collect_rust_files;
+use udm_lint::lexer::lex;
+use udm_lint::parser::parse;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+}
+
+#[test]
+fn lexer_spans_reconstruct_every_workspace_file() {
+    let files = collect_rust_files(workspace_root()).unwrap();
+    assert!(files.len() > 50, "workspace walk found too few files");
+    for path in files {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let lexed = lex(&src);
+        for t in &lexed.toks {
+            assert_eq!(
+                &src[t.start..t.end],
+                t.text,
+                "span drift in {} at byte {}",
+                path.display(),
+                t.start
+            );
+        }
+        for c in &lexed.comments {
+            assert!(
+                src.contains(&c.text),
+                "comment text drift in {}",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn parser_covers_every_workspace_file_without_fallback() {
+    let files = collect_rust_files(workspace_root()).unwrap();
+    let mut failures = Vec::new();
+    for path in files {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let lexed = lex(&src);
+        let ast = parse(&lexed);
+        if !ast.errors.is_empty() {
+            failures.push(format!("{}: errors {:?}", path.display(), ast.errors));
+            continue;
+        }
+        if !ast.covers_all_tokens() {
+            let cov = ast.coverage();
+            let missing = (0..lexed.toks.len())
+                .find(|i| cov.get(*i) != Some(i))
+                .unwrap_or(0);
+            let t = &lexed.toks[missing.min(lexed.toks.len() - 1)];
+            failures.push(format!(
+                "{}: coverage breaks at token {} (`{}` line {})",
+                path.display(),
+                missing,
+                t.text,
+                t.line
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "parser fallback on {} workspace file(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// Snippet pool for the fuzz strategy. Deliberately includes unbalanced
+/// and out-of-context fragments — the parser must stay total on all of
+/// them, not just on well-formed Rust.
+const SNIPPETS: [&str; 24] = [
+    "fn f(x: f64) -> f64 { x.exp() }\n",
+    "pub fn g<T: Clone>(t: &T) -> Vec<T> where T: Send { vec![t.clone()] }\n",
+    "struct S { a: f64, b: Vec<u8> }\n",
+    "enum E { A, B(f64), C { x: u8 } }\n",
+    "impl S { fn m(&self) -> f64 { self.a } }\n",
+    "trait T { fn r(&self); }\n",
+    "use std::collections::{HashMap, HashSet};\n",
+    "const N: usize = 32;\n",
+    "static CACHE: OnceLock<Vec<f64>> = OnceLock::new();\n",
+    "let v = xs.iter().map(|x| x * 2.0).collect::<Vec<_>>();\n",
+    "let s = a | b; let t = a || b;\n",
+    "match x { Some(a) | None => 0, _ => 1 }\n",
+    "m.get_or_init(|| build(n));\n",
+    "#[cfg(feature = \"fast-math\")] fn fast() {}\n",
+    "#[cfg(test)] mod tests { fn t() {} }\n",
+    "unsafe { *p = 1; }\n",
+    "macro_rules! m { ($x:expr) => { $x }; }\n",
+    "thread_local! { static TL: usize = 0; }\n",
+    "// comment line\n",
+    "{ (\n",
+    ") } ]\n",
+    "| x | {\n",
+    "#[cfg(\n",
+    "fn broken(a: , -> {\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_is_total_on_arbitrary_snippet_streams(
+        picks in proptest::collection::vec(0usize..SNIPPETS.len(), 0..40)
+    ) {
+        let src: String = picks.iter().map(|&i| SNIPPETS[i]).collect();
+        let lexed = lex(&src);
+        // Lexer spans must always reconstruct the source.
+        for t in &lexed.toks {
+            prop_assert_eq!(&src[t.start..t.end], t.text.as_str());
+        }
+        // The parser must be total: no panic, every token covered
+        // exactly once, in order (errors are allowed — fallback is the
+        // engine's job — but token loss never is).
+        let ast = parse(&lexed);
+        let cov = ast.coverage();
+        prop_assert_eq!(cov.len(), lexed.toks.len());
+        for (i, &t) in cov.iter().enumerate() {
+            prop_assert_eq!(i, t);
+        }
+    }
+}

@@ -350,6 +350,7 @@ impl MicroClusterKde {
         if layout.degenerate {
             return self.build_scalar(x, None);
         }
+        // udm-lint: allow(UDM008) bench-only A/B entry point, documented above; default-build callers use kernel_columns
         self.build_columnar(x, layout, udm_kde::fast_exp)
     }
 

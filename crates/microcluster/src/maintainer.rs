@@ -332,7 +332,7 @@ impl MicroClusterMaintainer {
                     0.0
                 };
                 best = Some(i);
-            // udm-lint: allow(UDM002) exact ties are the norm under the Eq. 5 clamp; tolerance would mis-group
+            // exact ties are the norm under the Eq. 5 clamp; tolerance would mis-group
             } else if needs_tie_break && d == best_d {
                 let tie = crate::distance::euclidean_sq(point.values(), centroid);
                 if tie < best_tie {
