@@ -12,7 +12,8 @@
 use crate::config::ClassifierConfig;
 use crate::eval::{evaluate, EvalReport};
 use crate::model::DensityClassifier;
-use udm_core::{Result, UncertainDataset};
+use udm_core::num::f64_from_usize;
+use udm_core::{Result, UdmError, UncertainDataset};
 use udm_data::fault::{FaultLog, FaultPlan, FaultyStream};
 use udm_microcluster::{IngestCounters, IngestPolicy, MaintainerConfig, ResilientIngestor};
 
@@ -139,6 +140,151 @@ pub fn evaluate_degraded(
     })
 }
 
+/// Outcome of one sharded full-vs-degraded comparison: the classifier
+/// over every shard's survivors against the classifier over the
+/// surviving shards only, with the coverage fraction the degraded model
+/// was trained on.
+#[derive(Debug, Clone)]
+pub struct ShardedDegradationReport {
+    /// Number of fault domains the stream was partitioned into.
+    pub shards: usize,
+    /// Shards excluded from the degraded model.
+    pub down: Vec<usize>,
+    /// Fraction of shards serving (`(shards - down) / shards`).
+    pub coverage: f64,
+    /// Evaluation of the classifier trained on all shards' survivors.
+    pub full: EvalReport,
+    /// Evaluation of the classifier trained on the surviving shards.
+    pub degraded: EvalReport,
+    /// Ingest counters rolled up over the surviving shards.
+    pub counters: IngestCounters,
+    /// What the injector corrupted.
+    pub faults: FaultLog,
+    /// Training survivors across all shards.
+    pub survivors_full: usize,
+    /// Training survivors across surviving shards.
+    pub survivors_degraded: usize,
+}
+
+impl ShardedDegradationReport {
+    /// Full-model accuracy minus degraded-model accuracy. Negative
+    /// values (the degraded model got luckier) are possible when the
+    /// lost shard carried little information.
+    #[must_use]
+    pub fn accuracy_drop(&self) -> f64 {
+        self.full.accuracy() - self.degraded.accuracy()
+    }
+
+    /// True when the accuracy drop is at most `bound`.
+    #[must_use]
+    pub fn within(&self, bound: f64) -> bool {
+        self.accuracy_drop() <= bound
+    }
+}
+
+impl std::fmt::Display for ShardedDegradationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} shards, {:?} down (coverage {:.2}): full accuracy {:.4}, degraded {:.4} (drop {:+.4})",
+            self.shards,
+            self.down,
+            self.coverage,
+            self.full.accuracy(),
+            self.degraded.accuracy(),
+            self.accuracy_drop()
+        )?;
+        write!(
+            f,
+            "  surviving-shard ingest: {}; {} of {} survivors",
+            self.counters, self.survivors_degraded, self.survivors_full
+        )
+    }
+}
+
+/// Bounds the accuracy cost of serving a merged model with `down`
+/// shards missing: the training stream is corrupted once, partitioned
+/// `seq % shards` across independent resilient ingestors (the shard
+/// supervisor's fault-domain layout), and two classifiers are fit — one
+/// on every shard's survivors, one on the surviving shards only. Both
+/// are evaluated on the same clean `test` set.
+///
+/// # Errors
+///
+/// [`UdmError::InvalidConfig`] for `shards == 0` or a `down` index out
+/// of range; otherwise as [`evaluate_degraded`] (fault-injector,
+/// ingest, fit and evaluation errors — e.g. the surviving shards lost a
+/// whole class).
+pub fn evaluate_sharded_degraded(
+    train: &UncertainDataset,
+    test: &UncertainDataset,
+    setup: &ChaosSetup,
+    shards: usize,
+    down: &[usize],
+) -> Result<ShardedDegradationReport> {
+    if shards == 0 {
+        return Err(UdmError::InvalidConfig("shards must be at least 1".into()));
+    }
+    if let Some(&bad) = down.iter().find(|&&s| s >= shards) {
+        return Err(UdmError::InvalidConfig(format!(
+            "down shard {bad} out of range for {shards} shards"
+        )));
+    }
+    let faulty = FaultyStream::new(train, setup.plan.clone(), setup.seed)?;
+    let (records, faults) = faulty.records();
+    let mut survivors_by_shard: Vec<Vec<udm_core::UncertainPoint>> = Vec::with_capacity(shards);
+    let mut counters_by_shard = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let mut ingest =
+            ResilientIngestor::new(train.dim(), setup.maintainer, setup.policy.clone())?;
+        let mut points = Vec::new();
+        for r in records
+            .iter()
+            .filter(|r| r.seq % shards as u64 == shard as u64)
+        {
+            let observed = ingest.observe(r)?;
+            points.extend(observed.admitted.into_iter().map(|a| a.point));
+        }
+        points.extend(ingest.drain_quarantine()?.into_iter().map(|a| a.point));
+        survivors_by_shard.push(points);
+        counters_by_shard.push(*ingest.counters());
+    }
+
+    let mut full_points = Vec::new();
+    let mut degraded_points = Vec::new();
+    let mut counters = IngestCounters::default();
+    for (shard, points) in survivors_by_shard.iter().enumerate() {
+        full_points.extend(points.iter().cloned());
+        if !down.contains(&shard) {
+            degraded_points.extend(points.iter().cloned());
+            counters.absorb(&counters_by_shard[shard]);
+        }
+    }
+    let survivors_full = full_points.len();
+    let survivors_degraded = degraded_points.len();
+
+    let full_set = UncertainDataset::from_points(full_points)?;
+    let full_model = DensityClassifier::fit(&full_set, setup.classifier)?;
+    let full = evaluate(&full_model, test)?;
+
+    let degraded_set = UncertainDataset::from_points(degraded_points)?;
+    let degraded_model = DensityClassifier::fit(&degraded_set, setup.classifier)?;
+    let degraded = evaluate(&degraded_model, test)?;
+
+    let serving = shards - down.iter().collect::<std::collections::BTreeSet<_>>().len();
+    Ok(ShardedDegradationReport {
+        shards,
+        down: down.to_vec(),
+        coverage: f64_from_usize(serving) / f64_from_usize(shards),
+        full,
+        degraded,
+        counters,
+        faults,
+        survivors_full,
+        survivors_degraded,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +364,40 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("fault rate 0.20"), "{text}");
         assert!(text.contains("survivors"), "{text}");
+    }
+
+    #[test]
+    fn sharded_degraded_reports_coverage_and_bounded_drop() {
+        let train = labeled_set(400, 5);
+        let test = labeled_set(120, 6);
+        let report = evaluate_sharded_degraded(&train, &test, &setup(0.1), 4, &[2]).unwrap();
+        assert_eq!(report.shards, 4);
+        assert_eq!(report.coverage, 0.75);
+        assert!(report.survivors_degraded < report.survivors_full);
+        // Losing one of four shards of a well-mixed stream costs little:
+        // both models see both classes and stay far above chance.
+        assert!(report.degraded.accuracy() > 0.6, "{report}");
+        assert!(report.within(0.25), "{report}");
+        let text = report.to_string();
+        assert!(text.contains("coverage 0.75"), "{text}");
+    }
+
+    #[test]
+    fn sharded_degraded_with_no_down_shards_matches_full() {
+        let train = labeled_set(300, 7);
+        let test = labeled_set(100, 8);
+        let report = evaluate_sharded_degraded(&train, &test, &setup(0.0), 3, &[]).unwrap();
+        assert_eq!(report.coverage, 1.0);
+        assert_eq!(report.survivors_full, report.survivors_degraded);
+        assert_eq!(report.accuracy_drop(), 0.0);
+    }
+
+    #[test]
+    fn sharded_degraded_validates_inputs() {
+        let train = labeled_set(60, 9);
+        let test = labeled_set(30, 10);
+        assert!(evaluate_sharded_degraded(&train, &test, &setup(0.0), 0, &[]).is_err());
+        assert!(evaluate_sharded_degraded(&train, &test, &setup(0.0), 2, &[2]).is_err());
     }
 
     #[test]

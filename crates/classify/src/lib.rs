@@ -46,7 +46,10 @@ pub mod tune;
 
 pub use batch::{classify_batch, guarded_par_map, PAR_CROSSOVER_POINTS};
 pub use config::{ClassifierConfig, Fallback};
-pub use degraded::{evaluate_degraded, survivors_of, ChaosSetup, DegradationReport};
+pub use degraded::{
+    evaluate_degraded, evaluate_sharded_degraded, survivors_of, ChaosSetup, DegradationReport,
+    ShardedDegradationReport,
+};
 pub use eval::{evaluate, evaluate_parallel, Classifier, EvalReport};
 pub use kfold::{cross_validate, cross_validate_parallel, CrossValidationReport};
 pub use model::{ClassificationOutcome, DensityClassifier};

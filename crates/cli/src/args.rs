@@ -118,6 +118,13 @@ pub enum Command {
         seed: u64,
         /// When set, fail unless every accuracy drop is at most this.
         bound: Option<f64>,
+        /// Number of shard fault domains for the sharded drill (1 =
+        /// single-stream drill only).
+        shards: usize,
+        /// When set, kill this shard mid-ingest: first warm-restart it
+        /// and demand a bit-identical merged model, then take it
+        /// permanently down and report degraded coverage.
+        kill_shard: Option<usize>,
     },
     /// Export the in-process telemetry registry.
     Metrics {
@@ -491,6 +498,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
             let mut rates = vec![0.05, 0.15, 0.3];
             let mut seed = 7;
             let mut bound = None;
+            let mut shards = 1;
+            let mut kill_shard = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--n" => n = parse_num("--n", it.next())?,
@@ -500,6 +509,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                     "--rates" => rates = parse_f64_list("--rates", it.next())?,
                     "--seed" => seed = parse_num("--seed", it.next())?,
                     "--bound" => bound = Some(parse_num("--bound", it.next())?),
+                    "--shards" => shards = parse_num("--shards", it.next())?,
+                    "--kill-shard" => kill_shard = Some(parse_num("--kill-shard", it.next())?),
                     other => return Err(invalid(format!("unknown flag {other:?}"))),
                 }
             }
@@ -512,6 +523,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
             {
                 return Err(invalid("--rates entries must lie in [0, 1]"));
             }
+            if shards == 0 {
+                return Err(invalid("--shards must be at least 1"));
+            }
+            if let Some(k) = kill_shard {
+                if shards < 2 {
+                    return Err(invalid("--kill-shard needs --shards of at least 2"));
+                }
+                if k >= shards {
+                    return Err(invalid(format!(
+                        "--kill-shard {k} is out of range for {shards} shards"
+                    )));
+                }
+            }
             Ok(Command::Chaos {
                 dataset,
                 n,
@@ -521,6 +545,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                 rates,
                 seed,
                 bound,
+                shards,
+                kill_shard,
             })
         }
         "metrics" => {
@@ -760,6 +786,8 @@ mod tests {
                 rates,
                 seed,
                 bound,
+                shards,
+                kill_shard,
             } => {
                 assert_eq!(dataset, UciDataset::BreastCancer);
                 assert_eq!(n, 400);
@@ -769,6 +797,8 @@ mod tests {
                 assert_eq!(rates, vec![0.05, 0.15, 0.3]);
                 assert_eq!(seed, 7);
                 assert!(bound.is_none());
+                assert_eq!(shards, 1);
+                assert!(kill_shard.is_none());
             }
             _ => panic!("wrong command"),
         }
@@ -783,6 +813,10 @@ mod tests {
             "0.2",
             "--seed",
             "9",
+            "--shards",
+            "4",
+            "--kill-shard",
+            "2",
         ])
         .unwrap();
         match c {
@@ -791,12 +825,16 @@ mod tests {
                 rates,
                 bound,
                 seed,
+                shards,
+                kill_shard,
                 ..
             } => {
                 assert_eq!(n, 250);
                 assert_eq!(rates, vec![0.1, 0.4]);
                 assert_eq!(bound, Some(0.2));
                 assert_eq!(seed, 9);
+                assert_eq!(shards, 4);
+                assert_eq!(kill_shard, Some(2));
             }
             _ => panic!("wrong command"),
         }
@@ -809,6 +847,22 @@ mod tests {
         assert!(parse(&["chaos", "adult", "--rates", "0.1,1.5"]).is_err());
         assert!(parse(&["chaos", "adult", "--rates", "-0.1"]).is_err());
         assert!(parse(&["chaos", "adult", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn chaos_validates_shards() {
+        assert!(parse(&["chaos", "adult", "--shards", "0"]).is_err());
+        assert!(parse(&["chaos", "adult", "--kill-shard", "0"]).is_err());
+        assert!(parse(&["chaos", "adult", "--shards", "4", "--kill-shard", "4"]).is_err());
+        match parse(&["chaos", "adult", "--shards", "4", "--kill-shard", "3"]).unwrap() {
+            Command::Chaos {
+                shards, kill_shard, ..
+            } => {
+                assert_eq!(shards, 4);
+                assert_eq!(kill_shard, Some(3));
+            }
+            _ => panic!("wrong command"),
+        }
     }
 
     #[test]

@@ -5,20 +5,21 @@ use crate::args::{Command, Invocation, MetricsFormat};
 use std::io::Write;
 use std::path::Path;
 use udm_classify::{
-    evaluate, survivors_of, ChaosSetup, ClassifierConfig, DegradationReport, DensityClassifier,
-    NnClassifier,
+    evaluate, evaluate_sharded_degraded, survivors_of, ChaosSetup, ClassifierConfig,
+    DegradationReport, DensityClassifier, NnClassifier,
 };
 use udm_cluster::{
     adjusted_rand_index, normalized_mutual_information, Dbscan, DbscanConfig, KMeans, KMeansConfig,
 };
 use udm_core::{Result, Subspace, UdmError, UncertainDataset};
 use udm_data::csv_io;
-use udm_data::fault::FaultPlan;
+use udm_data::fault::{FaultPlan, FaultyStream};
 use udm_data::{ErrorModel, UciDataset};
 use udm_kde::{ErrorKde, KdeConfig};
 use udm_microcluster::snapshot::Snapshot;
 use udm_microcluster::{
-    AssignmentDistance, IngestPolicy, MaintainerConfig, MicroClusterKde, MicroClusterMaintainer,
+    AssignmentDistance, IngestPolicy, KillPlan, MaintainerConfig, MicroClusterKde,
+    MicroClusterMaintainer, ShardPlan, ShardSupervisor,
 };
 
 const USAGE: &str = "\
@@ -40,6 +41,7 @@ USAGE:
   udm chaos     <adult|ionosphere|breast_cancer|forest_cover>
                [--n N] [--f F] [--q Q] [--threshold A]
                [--rates R1,R2,...] [--seed S] [--bound B]
+               [--shards S] [--kill-shard K]
   udm metrics   [--format prom|json|table] [--out FILE]
   udm help
 
@@ -84,6 +86,116 @@ fn seed_of(command: &Command) -> Option<u64> {
         | Command::Chaos { seed, .. } => Some(*seed),
         _ => None,
     }
+}
+
+/// The sharded fault-domain drill behind `udm chaos --shards S`.
+///
+/// Partitions a corrupted copy of the training stream across `S` shard
+/// workers and proves three properties in sequence: a no-fault sharded
+/// run conserves the stream at coverage 1.0; killing `--kill-shard K`
+/// mid-ingest and warm-restarting it from its versioned checkpoint
+/// reproduces the no-fault merged model bit-for-bit; and taking the same
+/// shard permanently down serves the survivors at coverage `(S-1)/S`
+/// with a measured (and `--bound`-enforced) accuracy drop.
+///
+/// Returns the worst accuracy drop the drill observed, so the caller can
+/// fold it into the `--bound` check alongside the single-stream rates.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded_drill<W: Write>(
+    out: &mut W,
+    train: &UncertainDataset,
+    test: &UncertainDataset,
+    rates: &[f64],
+    seed: u64,
+    q: usize,
+    classifier: ClassifierConfig,
+    shards: usize,
+    kill_shard: Option<usize>,
+) -> Result<f64> {
+    let _span = udm_observe::span!("cli_chaos_sharded");
+    let rate = rates[0];
+    let faulty = FaultyStream::new(train, FaultPlan::uniform(rate), seed.wrapping_add(500))?;
+    let (records, faults) = faulty.records();
+    let dir = std::env::temp_dir().join(format!("udm_chaos_cli_{}", std::process::id()));
+
+    let supervisor = |tag: &str| -> Result<ShardSupervisor> {
+        let mut plan = ShardPlan::new(shards, dir.join(tag));
+        // A cadence coprime to the usual kill offsets, so the warm
+        // restart exercises a genuine partition-tail replay.
+        plan.checkpoint_every = 25;
+        ShardSupervisor::new(
+            train.dim(),
+            MaintainerConfig::new(q),
+            IngestPolicy::default(),
+            plan,
+        )
+    };
+
+    writeln!(
+        out,
+        "sharded drill: {} fault domains, {} records at rate {rate} ({} faults injected)",
+        shards,
+        records.len(),
+        faults.total()
+    )?;
+    let mut clean = supervisor("clean")?;
+    clean.run(&records, &KillPlan::none())?;
+    let (clean_model, clean_coverage, _) = clean.finish()?;
+    writeln!(
+        out,
+        "  no-fault run: {} clusters, {} points, coverage {clean_coverage:.2}",
+        clean_model.num_clusters(),
+        clean_model.total_points()
+    )?;
+
+    let mut worst = f64::NEG_INFINITY;
+    if let Some(k) = kill_shard {
+        // Warm-restart leg: the kill lands mid-partition, off the
+        // checkpoint cadence, so a genuine tail replay is exercised.
+        let offset = (records.len() / shards / 2 + 3) as u64;
+        let mut drilled = supervisor("killed")?;
+        drilled.run(&records, &KillPlan::none().kill_at(k, offset))?;
+        let (model, coverage, report) = drilled.finish()?;
+        let identical = model == clean_model;
+        writeln!(
+            out,
+            "  kill shard {k} at offset {offset}: {} restart(s), {} replayed, \
+             coverage {coverage:.2}, merged model bit-identical: {identical}",
+            report.total_restarts(),
+            report.total_replayed()
+        )?;
+        if !identical {
+            return Err(UdmError::InvalidConfig(format!(
+                "warm-restarted shard {k} diverged from the no-fault merged model"
+            )));
+        }
+
+        // Permanent-loss leg: the shard never comes back; the survivors
+        // serve at fractional coverage.
+        let mut lost = supervisor("lost")?;
+        lost.run(&records, &KillPlan::none().permanently_down(k))?;
+        let (down_model, down_coverage, down_report) = lost.finish()?;
+        writeln!(
+            out,
+            "  shard {k} permanently down: coverage {down_coverage:.2}, \
+             {} live shard(s), {} points served",
+            down_report.live_shards(),
+            down_model.total_points()
+        )?;
+
+        let setup = ChaosSetup {
+            plan: FaultPlan::uniform(rate),
+            seed: seed.wrapping_add(500),
+            policy: IngestPolicy::default(),
+            maintainer: MaintainerConfig::new(q),
+            classifier,
+        };
+        let degraded = evaluate_sharded_degraded(train, test, &setup, shards, &[k])?;
+        writeln!(out, "  {degraded}")?;
+        worst = worst.max(degraded.accuracy_drop());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(worst)
 }
 
 fn load(path: &Path) -> Result<UncertainDataset> {
@@ -380,6 +492,8 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<()> {
             rates,
             seed,
             bound,
+            shards,
+            kill_shard,
         } => {
             let _span_cmd = udm_observe::span!("cli_chaos");
             let synthesize = |rows: usize, s: u64| -> Result<UncertainDataset> {
@@ -428,6 +542,11 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<()> {
                 };
                 writeln!(out, "{report}")?;
                 worst = worst.max(report.accuracy_drop());
+            }
+            if shards > 1 {
+                worst = worst.max(run_sharded_drill(
+                    out, &train, &test, &rates, seed, q, config, shards, kill_shard,
+                )?);
             }
             if let Some(b) = bound {
                 if worst > b {
@@ -849,6 +968,35 @@ mod tests {
         assert!(out.contains("fault rate 0.00"), "{out}");
         assert!(out.contains("fault rate 0.20"), "{out}");
         assert!(out.contains("ingest:"), "{out}");
+        assert!(out.contains("all fault rates within bound 1"), "{out}");
+    }
+
+    #[test]
+    fn chaos_sharded_drill_reports_recovery_and_coverage() {
+        let out = run_cli(&[
+            "chaos",
+            "breast_cancer",
+            "--n",
+            "160",
+            "--q",
+            "15",
+            "--rates",
+            "0.1",
+            "--shards",
+            "4",
+            "--kill-shard",
+            "2",
+            "--bound",
+            "1.0",
+        ])
+        .unwrap();
+        assert!(out.contains("sharded drill: 4 fault domains"), "{out}");
+        assert!(out.contains("merged model bit-identical: true"), "{out}");
+        assert!(
+            out.contains("shard 2 permanently down: coverage 0.75"),
+            "{out}"
+        );
+        assert!(out.contains("coverage 0.75"), "{out}");
         assert!(out.contains("all fault rates within bound 1"), "{out}");
     }
 

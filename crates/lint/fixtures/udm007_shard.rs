@@ -1,0 +1,75 @@
+//! UDM007 fixture: shard-worker fan-out seams. The supervisor in
+//! `udm_microcluster::shard` round-robins workers on one thread today;
+//! these are the shapes a threaded worker pool must NOT take.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub fn shard_workers_shared_registry(partitions: &[Vec<f64>]) -> f64 {
+    let merged = RefCell::new(0.0_f64);
+    rayon::scope(|s| {
+        for part in partitions {
+            s.spawn(|_| {
+                // firing: per-shard workers funnel into a RefCell
+                *merged.borrow_mut() += part.iter().sum::<f64>();
+            });
+        }
+    });
+    0.0
+}
+
+pub fn shard_pair_coverage(left: &[f64], right: &[f64]) -> f64 {
+    let mut covered = 0.0_f64;
+    rayon::join(
+        || {
+            // firing: both halves assign to the captured accumulator
+            covered += left.iter().sum::<f64>();
+        },
+        || right.iter().sum::<f64>(),
+    );
+    covered
+}
+
+pub fn shard_workers_mutexed_merge(partitions: &[Vec<f64>]) -> f64 {
+    let merged = Mutex::new(0.0_f64);
+    rayon::scope(|s| {
+        for part in partitions {
+            s.spawn(|_| {
+                // non-firing: the merge accumulator is lock-mediated
+                let mut guard = merged.lock().unwrap_or_else(|e| e.into_inner());
+                *guard += part.iter().sum::<f64>();
+            });
+        }
+    });
+    let v = *merged.lock().unwrap_or_else(|e| e.into_inner());
+    v
+}
+
+pub fn shard_restart_tally(partitions: &[Vec<f64>]) -> u64 {
+    let restarts = AtomicU64::new(0);
+    rayon::scope(|s| {
+        for _ in partitions {
+            s.spawn(|_| {
+                // non-firing: restart counts cross the seam atomically
+                restarts.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    restarts.load(Ordering::Relaxed)
+}
+
+mod rayon {
+    pub struct Scope;
+    impl Scope {
+        pub fn spawn(&self, f: impl FnOnce(&Scope)) {
+            f(&Scope);
+        }
+    }
+    pub fn scope(f: impl FnOnce(&Scope)) {
+        f(&Scope);
+    }
+    pub fn join<A: FnOnce() -> RA, B: FnOnce() -> RB, RA, RB>(a: A, b: B) -> (RA, RB) {
+        (a(), b())
+    }
+}

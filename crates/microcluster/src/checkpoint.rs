@@ -12,9 +12,12 @@
 //! integrity check is independent of serializer formatting quirks.
 //! Writes go to a sibling temp file first and are atomically renamed
 //! into place, so a crash mid-write leaves the previous checkpoint
-//! intact. Loading detects truncation/corruption
-//! ([`UdmError::CorruptSnapshot`]) and incompatible schema versions
-//! ([`UdmError::UnsupportedSnapshotVersion`]) with typed errors.
+//! intact; the displaced checkpoint is rotated to a `.prev` sibling so
+//! one earlier generation survives the publish. Loading detects
+//! truncation/corruption ([`UdmError::CorruptSnapshot`]) and
+//! incompatible schema versions ([`UdmError::UnsupportedSnapshotVersion`])
+//! with typed errors, and [`load_checkpoint_with_fallback`] recovers
+//! from a damaged latest file via the `.prev` generation.
 //!
 //! [`CheckpointDriver`] wraps an ingestor with periodic checkpointing
 //! and replay-aware recovery: records already reflected in the restored
@@ -192,6 +195,13 @@ pub fn save_checkpoint(path: &Path, payload: &CheckpointPayload) -> Result<()> {
         f.write_all(text.as_bytes())?;
         f.sync_all()?;
     }
+    // Keep one previous generation: if the new file is later truncated
+    // or corrupted on disk, recovery can fall back to it instead of
+    // starting from scratch. A failed rotation (e.g. no previous file)
+    // is not an error.
+    if path.exists() {
+        let _ = std::fs::rename(path, prev_path(path));
+    }
     // Atomic publish: readers see either the old checkpoint or the new
     // one, never a torn write.
     std::fs::rename(&tmp, path)?;
@@ -246,12 +256,44 @@ pub fn load_checkpoint(path: &Path) -> Result<CheckpointPayload> {
     Ok(payload)
 }
 
+/// Loads the checkpoint at `path`, falling back to the previous
+/// generation (`<name>.prev`, kept by [`save_checkpoint`]'s rotation)
+/// when the latest file is unreadable, truncated mid-write, or
+/// otherwise corrupt. The fallback only engages when the previous
+/// generation verifies cleanly; the *original* error is returned when
+/// both generations fail, so callers diagnose the newest file.
+///
+/// # Errors
+///
+/// As [`load_checkpoint`], for the latest generation.
+pub fn load_checkpoint_with_fallback(path: &Path) -> Result<CheckpointPayload> {
+    match load_checkpoint(path) {
+        Ok(payload) => Ok(payload),
+        Err(primary) => match load_checkpoint(&prev_path(path)) {
+            Ok(payload) => {
+                udm_observe::counter_inc!("udm_checkpoint_fallback_loads_total");
+                Ok(payload)
+            }
+            Err(_) => Err(primary),
+        },
+    }
+}
+
 fn tmp_path(path: &Path) -> PathBuf {
+    sibling_with_suffix(path, ".tmp")
+}
+
+/// The sibling path holding the previous checkpoint generation.
+pub fn prev_path(path: &Path) -> PathBuf {
+    sibling_with_suffix(path, ".prev")
+}
+
+fn sibling_with_suffix(path: &Path, suffix: &str) -> PathBuf {
     let mut name = path
         .file_name()
         .map(|n| n.to_os_string())
         .unwrap_or_default();
-    name.push(".tmp");
+    name.push(suffix);
     path.with_file_name(name)
 }
 
@@ -293,19 +335,22 @@ impl CheckpointDriver {
         })
     }
 
-    /// Restores a driver from the checkpoint at `path`.
+    /// Restores a driver from the checkpoint at `path`, falling back to
+    /// the previous generation when the latest file is damaged (see
+    /// [`load_checkpoint_with_fallback`]).
     ///
     /// # Errors
     ///
-    /// As [`load_checkpoint`] and [`CheckpointPayload::restore`];
-    /// [`UdmError::InvalidConfig`] for `every == 0`.
+    /// As [`load_checkpoint_with_fallback`] and
+    /// [`CheckpointPayload::restore`]; [`UdmError::InvalidConfig`] for
+    /// `every == 0`.
     pub fn recover(path: PathBuf, every: u64) -> Result<Self> {
         if every == 0 {
             return Err(UdmError::InvalidConfig(
                 "checkpoint interval must be at least 1".into(),
             ));
         }
-        let payload = load_checkpoint(&path)?;
+        let payload = load_checkpoint_with_fallback(&path)?;
         let next_seq = payload.next_seq;
         Ok(CheckpointDriver {
             ingestor: payload.restore()?,
@@ -582,6 +627,45 @@ mod tests {
         assert!(payload.quarantine.is_empty());
         assert_eq!(payload.counters.released, 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_rotates_previous_generation() {
+        let path = tmp_file("rotate.json");
+        let prev = prev_path(&path);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&prev).ok();
+        let ing = fed_ingestor(30);
+        save_checkpoint(&path, &CheckpointPayload::capture(&ing, 10)).unwrap();
+        assert!(!prev.exists(), "first save has nothing to rotate");
+        save_checkpoint(&path, &CheckpointPayload::capture(&ing, 20)).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap().next_seq, 20);
+        assert_eq!(load_checkpoint(&prev).unwrap().next_seq, 10);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&prev).ok();
+    }
+
+    #[test]
+    fn fallback_recovers_from_truncated_latest() {
+        let path = tmp_file("fallback.json");
+        let prev = prev_path(&path);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&prev).ok();
+        let ing = fed_ingestor(30);
+        save_checkpoint(&path, &CheckpointPayload::capture(&ing, 10)).unwrap();
+        save_checkpoint(&path, &CheckpointPayload::capture(&ing, 20)).unwrap();
+        // Truncate the latest generation mid-"write".
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+        assert!(load_checkpoint(&path).is_err());
+        let payload = load_checkpoint_with_fallback(&path).unwrap();
+        assert_eq!(payload.next_seq, 10);
+        // Both generations damaged: the latest file's error surfaces.
+        std::fs::write(&prev, b"junk").unwrap();
+        let e = load_checkpoint_with_fallback(&path).unwrap_err();
+        assert!(matches!(e, UdmError::CorruptSnapshot { .. }), "{e:?}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&prev).ok();
     }
 
     #[test]

@@ -148,6 +148,23 @@ impl IngestCounters {
     pub fn admitted(&self) -> u64 {
         self.accepted + self.repaired + self.released
     }
+
+    /// Accumulates another counter set into this one — the shard
+    /// roll-up primitive. Monotone counters add; the quarantine
+    /// high-water mark takes the max (depths in different shards never
+    /// coexist in one buffer, so summing would overstate pressure).
+    pub fn absorb(&mut self, other: &IngestCounters) {
+        self.arrivals += other.arrivals;
+        self.accepted += other.accepted;
+        self.repaired += other.repaired;
+        self.repaired_cells += other.repaired_cells;
+        self.quarantined += other.quarantined;
+        self.released += other.released;
+        self.rejected += other.rejected;
+        self.timestamp_repairs += other.timestamp_repairs;
+        self.quarantine_high_water = self.quarantine_high_water.max(other.quarantine_high_water);
+        self.retry_exhausted += other.retry_exhausted;
+    }
 }
 
 impl std::fmt::Display for IngestCounters {
@@ -205,6 +222,18 @@ pub struct AdmittedRecord {
     pub point: UncertainPoint,
 }
 
+/// A quarantined record dropped because its retry budget ran out — the
+/// terminal `Reject` surfaced through [`Observed::exhausted`] so callers
+/// can account for every record instead of seeing a silent drop from the
+/// bounded buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExhaustedRecord {
+    /// Stream position of the dropped record.
+    pub seq: u64,
+    /// Repair attempts made before the drop (`max_retries + 1`).
+    pub attempts: u32,
+}
+
 /// Result of offering one record to the ingestor.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Observed {
@@ -213,6 +242,9 @@ pub struct Observed {
     /// Points admitted by this call: the offered record (if admitted)
     /// plus any quarantined records whose retry came due.
     pub admitted: Vec<AdmittedRecord>,
+    /// Quarantined records terminally rejected by this call because
+    /// their retry budget was exhausted.
+    pub exhausted: Vec<ExhaustedRecord>,
 }
 
 /// Outcome of classifying one record's cells against the policy.
@@ -371,7 +403,8 @@ impl ResilientIngestor {
         self.arrivals += 1;
         self.counters.arrivals += 1;
         let mut admitted = Vec::new();
-        self.release_due(&mut admitted)?;
+        let mut exhausted = Vec::new();
+        self.release_due(&mut admitted, &mut exhausted)?;
 
         let verdict = match self.scan_cells(rec) {
             CellScan::Uninterpretable => {
@@ -451,7 +484,11 @@ impl ResilientIngestor {
                 udm_core::num::f64_from_usize(self.quarantine.len())
             );
         }
-        Ok(Observed { verdict, admitted })
+        Ok(Observed {
+            verdict,
+            admitted,
+            exhausted,
+        })
     }
 
     /// Final flush: repairs and admits every quarantined record it can.
@@ -525,8 +562,14 @@ impl ResilientIngestor {
         Ok(admitted)
     }
 
-    /// Retries quarantined records whose backoff expired.
-    fn release_due(&mut self, admitted: &mut Vec<AdmittedRecord>) -> Result<()> {
+    /// Retries quarantined records whose backoff expired. Records whose
+    /// retry budget runs out are reported through `exhausted` as
+    /// terminal rejects rather than silently vanishing from the buffer.
+    fn release_due(
+        &mut self,
+        admitted: &mut Vec<AdmittedRecord>,
+        exhausted: &mut Vec<ExhaustedRecord>,
+    ) -> Result<()> {
         if self.quarantine.is_empty() {
             return Ok(());
         }
@@ -557,6 +600,10 @@ impl ResilientIngestor {
                 if q.attempts > self.policy.max_retries {
                     self.counters.rejected += 1;
                     self.counters.retry_exhausted += 1;
+                    exhausted.push(ExhaustedRecord {
+                        seq: q.seq,
+                        attempts: q.attempts,
+                    });
                     udm_observe::counter_inc!("udm_ingest_retry_exhausted_total");
                     remove.push(i);
                 } else {
@@ -873,6 +920,58 @@ mod tests {
         // Exhausted its retries and was rejected, not retried forever.
         assert!(ing.quarantine().is_empty());
         assert_eq!(ing.counters().rejected, 1);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_terminal_reject() {
+        let policy = IngestPolicy {
+            min_stats_for_repair: 1_000_000, // unrepairable
+            retry_backoff: 2,
+            max_retries: 2,
+            ..IngestPolicy::default()
+        };
+        let mut ing = ingestor(policy);
+        let mut bad = clean_rec(0, 1.0);
+        bad.values[0] = f64::NAN;
+        assert_eq!(ing.observe(&bad).unwrap().verdict, Verdict::Quarantine);
+        let mut drops = Vec::new();
+        for i in 1..100 {
+            drops.extend(ing.observe(&clean_rec(i, 1.0)).unwrap().exhausted);
+        }
+        // Exactly one terminal reject, tagged with the original seq and
+        // the full attempt count — not a silent drop from the buffer.
+        assert_eq!(
+            drops,
+            vec![ExhaustedRecord {
+                seq: 0,
+                attempts: 3, // max_retries + 1
+            }]
+        );
+        assert_eq!(ing.counters().retry_exhausted, 1);
+        assert_eq!(ing.counters().rejected, 1);
+    }
+
+    #[test]
+    fn counters_absorb_adds_monotone_and_maxes_high_water() {
+        let mut a = IngestCounters {
+            arrivals: 10,
+            accepted: 8,
+            quarantine_high_water: 3,
+            ..IngestCounters::default()
+        };
+        let b = IngestCounters {
+            arrivals: 5,
+            rejected: 2,
+            retry_exhausted: 1,
+            quarantine_high_water: 2,
+            ..IngestCounters::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.arrivals, 15);
+        assert_eq!(a.accepted, 8);
+        assert_eq!(a.rejected, 2);
+        assert_eq!(a.retry_exhausted, 1);
+        assert_eq!(a.quarantine_high_water, 3);
     }
 
     #[test]

@@ -44,7 +44,10 @@
 //! * [`diagnostics`] — summary-health reporting (occupancy balance,
 //!   radii, error mass) and ingest-policy counters,
 //! * [`pyramid`] — the CluStream pyramidal time frame: geometrically
-//!   spaced snapshots with additive subtraction for horizon queries.
+//!   spaced snapshots with additive subtraction for horizon queries,
+//! * [`shard`] — sharded fault-domain ingest: mergeable model partials
+//!   ([`MicroClusterModel`]), a shard supervisor with retry/backoff and
+//!   warm restarts, and degraded-mode serving with a coverage fraction.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -58,19 +61,25 @@ pub mod ingest;
 pub mod maintainer;
 pub mod pseudo;
 pub mod pyramid;
+pub mod shard;
 pub mod snapshot;
 
 pub use checkpoint::{
-    load_checkpoint, save_checkpoint, CheckpointDriver, CheckpointPayload, SCHEMA_VERSION,
+    load_checkpoint, load_checkpoint_with_fallback, save_checkpoint, CheckpointDriver,
+    CheckpointPayload, SCHEMA_VERSION,
 };
 pub use density::MicroClusterKde;
 pub use diagnostics::{diagnose, diagnose_ingest, IngestDiagnostics, SummaryDiagnostics};
 pub use distance::AssignmentDistance;
 pub use feature::MicroCluster;
 pub use ingest::{
-    AdmittedRecord, IngestCounters, IngestPolicy, Observed, QuarantinedRecord, ResilientIngestor,
-    Verdict,
+    AdmittedRecord, ExhaustedRecord, IngestCounters, IngestPolicy, Observed, QuarantinedRecord,
+    ResilientIngestor, Verdict,
 };
 pub use maintainer::{ConcurrentMaintainer, MaintainerConfig, MicroClusterMaintainer};
 pub use pseudo::PseudoPoint;
 pub use pyramid::{subtract_clusters, subtract_snapshots, PyramidalStore, TimedSnapshot};
+pub use shard::{
+    AggregateCft, KillPlan, MicroClusterModel, ShardPlan, ShardRunReport, ShardState,
+    ShardSupervisor,
+};

@@ -1,0 +1,1142 @@
+//! Sharded fault-domain ingest: mergeable model partials, a shard
+//! supervisor with retry/backoff and warm restarts, and degraded-mode
+//! serving.
+//!
+//! The CFT statistics of Definition 1 are additive, which makes a
+//! micro-cluster summary a *mergeable partial aggregate*: S shards can
+//! each maintain an independent summary over a partition of the stream
+//! and the union of their cluster lists is itself a valid summary of
+//! the whole stream. [`MicroClusterModel`] packages that idea — a
+//! cluster list kept in a canonical total order so that merging is
+//! associative and commutative *bit-for-bit*, not just approximately:
+//! merge is list concatenation followed by a canonical re-sort, and
+//! every derived aggregate is computed in canonical order, so any merge
+//! order over the same partials yields identical bytes.
+//!
+//! Against bulk single-stream ingest the comparison is necessarily
+//! looser: per-shard maintainers run their own warm-up and assignment,
+//! so the *clustering* differs, but the aggregate CFT sums are
+//! conserved up to floating-point summation order — the proptests below
+//! pin `n` exactly and the float sums to a documented ulp budget
+//! ([`AGGREGATE_ULP_BOUND`]).
+//!
+//! [`ShardSupervisor`] runs the PR-3 ingest policy engine per shard —
+//! each shard owns a [`CheckpointDriver`] with its own versioned
+//! checkpoint file — and partitions records by `seq % S`. A shard crash
+//! is handled with bounded retries, exponential backoff and a restart
+//! timeout budget; a warm restart recovers the shard's last checkpoint
+//! (falling back to the previous generation if the latest is damaged)
+//! and replays only that shard's partition tail. When a shard stays
+//! dead, the supervisor serves a merged model from the surviving shards
+//! plus any dead shard whose last checkpoint is within the staleness
+//! budget, and reports the covered fraction.
+//!
+//! Threading note: shard workers are driven sequentially here — the
+//! partition function is deterministic and each worker owns disjoint
+//! state, so the loop is embarrassingly parallel and a
+//! `std::thread::scope` seam can drop in without changing any
+//! observable state. The sequential drive is what keeps the crash
+//! drills bit-reproducible on a 1-core CI host.
+
+use crate::checkpoint::{load_checkpoint_with_fallback, prev_path, CheckpointDriver};
+use crate::feature::MicroCluster;
+use crate::ingest::{IngestCounters, IngestPolicy, ResilientIngestor};
+use crate::maintainer::{MaintainerConfig, MicroClusterMaintainer};
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use udm_core::num::{f64_from_count, f64_from_usize};
+use udm_core::{Result, UdmError};
+use udm_data::fault::RawRecord;
+
+/// Documented tolerance for comparing sharded aggregate CFT sums
+/// against bulk single-stream ingest: the partials are summed in a
+/// different order, so the totals may differ by a few ulps per
+/// accumulation step. For the well-conditioned workloads the proptests
+/// generate (no catastrophic cancellation) the observed distance is a
+/// handful of ulps; 4096 leaves two orders of magnitude of headroom
+/// while still catching any real conservation bug, which would be off
+/// by whole data values (millions of ulps).
+pub const AGGREGATE_ULP_BOUND: u64 = 4096;
+
+/// Ulp distance between two `f64`s: how many representable doubles lie
+/// between them (0 when bit-identical; `+0.0` and `-0.0` count as
+/// equal). NaN on either side reports `u64::MAX`.
+#[must_use]
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Map the sign-magnitude bit pattern onto a monotone integer line.
+    fn ordered(x: f64) -> i128 {
+        let bits = x.to_bits();
+        let magnitude = i128::from(bits & 0x7fff_ffff_ffff_ffff);
+        if bits >> 63 == 0 {
+            magnitude
+        } else {
+            -magnitude
+        }
+    }
+    let d = ordered(a) - ordered(b);
+    u64::try_from(d.unsigned_abs()).unwrap_or(u64::MAX)
+}
+
+/// The summed CFT sufficient statistics of a whole model: per-dimension
+/// `Σ CF1x`, `Σ CF2x`, `Σ EF2x` plus total count and newest timestamp.
+///
+/// Computed in the model's canonical cluster order, so two models that
+/// compare equal produce bit-identical aggregates regardless of the
+/// merge order that built them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateCft {
+    /// Per-dimension value sums (`Σ CF1x_j`).
+    pub cf1: Vec<f64>,
+    /// Per-dimension squared-value sums (`Σ CF2x_j`).
+    pub cf2: Vec<f64>,
+    /// Per-dimension squared-error sums (`Σ EF2x_j`).
+    pub ef2: Vec<f64>,
+    /// Total member count.
+    pub n: u64,
+    /// Newest member timestamp.
+    pub last_timestamp: u64,
+}
+
+impl AggregateCft {
+    /// The largest ulp distance across every float component, or `None`
+    /// when the dimensionalities disagree. `n` and `last_timestamp` are
+    /// integers — callers compare them exactly.
+    #[must_use]
+    pub fn max_ulps(&self, other: &AggregateCft) -> Option<u64> {
+        if self.cf1.len() != other.cf1.len() {
+            return None;
+        }
+        let pairwise = |a: &[f64], b: &[f64]| {
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| ulp_distance(x, y))
+                .max()
+                .unwrap_or(0)
+        };
+        Some(
+            pairwise(&self.cf1, &other.cf1)
+                .max(pairwise(&self.cf2, &other.cf2))
+                .max(pairwise(&self.ef2, &other.ef2)),
+        )
+    }
+}
+
+/// Canonical total order over micro-clusters: member count, newest
+/// timestamp, then the lexicographic `total_cmp` of `cf1`, `cf2`,
+/// `ef2`. Ties across *all* keys mean the statistics are bit-identical,
+/// and then relative order is immaterial.
+fn canonical_cmp(a: &MicroCluster, b: &MicroCluster) -> Ordering {
+    let lex = |x: &[f64], y: &[f64]| {
+        x.iter()
+            .zip(y)
+            .map(|(p, q)| p.total_cmp(q))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or(Ordering::Equal)
+    };
+    a.n()
+        .cmp(&b.n())
+        .then_with(|| a.last_timestamp().cmp(&b.last_timestamp()))
+        .then_with(|| lex(a.cf1(), b.cf1()))
+        .then_with(|| lex(a.cf2(), b.cf2()))
+        .then_with(|| lex(a.ef2(), b.ef2()))
+}
+
+/// A mergeable micro-cluster model partial: a cluster list held in
+/// canonical order. `merge` is associative and commutative up to
+/// cluster re-identification — the canonical re-sort makes equal
+/// multisets of clusters compare (and serialize) bit-identically
+/// whatever order they were merged in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroClusterModel {
+    dim: usize,
+    clusters: Vec<MicroCluster>,
+}
+
+impl MicroClusterModel {
+    /// An empty model of the given dimensionality.
+    #[must_use]
+    pub fn empty(dim: usize) -> Self {
+        MicroClusterModel {
+            dim,
+            clusters: Vec::new(),
+        }
+    }
+
+    /// Snapshots a maintainer's clusters into a model partial.
+    #[must_use]
+    pub fn from_maintainer(maintainer: &MicroClusterMaintainer) -> Self {
+        let mut model = MicroClusterModel {
+            dim: maintainer.dim(),
+            clusters: maintainer.clusters().to_vec(),
+        };
+        model.canonicalize();
+        model
+    }
+
+    /// Builds a model from raw clusters.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::DimensionMismatch`] when a cluster disagrees with
+    /// `dim`.
+    pub fn from_clusters(dim: usize, clusters: Vec<MicroCluster>) -> Result<Self> {
+        for c in &clusters {
+            if c.dim() != dim {
+                return Err(UdmError::DimensionMismatch {
+                    expected: dim,
+                    actual: c.dim(),
+                });
+            }
+        }
+        let mut model = MicroClusterModel { dim, clusters };
+        model.canonicalize();
+        Ok(model)
+    }
+
+    fn canonicalize(&mut self) {
+        self.clusters.sort_by(canonical_cmp);
+    }
+
+    /// Dimensionality of the model.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The clusters, in canonical order.
+    #[must_use]
+    pub fn clusters(&self) -> &[MicroCluster] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when the model holds no clusters.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Total member count across clusters.
+    #[must_use]
+    pub fn total_points(&self) -> u64 {
+        self.clusters.iter().map(MicroCluster::n).sum()
+    }
+
+    /// Merges another partial into this one. The other model's clusters
+    /// are appended and the canonical order is restored, so the result
+    /// is independent of merge order.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::DimensionMismatch`] when the models disagree on
+    /// dimensionality.
+    pub fn merge(&mut self, other: &MicroClusterModel) -> Result<()> {
+        if self.dim != other.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: other.dim,
+            });
+        }
+        self.clusters.extend(other.clusters.iter().cloned());
+        self.canonicalize();
+        Ok(())
+    }
+
+    /// Sums the CFT statistics over all clusters, in canonical order —
+    /// the quantity the crash drills compare bit-for-bit.
+    #[must_use]
+    pub fn aggregate(&self) -> AggregateCft {
+        let mut cf1 = vec![0.0; self.dim];
+        let mut cf2 = vec![0.0; self.dim];
+        let mut ef2 = vec![0.0; self.dim];
+        let mut n = 0u64;
+        let mut last_timestamp = 0u64;
+        for c in &self.clusters {
+            for j in 0..self.dim {
+                cf1[j] += c.cf1()[j];
+                cf2[j] += c.cf2()[j];
+                ef2[j] += c.ef2()[j];
+            }
+            n += c.n();
+            last_timestamp = last_timestamp.max(c.last_timestamp());
+        }
+        AggregateCft {
+            cf1,
+            cf2,
+            ef2,
+            n,
+            last_timestamp,
+        }
+    }
+
+    /// Rebuilds a maintainer over the merged clusters (capacity sized
+    /// to the cluster count), e.g. to hand the merged model to the
+    /// micro-cluster KDE or a classifier.
+    ///
+    /// # Errors
+    ///
+    /// As [`MicroClusterMaintainer::from_clusters`] (an empty model is
+    /// rejected there).
+    pub fn to_maintainer(
+        &self,
+        distance: crate::distance::AssignmentDistance,
+    ) -> Result<MicroClusterMaintainer> {
+        let config = MaintainerConfig {
+            max_clusters: self.clusters.len().max(1),
+            distance,
+        };
+        MicroClusterMaintainer::from_clusters(self.clusters.clone(), config)
+    }
+}
+
+/// Configuration of a [`ShardSupervisor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// Number of fault domains `S`; records are partitioned `seq % S`.
+    pub shards: usize,
+    /// Per-shard checkpoint cadence (records between checkpoints).
+    pub checkpoint_every: u64,
+    /// Restart attempts after a crash before the shard is declared
+    /// dead.
+    pub max_restarts: u32,
+    /// Base backoff between restart attempts; attempt `k` waits
+    /// `backoff_base_ms · 2^(k-1)` before retrying.
+    pub backoff_base_ms: u64,
+    /// Cumulative restart budget; exceeding it declares the shard dead
+    /// even with attempts remaining.
+    pub restart_timeout_ms: u64,
+    /// Serving staleness budget: a dead shard whose recoverable state
+    /// lags the stream by at most this many partition records still
+    /// contributes to the merged model (see [`ShardSupervisor::serve`]).
+    pub staleness_budget: u64,
+    /// Directory holding the per-shard checkpoint files.
+    pub dir: PathBuf,
+}
+
+impl ShardPlan {
+    /// A plan with drill-shaped defaults: checkpoint every 64 records,
+    /// 3 restarts, 1 ms base backoff, 250 ms restart budget, and a
+    /// staleness budget of one checkpoint interval.
+    #[must_use]
+    pub fn new(shards: usize, dir: PathBuf) -> Self {
+        ShardPlan {
+            shards,
+            checkpoint_every: 64,
+            max_restarts: 3,
+            backoff_base_ms: 1,
+            restart_timeout_ms: 250,
+            staleness_budget: 64,
+            dir,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(UdmError::InvalidConfig("shards must be at least 1".into()));
+        }
+        if self.checkpoint_every == 0 {
+            return Err(UdmError::InvalidConfig(
+                "checkpoint_every must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn checkpoint_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard{shard}.ckpt.json"))
+    }
+}
+
+/// Fault injection for the chaos drills: crash a shard worker at a
+/// chosen point in its partition, optionally refusing every restart.
+#[derive(Debug, Clone, Default)]
+pub struct KillPlan {
+    /// `(shard, partition offset)`: the worker crashes immediately
+    /// before processing the `offset`-th record of its partition.
+    kills: Vec<(usize, u64)>,
+    /// Shards whose restart attempts always fail (a dead fault domain,
+    /// not a transient crash).
+    permanent: BTreeSet<usize>,
+}
+
+impl KillPlan {
+    /// No faults.
+    #[must_use]
+    pub fn none() -> Self {
+        KillPlan::default()
+    }
+
+    /// Crash `shard` immediately before the `offset`-th record of its
+    /// partition; the warm restart is allowed to succeed.
+    #[must_use]
+    pub fn kill_at(mut self, shard: usize, offset: u64) -> Self {
+        self.kills.push((shard, offset));
+        self
+    }
+
+    /// Take `shard` down for good: it crashes before its first record
+    /// and every restart attempt fails.
+    #[must_use]
+    pub fn permanently_down(mut self, shard: usize) -> Self {
+        self.kills.push((shard, 0));
+        self.permanent.insert(shard);
+        self
+    }
+}
+
+/// Liveness of one shard worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Processing its partition.
+    Live,
+    /// Retries exhausted or restart budget exceeded; its partition tail
+    /// is no longer applied.
+    Dead,
+}
+
+/// Status of one shard in a [`ShardRunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Liveness at the end of the run.
+    pub state: ShardState,
+    /// Partition records offered to this shard.
+    pub offered: u64,
+    /// Warm restarts performed.
+    pub restarts: u32,
+    /// Records fast-forwarded or re-applied during restart replays.
+    pub replayed: u64,
+    /// Partition records not reflected in the shard's recoverable
+    /// state: skipped while dead, plus any tail its last checkpoint
+    /// does not cover.
+    pub lag: u64,
+    /// Ingest counters, where state is recoverable (live workers, or
+    /// dead workers with a readable checkpoint).
+    pub counters: Option<IngestCounters>,
+}
+
+/// Outcome of a supervised sharded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRunReport {
+    /// Number of fault domains.
+    pub shards: usize,
+    /// Records offered to the supervisor.
+    pub offered: u64,
+    /// Per-shard status.
+    pub per_shard: Vec<ShardStatus>,
+}
+
+impl ShardRunReport {
+    /// Shards still live at the end of the run.
+    #[must_use]
+    pub fn live_shards(&self) -> usize {
+        self.per_shard
+            .iter()
+            .filter(|s| s.state == ShardState::Live)
+            .count()
+    }
+
+    /// Total warm restarts across shards.
+    #[must_use]
+    pub fn total_restarts(&self) -> u32 {
+        self.per_shard.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Total replayed records across shards.
+    #[must_use]
+    pub fn total_replayed(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.replayed).sum()
+    }
+
+    /// Ingest counters rolled up over every shard with recoverable
+    /// state.
+    #[must_use]
+    pub fn merged_counters(&self) -> IngestCounters {
+        let mut out = IngestCounters::default();
+        for s in &self.per_shard {
+            if let Some(c) = &s.counters {
+                out.absorb(c);
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ShardRunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} shards, {} records offered, {} live, {} restarts, {} replayed",
+            self.shards,
+            self.offered,
+            self.live_shards(),
+            self.total_restarts(),
+            self.total_replayed()
+        )?;
+        for s in &self.per_shard {
+            writeln!(
+                f,
+                "  shard {}: {:?}, {} offered, {} restarts, {} replayed, lag {}",
+                s.shard, s.state, s.offered, s.restarts, s.replayed, s.lag
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-shard metric names. The registry stores `&'static str` keys, so
+/// the first eight shards get dedicated series; higher indices are
+/// covered by the roll-up counters only.
+static SHARD_LAG_GAUGES: [&str; 8] = [
+    "udm_shard0_lag",
+    "udm_shard1_lag",
+    "udm_shard2_lag",
+    "udm_shard3_lag",
+    "udm_shard4_lag",
+    "udm_shard5_lag",
+    "udm_shard6_lag",
+    "udm_shard7_lag",
+];
+static SHARD_RESTART_COUNTERS: [&str; 8] = [
+    "udm_shard0_restarts_total",
+    "udm_shard1_restarts_total",
+    "udm_shard2_restarts_total",
+    "udm_shard3_restarts_total",
+    "udm_shard4_restarts_total",
+    "udm_shard5_restarts_total",
+    "udm_shard6_restarts_total",
+    "udm_shard7_restarts_total",
+];
+
+/// One shard worker slot. At most one of `driver`/`drained` is `Some`:
+/// `driver` while the worker runs, `drained` after [`ShardSupervisor::finish`].
+#[derive(Debug)]
+struct ShardSlot {
+    driver: Option<CheckpointDriver>,
+    drained: Option<ResilientIngestor>,
+    state: ShardState,
+    offered: u64,
+    restarts: u32,
+    replayed: u64,
+    lag: u64,
+}
+
+/// Drives S independent [`CheckpointDriver`] workers over a partitioned
+/// (possibly faulty) stream, warm-restarting crashed workers from their
+/// checkpoints and serving a merged [`MicroClusterModel`] from whatever
+/// survives.
+#[derive(Debug)]
+pub struct ShardSupervisor {
+    plan: ShardPlan,
+    dim: usize,
+    config: MaintainerConfig,
+    policy: IngestPolicy,
+    slots: Vec<ShardSlot>,
+    offered: u64,
+}
+
+impl ShardSupervisor {
+    /// Creates a supervisor with one fresh ingest worker per shard.
+    /// Checkpoint files live under `plan.dir` (created if absent) as
+    /// `shard<i>.ckpt.json`; stale files from earlier runs are removed
+    /// so they cannot leak into this run's replay cursors.
+    ///
+    /// # Errors
+    ///
+    /// Invalid plan, maintainer configuration or policy; checkpoint
+    /// directory creation failure.
+    pub fn new(
+        dim: usize,
+        config: MaintainerConfig,
+        policy: IngestPolicy,
+        plan: ShardPlan,
+    ) -> Result<Self> {
+        plan.validate()?;
+        std::fs::create_dir_all(&plan.dir)?;
+        let mut slots = Vec::with_capacity(plan.shards);
+        for shard in 0..plan.shards {
+            let path = plan.checkpoint_path(shard);
+            std::fs::remove_file(&path).ok();
+            std::fs::remove_file(prev_path(&path)).ok();
+            let ingestor = ResilientIngestor::new(dim, config, policy.clone())?;
+            slots.push(ShardSlot {
+                driver: Some(CheckpointDriver::new(
+                    ingestor,
+                    path,
+                    plan.checkpoint_every,
+                )?),
+                drained: None,
+                state: ShardState::Live,
+                offered: 0,
+                restarts: 0,
+                replayed: 0,
+                lag: 0,
+            });
+        }
+        Ok(ShardSupervisor {
+            plan,
+            dim,
+            config,
+            policy,
+            slots,
+            offered: 0,
+        })
+    }
+
+    /// The plan in force.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The shard owning a stream position.
+    #[must_use]
+    pub fn shard_of(&self, seq: u64) -> usize {
+        usize::try_from(seq % self.plan.shards as u64).unwrap_or(0)
+    }
+
+    /// Processes a batch of records, injecting the faults described by
+    /// `kills`. Workers are driven in stream order; each crash triggers
+    /// the bounded retry/backoff/timeout restart protocol before the
+    /// offending record is offered.
+    ///
+    /// # Errors
+    ///
+    /// Ingest invariant violations or checkpoint I/O failures on live
+    /// shards. Crash *recovery* failures are not errors — they demote
+    /// the shard to [`ShardState::Dead`].
+    pub fn run(&mut self, records: &[RawRecord], kills: &KillPlan) -> Result<()> {
+        let mut pending: Vec<(usize, u64)> = kills.kills.clone();
+        for (idx, rec) in records.iter().enumerate() {
+            let shard = self.shard_of(rec.seq);
+            if let Some(at) = pending
+                .iter()
+                .position(|&(s, off)| s == shard && off == self.slots[shard].offered)
+            {
+                pending.remove(at);
+                self.crash(shard);
+                self.restart(shard, records, idx, kills.permanent.contains(&shard));
+            }
+            self.offered += 1;
+            let slot = &mut self.slots[shard];
+            slot.offered += 1;
+            match slot.driver.as_mut() {
+                Some(driver) => {
+                    driver.observe(rec)?;
+                }
+                None => {
+                    // Dead shard: its partition tail falls behind.
+                    slot.lag += 1;
+                    if udm_observe::enabled() {
+                        if let Some(name) = SHARD_LAG_GAUGES.get(shard) {
+                            udm_observe::global()
+                                .gauge(name)
+                                .set(f64_from_count(slot.lag));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulated worker crash: the in-memory driver (and everything
+    /// since its last checkpoint) is lost.
+    fn crash(&mut self, shard: usize) {
+        self.slots[shard].driver = None;
+        udm_observe::counter_inc!("udm_shard_crashes_total");
+    }
+
+    /// The bounded restart protocol: up to `max_restarts` attempts with
+    /// exponential backoff, all within the cumulative
+    /// `restart_timeout_ms` budget. A successful attempt recovers the
+    /// checkpoint (previous generation on fallback) and replays the
+    /// partition tail from `records[..upto]`; failure demotes the shard
+    /// to [`ShardState::Dead`].
+    fn restart(&mut self, shard: usize, records: &[RawRecord], upto: usize, permanent: bool) {
+        let started = Instant::now();
+        let path = self.plan.checkpoint_path(shard);
+        for attempt in 0..=self.plan.max_restarts {
+            if attempt > 0 {
+                let factor = 1u64.checked_shl(attempt - 1).unwrap_or(u64::MAX);
+                let wait = self.plan.backoff_base_ms.saturating_mul(factor);
+                std::thread::sleep(Duration::from_millis(wait));
+            }
+            let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            if elapsed_ms > self.plan.restart_timeout_ms {
+                break;
+            }
+            let recovered = if permanent {
+                // A permanently failed fault domain: its storage (and
+                // therefore its checkpoint) is unreachable.
+                None
+            } else if path.exists() || prev_path(&path).exists() {
+                CheckpointDriver::recover(path.clone(), self.plan.checkpoint_every).ok()
+            } else {
+                // Crashed before the first checkpoint: a cold start is
+                // the correct warm restart.
+                ResilientIngestor::new(self.dim, self.config, self.policy.clone())
+                    .and_then(|ing| {
+                        CheckpointDriver::new(ing, path.clone(), self.plan.checkpoint_every)
+                    })
+                    .ok()
+            };
+            if let Some(mut driver) = recovered {
+                let mut replayed = 0u64;
+                let replay_ok = self
+                    .partition(records, upto, shard)
+                    .try_for_each(|r| {
+                        if driver.observe(r)?.is_some() {
+                            replayed += 1;
+                        }
+                        Ok::<(), UdmError>(())
+                    })
+                    .is_ok();
+                if replay_ok {
+                    let slot = &mut self.slots[shard];
+                    slot.driver = Some(driver);
+                    slot.state = ShardState::Live;
+                    slot.restarts += 1;
+                    slot.replayed += replayed;
+                    slot.lag = 0;
+                    if udm_observe::enabled() {
+                        udm_observe::counter_inc!("udm_shard_restarts_total");
+                        if let Some(name) = SHARD_RESTART_COUNTERS.get(shard) {
+                            udm_observe::global().counter(name).inc();
+                        }
+                        if let Some(name) = SHARD_LAG_GAUGES.get(shard) {
+                            udm_observe::global().gauge(name).set(0.0);
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+        // Retries exhausted or budget blown: a dead fault domain. Its
+        // lag starts at the partition records its last recoverable
+        // checkpoint does not cover.
+        let covered = load_checkpoint_with_fallback(&path)
+            .map(|payload| {
+                let n = self
+                    .partition(records, upto, shard)
+                    .filter(|r| r.seq < payload.next_seq)
+                    .count();
+                u64::try_from(n).unwrap_or(u64::MAX)
+            })
+            .unwrap_or(0);
+        let slot = &mut self.slots[shard];
+        slot.state = ShardState::Dead;
+        slot.driver = None;
+        slot.lag = slot.offered.saturating_sub(covered);
+        udm_observe::counter_inc!("udm_shard_deaths_total");
+    }
+
+    /// This shard's partition of `records[..upto]`.
+    fn partition<'a>(
+        &self,
+        records: &'a [RawRecord],
+        upto: usize,
+        shard: usize,
+    ) -> impl Iterator<Item = &'a RawRecord> {
+        let shards = self.plan.shards as u64;
+        let shard = shard as u64;
+        records[..upto]
+            .iter()
+            .filter(move |r| r.seq % shards == shard)
+    }
+
+    /// Serves the merged model from every shard whose state is current
+    /// enough: live shards always contribute; a dead shard contributes
+    /// its last checkpoint when its lag is within the staleness budget.
+    /// Returns the model and the coverage fraction (`contributing / S`).
+    ///
+    /// # Errors
+    ///
+    /// Model merge dimension mismatches (an invariant violation).
+    pub fn serve(&self) -> Result<(MicroClusterModel, f64)> {
+        let started = Instant::now();
+        let mut model = MicroClusterModel::empty(self.dim);
+        let mut contributing = 0usize;
+        for (shard, slot) in self.slots.iter().enumerate() {
+            let partial = if let Some(driver) = &slot.driver {
+                Some(MicroClusterModel::from_maintainer(
+                    driver.ingestor().maintainer(),
+                ))
+            } else if let Some(ingestor) = &slot.drained {
+                Some(MicroClusterModel::from_maintainer(ingestor.maintainer()))
+            } else if slot.state == ShardState::Dead && slot.lag <= self.plan.staleness_budget {
+                load_checkpoint_with_fallback(&self.plan.checkpoint_path(shard))
+                    .ok()
+                    .and_then(|payload| payload.restore().ok())
+                    .map(|ing| MicroClusterModel::from_maintainer(ing.maintainer()))
+            } else {
+                None
+            };
+            if let Some(partial) = partial {
+                model.merge(&partial)?;
+                contributing += 1;
+            }
+        }
+        let coverage = f64_from_usize(contributing) / f64_from_usize(self.plan.shards);
+        if udm_observe::enabled() {
+            udm_observe::gauge_set!("udm_shard_coverage", coverage);
+            udm_observe::histogram_observe!(
+                "udm_shard_merge_seconds",
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Ok((model, coverage))
+    }
+
+    /// Per-shard status and counters.
+    #[must_use]
+    pub fn report(&self) -> ShardRunReport {
+        let per_shard = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| ShardStatus {
+                shard,
+                state: slot.state,
+                offered: slot.offered,
+                restarts: slot.restarts,
+                replayed: slot.replayed,
+                lag: slot.lag,
+                counters: if let Some(driver) = &slot.driver {
+                    Some(*driver.ingestor().counters())
+                } else if let Some(ingestor) = &slot.drained {
+                    Some(*ingestor.counters())
+                } else {
+                    load_checkpoint_with_fallback(&self.plan.checkpoint_path(shard))
+                        .ok()
+                        .map(|p| p.counters)
+                },
+            })
+            .collect();
+        ShardRunReport {
+            shards: self.plan.shards,
+            offered: self.offered,
+            per_shard,
+        }
+    }
+
+    /// Finishes the run: every live worker drains its quarantine and
+    /// writes a final checkpoint, then the merged model is served under
+    /// the usual staleness rule. Returns the model, its coverage
+    /// fraction, and the final report.
+    ///
+    /// # Errors
+    ///
+    /// Quarantine drain or final checkpoint failures on live shards.
+    pub fn finish(mut self) -> Result<(MicroClusterModel, f64, ShardRunReport)> {
+        for slot in &mut self.slots {
+            if let Some(driver) = slot.driver.take() {
+                let (_, ingestor) = driver.finish()?;
+                slot.drained = Some(ingestor);
+            }
+        }
+        let report = self.report();
+        let (model, coverage) = self.serve()?;
+        Ok((model, coverage, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udm_core::UncertainPoint;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("udm_shard_test").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec(seq: u64, v: f64) -> RawRecord {
+        RawRecord {
+            seq,
+            timestamp: seq,
+            values: vec![v, v * 0.25 + 1.0],
+            errors: vec![0.1, 0.2],
+            label: None,
+        }
+    }
+
+    fn stream(n: u64) -> Vec<RawRecord> {
+        (0..n).map(|i| rec(i, (i % 17) as f64 + 0.5)).collect()
+    }
+
+    fn plan(name: &str, shards: usize) -> ShardPlan {
+        ShardPlan {
+            checkpoint_every: 16,
+            backoff_base_ms: 0,
+            staleness_budget: 8,
+            ..ShardPlan::new(shards, test_dir(name))
+        }
+    }
+
+    fn supervisor(name: &str, shards: usize) -> ShardSupervisor {
+        ShardSupervisor::new(
+            2,
+            MaintainerConfig::new(6),
+            IngestPolicy::default(),
+            plan(name, shards),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 3)), 3);
+        assert_eq!(
+            ulp_distance(-1.0, f64::from_bits((-1.0f64).to_bits() + 2)),
+            2
+        );
+        assert!(ulp_distance(-1e-300, 1e-300) > 0);
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn model_merge_is_order_invariant_and_dim_checked() {
+        let p = |v: f64| UncertainPoint::new(vec![v, v + 1.0], vec![0.1, 0.1]).unwrap();
+        let mut a = MicroCluster::new(2);
+        a.insert(&p(1.0)).unwrap();
+        let mut b = MicroCluster::new(2);
+        b.insert(&p(2.0)).unwrap();
+        b.insert(&p(3.0)).unwrap();
+        let ma = MicroClusterModel::from_clusters(2, vec![a.clone()]).unwrap();
+        let mb = MicroClusterModel::from_clusters(2, vec![b.clone()]).unwrap();
+        let mut ab = ma.clone();
+        ab.merge(&mb).unwrap();
+        let mut ba = mb.clone();
+        ba.merge(&ma).unwrap();
+        assert_eq!(ab, ba);
+        assert_eq!(ab.aggregate(), ba.aggregate());
+        assert_eq!(ab.total_points(), 3);
+        let mut wrong = MicroClusterModel::empty(3);
+        assert!(wrong.merge(&ma).is_err());
+    }
+
+    #[test]
+    fn no_fault_sharded_run_conserves_the_stream() {
+        let records = stream(200);
+        let mut sup = supervisor("no_fault", 4);
+        sup.run(&records, &KillPlan::none()).unwrap();
+        let (model, coverage) = sup.serve().unwrap();
+        assert_eq!(coverage, 1.0);
+        assert_eq!(model.total_points(), 200);
+        let report = sup.report();
+        assert_eq!(report.live_shards(), 4);
+        assert_eq!(report.merged_counters().arrivals, 200);
+        assert_eq!(report.total_restarts(), 0);
+    }
+
+    #[test]
+    fn kill_and_warm_restart_is_bit_identical_to_no_fault() {
+        let records = stream(240);
+        let mut clean = supervisor("bitid_clean", 3);
+        clean.run(&records, &KillPlan::none()).unwrap();
+        let (clean_model, _, clean_report) = clean.finish().unwrap();
+
+        let mut faulty = supervisor("bitid_faulty", 3);
+        let kills = KillPlan::none().kill_at(1, 30).kill_at(2, 51);
+        faulty.run(&records, &kills).unwrap();
+        let (faulty_model, coverage, report) = faulty.finish().unwrap();
+
+        assert_eq!(coverage, 1.0);
+        assert_eq!(report.total_restarts(), 2);
+        assert!(report.total_replayed() > 0, "{report}");
+        // The tentpole property: bit-identical clusters and aggregates.
+        assert_eq!(faulty_model, clean_model);
+        assert_eq!(faulty_model.aggregate(), clean_model.aggregate());
+        assert_eq!(report.merged_counters(), clean_report.merged_counters());
+    }
+
+    #[test]
+    fn permanently_down_shard_degrades_coverage() {
+        let records = stream(300);
+        let mut sup = supervisor("perma_down", 4);
+        sup.run(&records, &KillPlan::none().permanently_down(2))
+            .unwrap();
+        let report = sup.report();
+        assert_eq!(report.per_shard[2].state, ShardState::Dead);
+        assert!(report.per_shard[2].lag > sup.plan().staleness_budget);
+        let (model, coverage) = sup.serve().unwrap();
+        assert_eq!(coverage, 0.75);
+        // The dead shard died before processing anything, so the served
+        // model holds exactly the other shards' partitions.
+        assert_eq!(model.total_points(), 300 - report.per_shard[2].offered);
+    }
+
+    #[test]
+    fn dead_shard_within_staleness_budget_serves_its_checkpoint() {
+        let records = stream(200);
+        let mut sup = supervisor("stale_ok", 2);
+        // Kill shard 1 near the end of its partition with every restart
+        // refused: its last checkpoint (cadence 16 over a 100-record
+        // partition, killed at offset 98) misses only a few records, so
+        // the dead shard still serves within the staleness budget.
+        let kills = KillPlan {
+            kills: vec![(1, 98)],
+            permanent: [1usize].into_iter().collect(),
+        };
+        sup.run(&records, &kills).unwrap();
+        let report = sup.report();
+        assert_eq!(report.per_shard[1].state, ShardState::Dead);
+        assert!(
+            report.per_shard[1].lag <= sup.plan().staleness_budget,
+            "{report}"
+        );
+        let (model, coverage) = sup.serve().unwrap();
+        assert_eq!(coverage, 1.0);
+        // The checkpointed partial misses only the un-checkpointed tail.
+        assert!(model.total_points() >= 200 - report.per_shard[1].lag);
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let e = ShardSupervisor::new(
+            2,
+            MaintainerConfig::new(4),
+            IngestPolicy::default(),
+            plan("zero", 0),
+        );
+        assert!(e.is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn records_from(rows: &[(f64, f64)]) -> Vec<RawRecord> {
+        rows.iter()
+            .enumerate()
+            .map(|(i, &(v, e))| RawRecord {
+                seq: i as u64,
+                timestamp: i as u64,
+                values: vec![v, v * 0.5 + 3.0],
+                errors: vec![e, e * 0.5],
+                label: None,
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        // The tentpole invariant: random partitions into S shards and a
+        // random merge order produce a model bit-identical to the
+        // identity merge order, and its aggregate conserves the
+        // single-stream sums within the documented ulp budget.
+        //
+        // Values are kept positive so the cross-ingest comparison is
+        // well-conditioned (no cancellation inflating ulp distances).
+        #[test]
+        fn merge_order_invariance_against_single_stream(
+            rows in proptest::collection::vec((0.5f64..100.0, 0.0f64..10.0), 20..120),
+            shards in 2usize..5,
+            perm_seed in 0u64..1000,
+        ) {
+            let records = records_from(&rows);
+            // Per-shard ingest through plain maintainers (the model
+            // layer; supervisor plumbing is exercised elsewhere).
+            let mut partials = Vec::new();
+            for s in 0..shards {
+                let mut ing = ResilientIngestor::new(
+                    2,
+                    MaintainerConfig::new(4),
+                    IngestPolicy::default(),
+                ).unwrap();
+                for r in records.iter().filter(|r| r.seq % shards as u64 == s as u64) {
+                    ing.observe(r).unwrap();
+                }
+                partials.push(MicroClusterModel::from_maintainer(ing.maintainer()));
+            }
+            // Identity merge order.
+            let mut forward = MicroClusterModel::empty(2);
+            for p in &partials {
+                forward.merge(p).unwrap();
+            }
+            // A deterministic pseudo-random permutation of the partials.
+            let mut order: Vec<usize> = (0..shards).collect();
+            let mut state = perm_seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            for i in (1..order.len()).rev() {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                order.swap(i, j);
+            }
+            let mut shuffled = MicroClusterModel::empty(2);
+            for &i in &order {
+                shuffled.merge(&partials[i]).unwrap();
+            }
+            // Bit-identical across merge orders.
+            prop_assert_eq!(&shuffled, &forward);
+            prop_assert_eq!(shuffled.aggregate(), forward.aggregate());
+
+            // Conservation against bulk single-stream ingest: counts
+            // exact, float sums within the ulp budget.
+            let mut single = ResilientIngestor::new(
+                2,
+                MaintainerConfig::new(4),
+                IngestPolicy::default(),
+            ).unwrap();
+            for r in &records {
+                single.observe(r).unwrap();
+            }
+            let bulk = MicroClusterModel::from_maintainer(single.maintainer()).aggregate();
+            let merged = forward.aggregate();
+            prop_assert_eq!(merged.n, bulk.n);
+            prop_assert_eq!(merged.last_timestamp, bulk.last_timestamp);
+            let ulps = merged.max_ulps(&bulk).unwrap();
+            prop_assert!(
+                ulps <= AGGREGATE_ULP_BOUND,
+                "aggregate drift {} ulps exceeds budget {}",
+                ulps,
+                AGGREGATE_ULP_BOUND
+            );
+        }
+
+        // Merging is associative bit-for-bit: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        #[test]
+        fn merge_is_associative(
+            rows in proptest::collection::vec((0.5f64..50.0, 0.0f64..5.0), 9..60),
+        ) {
+            let records = records_from(&rows);
+            let thirds: Vec<MicroClusterModel> = (0..3).map(|s| {
+                let mut ing = ResilientIngestor::new(
+                    2,
+                    MaintainerConfig::new(3),
+                    IngestPolicy::default(),
+                ).unwrap();
+                for r in records.iter().filter(|r| r.seq % 3 == s) {
+                    ing.observe(r).unwrap();
+                }
+                MicroClusterModel::from_maintainer(ing.maintainer())
+            }).collect();
+            let mut left = thirds[0].clone();
+            left.merge(&thirds[1]).unwrap();
+            left.merge(&thirds[2]).unwrap();
+            let mut right_tail = thirds[1].clone();
+            right_tail.merge(&thirds[2]).unwrap();
+            let mut right = thirds[0].clone();
+            right.merge(&right_tail).unwrap();
+            prop_assert_eq!(&left, &right);
+            prop_assert_eq!(left.aggregate(), right.aggregate());
+        }
+    }
+}

@@ -6,6 +6,7 @@ use std::path::PathBuf;
 use udm_data::fault::{FaultPlan, FaultyStream, RawRecord};
 use udm_data::stream::{DriftingStream, Regime};
 use udm_data::synth::{GaussianClassSpec, MixtureGenerator};
+use udm_microcluster::checkpoint::prev_path;
 use udm_microcluster::{
     load_checkpoint, CheckpointDriver, IngestPolicy, MaintainerConfig, ResilientIngestor,
 };
@@ -118,6 +119,64 @@ fn killed_ingest_recovers_bit_identically() {
 
     std::fs::remove_file(&path_a).ok();
     std::fs::remove_file(&path_b).ok();
+}
+
+#[test]
+fn truncated_latest_checkpoint_falls_back_to_previous_version() {
+    // The crash window this drill covers: the process dies while the
+    // latest checkpoint is being damaged on disk (torn write at the
+    // filesystem level, partial sync, bad sector). Recovery must fall
+    // back to the rotated previous generation and replay a longer tail
+    // — not error out, and not lose a byte of fidelity.
+    let records = faulty_records();
+
+    let path_a = tmp_file("truncation_ref.json");
+    let mut reference = fresh_driver(path_a.clone(), 50);
+    for r in &records {
+        reference.observe(r).unwrap();
+    }
+    let (_, reference) = reference.finish().unwrap();
+
+    let path_b = tmp_file("truncation_crash.json");
+    let kill_at = 537usize;
+    {
+        let mut doomed = fresh_driver(path_b.clone(), 50);
+        for r in &records[..kill_at] {
+            doomed.observe(r).unwrap();
+        }
+    }
+    // Damage the latest generation mid-write; the rotated .prev sibling
+    // (one checkpoint interval older) must exist and verify.
+    let latest = load_checkpoint(&path_b).unwrap();
+    let previous = load_checkpoint(&prev_path(&path_b)).unwrap();
+    assert!(previous.next_seq < latest.next_seq);
+    let text = std::fs::read_to_string(&path_b).unwrap();
+    std::fs::write(&path_b, &text[..text.len() / 2]).unwrap();
+    assert!(load_checkpoint(&path_b).is_err(), "truncation undetected");
+
+    let mut recovered = CheckpointDriver::recover(path_b.clone(), 50).unwrap();
+    assert_eq!(
+        recovered.next_seq(),
+        previous.next_seq,
+        "recovery must resume from the previous generation"
+    );
+    for r in &records {
+        recovered.observe(r).unwrap();
+    }
+    let (_, recovered) = recovered.finish().unwrap();
+
+    assert_eq!(
+        recovered.maintainer().clusters(),
+        reference.maintainer().clusters()
+    );
+    assert_eq!(recovered.col_stats(), reference.col_stats());
+    assert_eq!(recovered.counters(), reference.counters());
+    assert_eq!(recovered.watermark(), reference.watermark());
+
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(prev_path(&path_a)).ok();
+    std::fs::remove_file(&path_b).ok();
+    std::fs::remove_file(prev_path(&path_b)).ok();
 }
 
 #[test]

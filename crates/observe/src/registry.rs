@@ -188,8 +188,33 @@ impl Histogram {
         }
     }
 
-    /// Merges the stripes into per-bucket totals, total count, and sum.
-    fn merge(&self) -> (Vec<u64>, u64, f64) {
+    /// Merges another histogram's totals into this one — the roll-up
+    /// primitive for per-shard metric registries. The merge is only
+    /// defined bucket-by-bucket, so both histograms must share an
+    /// identical bound ladder (bitwise); on a mismatch nothing is merged
+    /// and `false` is returned. The other histogram is not drained:
+    /// merging folds its current totals into one stripe of `self`.
+    pub fn merge(&self, other: &Histogram) -> bool {
+        if self.bounds.len() != other.bounds.len()
+            || self
+                .bounds
+                .iter()
+                .zip(&other.bounds)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            return false;
+        }
+        let (counts, _count, sum) = other.fold_stripes();
+        let stripe = &self.stripes[stripe_index()];
+        for (slot, c) in stripe.counts.iter().zip(&counts) {
+            slot.fetch_add(*c, Ordering::Relaxed);
+        }
+        stripe.add_sum(sum);
+        true
+    }
+
+    /// Folds the stripes into per-bucket totals, total count, and sum.
+    fn fold_stripes(&self) -> (Vec<u64>, u64, f64) {
         let buckets = self.bounds.len() + 1;
         let mut counts = vec![0u64; buckets];
         let mut sum = 0.0;
@@ -206,7 +231,7 @@ impl Histogram {
     /// Snapshots the histogram under `name`.
     #[must_use]
     pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
-        let (bucket_counts, count, sum) = self.merge();
+        let (bucket_counts, count, sum) = self.fold_stripes();
         let q = |p: f64| quantile_from_buckets(&self.bounds, &bucket_counts, count, p);
         let (p50, p95, p99) = (q(0.50), q(0.95), q(0.99));
         HistogramSnapshot {
@@ -387,6 +412,30 @@ impl Registry {
             gauges,
             histograms,
             spans: Vec::new(),
+        }
+    }
+
+    /// Rolls every metric of `other` up into this registry: counters
+    /// add, gauges take the other registry's last value, and histograms
+    /// merge bucket-by-bucket (registered here on first sight with the
+    /// other histogram's bounds). A histogram whose bounds disagree with
+    /// an already-registered namesake is skipped rather than corrupting
+    /// buckets — the same never-panic posture as kind collisions.
+    ///
+    /// `other` must be a distinct registry (per-shard workers roll up
+    /// into the global one); absorbing a registry into itself would
+    /// self-deadlock on the shard locks.
+    pub fn absorb(&self, other: &Registry) {
+        for shard in &other.shards {
+            for (&name, metric) in shard.lock().iter() {
+                match metric {
+                    Metric::Counter(c) => self.counter(name).add(c.get()),
+                    Metric::Gauge(g) => self.gauge(name).set(g.get()),
+                    Metric::Histogram(h) => {
+                        self.histogram_with_bounds(name, h.bounds()).merge(h);
+                    }
+                }
+            }
         }
     }
 
@@ -640,6 +689,46 @@ mod tests {
         assert_eq!(snap.histograms[0].name, "mid");
         r.clear();
         assert!(r.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn histogram_merge_requires_identical_bounds() {
+        let a = Histogram::with_bounds(vec![1.0, 2.0]);
+        let b = Histogram::with_bounds(vec![1.0, 2.0]);
+        let c = Histogram::with_bounds(vec![1.0, 3.0]);
+        for v in [0.5, 1.5, 9.0] {
+            b.observe(v);
+        }
+        a.observe(1.2);
+        assert!(a.merge(&b));
+        assert!(!a.merge(&c), "bound mismatch must refuse to merge");
+        let s = a.snapshot("a");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.bucket_counts, vec![1, 2, 1]);
+        assert!((s.sum - 12.2).abs() < 1e-12, "{s:?}");
+        // `b` is untouched by the roll-up.
+        assert_eq!(b.snapshot("b").count, 3);
+    }
+
+    #[test]
+    fn registry_absorb_rolls_up_shard_registries() {
+        let global_like = Registry::new();
+        global_like.counter("req_total").add(5);
+        let shard = Registry::new();
+        shard.counter("req_total").add(7);
+        shard.gauge("lag").set(3.5);
+        shard.histogram_with_bounds("lat", &[1.0, 2.0]).observe(1.5);
+        global_like.absorb(&shard);
+        let snap = global_like.snapshot();
+        assert_eq!(snap.counters[0].value, 12);
+        assert!((global_like.gauge("lag").get() - 3.5).abs() < 1e-15);
+        let hist = snap.histograms.iter().find(|h| h.name == "lat").unwrap();
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.bounds, vec![1.0, 2.0]);
+        // Absorbing twice keeps adding counter deltas (roll-up is
+        // additive, not idempotent — callers absorb once per epoch).
+        global_like.absorb(&shard);
+        assert_eq!(global_like.counter("req_total").get(), 19);
     }
 
     #[test]

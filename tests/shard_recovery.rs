@@ -1,0 +1,170 @@
+//! Sharded fault-domain drill: partition a corrupted stream across shard
+//! workers, kill some of them mid-ingest, and demand that the merged
+//! model after warm restarts is *bit-identical* to the no-fault sharded
+//! run — and that a permanently lost shard degrades coverage and
+//! accuracy by exactly the advertised amount, no more.
+
+use std::path::PathBuf;
+use udm_classify::{evaluate_sharded_degraded, ChaosSetup, ClassifierConfig};
+use udm_core::UncertainDataset;
+use udm_data::fault::{FaultPlan, FaultyStream, RawRecord};
+use udm_data::stream::{DriftingStream, Regime};
+use udm_data::synth::{GaussianClassSpec, MixtureGenerator};
+use udm_microcluster::{
+    IngestPolicy, KillPlan, MaintainerConfig, ShardPlan, ShardState, ShardSupervisor,
+};
+
+const TRAIN_LEN: u64 = 600;
+
+/// Accuracy loss the degraded (one-shard-down) model must stay within.
+/// Losing 1 of 4 well-mixed partitions removes ~25% of the training
+/// points uniformly at random, which barely moves the class densities.
+const ACCURACY_BOUND: f64 = 0.15;
+
+fn drill_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join("udm_shard_recovery").join(name)
+}
+
+fn drifting_set(seed: u64) -> UncertainDataset {
+    let mixture = |centers: &[(f64, f64)]| {
+        MixtureGenerator::new(
+            2,
+            centers
+                .iter()
+                .map(|&(x, y)| GaussianClassSpec::spherical(vec![x, y], 1.0, 1.0))
+                .collect(),
+        )
+        .unwrap()
+    };
+    DriftingStream::new(
+        vec![
+            Regime {
+                mixture: mixture(&[(0.0, 0.0), (8.0, 8.0)]),
+                duration: TRAIN_LEN * 2 / 3,
+                error_scale: 0.4,
+            },
+            Regime {
+                mixture: mixture(&[(1.0, 1.0), (9.0, 9.0)]),
+                duration: TRAIN_LEN / 3,
+                error_scale: 0.6,
+            },
+        ],
+        seed,
+    )
+    .unwrap()
+    .generate()
+}
+
+fn faulty_records(seed: u64) -> Vec<RawRecord> {
+    let faulty =
+        FaultyStream::new(&drifting_set(seed), FaultPlan::uniform(0.12), seed + 1).unwrap();
+    let (records, log) = faulty.records();
+    assert!(log.total() > 20, "fault mix too thin to drill: {log}");
+    records
+}
+
+fn supervisor(name: &str, shards: usize) -> ShardSupervisor {
+    let mut plan = ShardPlan::new(shards, drill_dir(name));
+    plan.checkpoint_every = 16;
+    plan.backoff_base_ms = 0;
+    ShardSupervisor::new(2, MaintainerConfig::new(25), IngestPolicy::default(), plan).unwrap()
+}
+
+#[test]
+fn arbitrary_shard_kills_recover_bit_identically() {
+    let records = faulty_records(41);
+
+    // Reference: the same partitioning with no faults injected.
+    let mut clean = supervisor("clean", 4);
+    clean.run(&records, &KillPlan::none()).unwrap();
+    let (clean_model, clean_cov, clean_report) = clean.finish().unwrap();
+    assert_eq!(clean_cov, 1.0);
+
+    // Drill: two shards killed at arbitrary partition offsets NOT
+    // aligned to the checkpoint cadence, so genuine tails are replayed
+    // from each shard's own versioned checkpoint.
+    let kills = KillPlan::none().kill_at(1, 37).kill_at(3, 101);
+    let mut drilled = supervisor("killed", 4);
+    drilled.run(&records, &kills).unwrap();
+    let (model, coverage, report) = drilled.finish().unwrap();
+    println!("{report}");
+
+    assert_eq!(coverage, 1.0, "all shards must recover");
+    assert_eq!(report.live_shards(), 4);
+    assert_eq!(report.total_restarts(), 2);
+    assert!(
+        report.total_replayed() > 0,
+        "warm restarts must replay a partition tail"
+    );
+
+    // Bit-identical merged CFT statistics: MicroCluster's PartialEq is
+    // exact f64 equality, and the canonical merge order makes the
+    // comparison insensitive to which shard finished last.
+    assert_eq!(model, clean_model);
+    assert_eq!(model.aggregate(), clean_model.aggregate());
+    assert_eq!(report.merged_counters(), clean_report.merged_counters());
+
+    std::fs::remove_dir_all(drill_dir("clean")).ok();
+    std::fs::remove_dir_all(drill_dir("killed")).ok();
+}
+
+#[test]
+fn permanently_down_shard_serves_at_fractional_coverage() {
+    let records = faulty_records(43);
+
+    let mut degraded = supervisor("perma", 4);
+    degraded
+        .run(&records, &KillPlan::none().permanently_down(2))
+        .unwrap();
+    let (model, coverage, report) = degraded.finish().unwrap();
+    println!("{report}");
+
+    assert_eq!(coverage, 0.75, "coverage must be (S-1)/S");
+    assert_eq!(report.live_shards(), 3);
+    assert_eq!(report.per_shard[2].state, ShardState::Dead);
+
+    // The merged model holds exactly the surviving partitions' points:
+    // the dead shard's contribution is what separates it from a no-fault
+    // run over the same partitioning.
+    let mut reference = supervisor("perma_ref", 4);
+    reference.run(&records, &KillPlan::none()).unwrap();
+    let (full_model, _, full_report) = reference.finish().unwrap();
+    let lost = full_report.per_shard[2]
+        .counters
+        .as_ref()
+        .map(|c| c.accepted + c.repaired)
+        .unwrap_or(0);
+    assert!(lost > 0, "shard 2 must have owned part of the stream");
+    assert_eq!(model.total_points() + lost, full_model.total_points());
+
+    std::fs::remove_dir_all(drill_dir("perma")).ok();
+    std::fs::remove_dir_all(drill_dir("perma_ref")).ok();
+}
+
+#[test]
+fn degraded_serving_bounds_accuracy_loss() {
+    let train = drifting_set(45);
+    let test = drifting_set(46);
+    let setup = ChaosSetup {
+        plan: FaultPlan::uniform(0.10),
+        seed: 9,
+        policy: IngestPolicy::default(),
+        maintainer: MaintainerConfig::new(25),
+        classifier: ClassifierConfig::error_adjusted(25),
+    };
+
+    let report = evaluate_sharded_degraded(&train, &test, &setup, 4, &[2]).unwrap();
+    println!("{report}");
+
+    assert_eq!(report.coverage, 0.75);
+    assert_eq!(report.shards, 4);
+    assert!(
+        report.within(ACCURACY_BOUND),
+        "one lost shard of four must not cost more than {ACCURACY_BOUND}: drop {:.4}\n{report}",
+        report.accuracy_drop()
+    );
+    assert!(
+        report.degraded.accuracy() > 0.75,
+        "degraded accuracy collapsed\n{report}"
+    );
+}
