@@ -444,6 +444,13 @@ impl DensityClassifier {
             });
         }
         let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
+        self.scores_from(&oracle)
+    }
+
+    /// Full-space normalized scores from an already-built oracle, so the
+    /// kernel-column caches can be shared with a roll-up over the same
+    /// query.
+    fn scores_from(&self, oracle: &KdeOracle<'_>) -> Result<Vec<(ClassLabel, f64)>> {
         let accs = oracle.accuracies(Subspace::full(self.dim)?)?;
         let total: f64 = accs.iter().filter(|a| a.is_finite()).sum();
         Ok(self
@@ -473,8 +480,45 @@ impl DensityClassifier {
         udm_core::num::ensure_finite_slice("query point errors", x.errors())?;
         let _span_point = udm_observe::span!("classify_point");
         let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
+        self.decide(&oracle)
+    }
+
+    /// Classifies a point and reports the normalized full-space class
+    /// scores in one pass over a *single* set of per-query kernel-column
+    /// caches. Bit-identical to calling [`DensityClassifier::classify_detailed`]
+    /// and [`DensityClassifier::class_scores`] back to back — sharing the
+    /// oracle only avoids rebuilding the column caches (one full-dimension
+    /// density evaluation per KDE), which is the dominant per-query cost
+    /// for a serving layer that wants both the decision and its scores.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::DimensionMismatch`] on a wrong-width query;
+    /// [`UdmError::InvalidValue`] for non-finite values or errors;
+    /// evaluation errors from the underlying KDEs.
+    pub fn classify_scored(
+        &self,
+        x: &UncertainPoint,
+    ) -> Result<(ClassificationOutcome, Vec<(ClassLabel, f64)>)> {
+        if x.dim() != self.dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.dim(),
+            });
+        }
+        udm_core::num::ensure_finite_slice("query point values", x.values())?;
+        udm_core::num::ensure_finite_slice("query point errors", x.errors())?;
+        let _span_point = udm_observe::span!("classify_point");
+        let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
+        let outcome = self.decide(&oracle)?;
+        let scores = self.scores_from(&oracle)?;
+        Ok((outcome, scores))
+    }
+
+    /// The subspace roll-up decision from an already-built oracle.
+    fn decide(&self, oracle: &KdeOracle<'_>) -> Result<ClassificationOutcome> {
         let outcome = rollup(
-            &oracle,
+            oracle,
             self.dim,
             self.config.accuracy_threshold,
             RollupLimits::from_config(&self.config),
@@ -657,6 +701,36 @@ mod tests {
         for p in test.iter() {
             assert_eq!(adj.classify(p).unwrap(), unadj.classify(p).unwrap());
         }
+    }
+
+    #[test]
+    fn classify_scored_matches_separate_calls_bitwise() {
+        let g = informative_mixture();
+        let train = g.generate(400, 55);
+        let test = ErrorModel::paper(1.0)
+            .apply(&g.generate(40, 56), 57)
+            .unwrap();
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(40)).unwrap();
+        for p in test.iter() {
+            let (outcome, scores) = model.classify_scored(p).unwrap();
+            let detailed = model.classify_detailed(p).unwrap();
+            let separate = model.class_scores(p).unwrap();
+            assert_eq!(outcome, detailed);
+            assert_eq!(scores.len(), separate.len());
+            for ((la, sa), (lb, sb)) in scores.iter().zip(separate.iter()) {
+                assert_eq!(la, lb);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "score drift for {la:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_scored_rejects_bad_queries() {
+        let g = informative_mixture();
+        let train = g.generate(100, 58);
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(20)).unwrap();
+        let wrong = UncertainPoint::exact(vec![0.0]).unwrap();
+        assert!(model.classify_scored(&wrong).is_err());
     }
 
     #[test]

@@ -126,6 +126,37 @@ pub enum Command {
         /// permanently down and report degraded coverage.
         kill_shard: Option<usize>,
     },
+    /// Run the long-lived serving daemon over a training CSV.
+    Serve {
+        /// Training CSV (labelled data also fits the classifier).
+        train: PathBuf,
+        /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+        addr: String,
+        /// Micro-cluster budget `q` (also the classifier budget).
+        q: usize,
+        /// Accuracy threshold `a` of the classifier roll-up.
+        threshold: f64,
+        /// Shard fault domains for background ingest.
+        shards: usize,
+        /// Checkpoint/state directory (shared across warm restarts).
+        state_dir: PathBuf,
+        /// Per-shard checkpoint cadence (records).
+        checkpoint_every: u64,
+        /// Records between snapshot publishes.
+        refresh_every: usize,
+        /// Density-batching gathering window in milliseconds.
+        batch_window_ms: u64,
+        /// Disable density request batching (evaluate inline).
+        no_batch: bool,
+        /// `/healthz` degrades below this shard coverage.
+        min_coverage: f64,
+        /// Exit after this many seconds (CI hook; absent = run until
+        /// signalled or POST /shutdown).
+        max_seconds: Option<f64>,
+        /// Sleep between ingest chunks in milliseconds (chaos-drill
+        /// hook: holds the pump mid-stream so a kill can land there).
+        ingest_delay_ms: u64,
+    },
     /// Export the in-process telemetry registry.
     Metrics {
         /// Output encoding.
@@ -549,6 +580,80 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                 kill_shard,
             })
         }
+        "serve" => {
+            let mut train = None;
+            let mut addr = "127.0.0.1:8787".to_string();
+            let mut q = 60;
+            let mut threshold = 0.55;
+            let mut shards = 2;
+            let mut state_dir = None;
+            let mut checkpoint_every = 64;
+            let mut refresh_every = 64;
+            let mut batch_window_ms = 0;
+            let mut no_batch = false;
+            let mut min_coverage: f64 = 1.0;
+            let mut max_seconds = None;
+            let mut ingest_delay_ms = 0;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--train" => {
+                        train = Some(PathBuf::from(
+                            it.next().ok_or_else(|| invalid("--train needs a path"))?,
+                        ))
+                    }
+                    "--addr" => {
+                        addr = it.next().ok_or_else(|| invalid("--addr needs HOST:PORT"))?
+                    }
+                    "--q" => q = parse_num("--q", it.next())?,
+                    "--threshold" => threshold = parse_num("--threshold", it.next())?,
+                    "--shards" => shards = parse_num("--shards", it.next())?,
+                    "--state-dir" => {
+                        state_dir = Some(PathBuf::from(
+                            it.next()
+                                .ok_or_else(|| invalid("--state-dir needs a path"))?,
+                        ))
+                    }
+                    "--checkpoint-every" => {
+                        checkpoint_every = parse_num("--checkpoint-every", it.next())?
+                    }
+                    "--refresh-every" => refresh_every = parse_num("--refresh-every", it.next())?,
+                    "--batch-window-ms" => {
+                        batch_window_ms = parse_num("--batch-window-ms", it.next())?
+                    }
+                    "--no-batch" => no_batch = true,
+                    "--min-coverage" => min_coverage = parse_num("--min-coverage", it.next())?,
+                    "--max-seconds" => max_seconds = Some(parse_num("--max-seconds", it.next())?),
+                    "--ingest-delay-ms" => {
+                        ingest_delay_ms = parse_num("--ingest-delay-ms", it.next())?
+                    }
+                    other => return Err(invalid(format!("unknown flag {other:?}"))),
+                }
+            }
+            if shards == 0 {
+                return Err(invalid("--shards must be at least 1"));
+            }
+            if !(min_coverage.is_finite() && (0.0..=1.0).contains(&min_coverage)) {
+                return Err(invalid("--min-coverage must lie in [0, 1]"));
+            }
+            if refresh_every == 0 {
+                return Err(invalid("--refresh-every must be at least 1"));
+            }
+            Ok(Command::Serve {
+                train: train.ok_or_else(|| invalid("serve requires --train"))?,
+                addr,
+                q,
+                threshold,
+                shards,
+                state_dir: state_dir.ok_or_else(|| invalid("serve requires --state-dir"))?,
+                checkpoint_every,
+                refresh_every,
+                batch_window_ms,
+                no_batch,
+                min_coverage,
+                max_seconds,
+                ingest_delay_ms,
+            })
+        }
         "metrics" => {
             let mut format = MetricsFormat::Prometheus;
             let mut out = None;
@@ -863,6 +968,143 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let c = parse(&["serve", "--train", "t.csv", "--state-dir", "/tmp/s"]).unwrap();
+        match c {
+            Command::Serve {
+                train,
+                addr,
+                q,
+                threshold,
+                shards,
+                state_dir,
+                checkpoint_every,
+                refresh_every,
+                batch_window_ms,
+                no_batch,
+                min_coverage,
+                max_seconds,
+                ingest_delay_ms,
+            } => {
+                assert_eq!(train, PathBuf::from("t.csv"));
+                assert_eq!(addr, "127.0.0.1:8787");
+                assert_eq!(q, 60);
+                assert_eq!(threshold, 0.55);
+                assert_eq!(shards, 2);
+                assert_eq!(state_dir, PathBuf::from("/tmp/s"));
+                assert_eq!(checkpoint_every, 64);
+                assert_eq!(refresh_every, 64);
+                assert_eq!(batch_window_ms, 0);
+                assert!(!no_batch);
+                assert_eq!(min_coverage, 1.0);
+                assert!(max_seconds.is_none());
+                assert_eq!(ingest_delay_ms, 0);
+            }
+            _ => panic!("wrong command"),
+        }
+        let c = parse(&[
+            "serve",
+            "--train",
+            "t.csv",
+            "--state-dir",
+            "/tmp/s",
+            "--addr",
+            "127.0.0.1:0",
+            "--q",
+            "30",
+            "--shards",
+            "3",
+            "--checkpoint-every",
+            "16",
+            "--refresh-every",
+            "32",
+            "--batch-window-ms",
+            "2",
+            "--min-coverage",
+            "0.5",
+            "--max-seconds",
+            "4.5",
+            "--ingest-delay-ms",
+            "10",
+            "--no-batch",
+        ])
+        .unwrap();
+        match c {
+            Command::Serve {
+                addr,
+                q,
+                shards,
+                checkpoint_every,
+                refresh_every,
+                batch_window_ms,
+                no_batch,
+                min_coverage,
+                max_seconds,
+                ingest_delay_ms,
+                ..
+            } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(q, 30);
+                assert_eq!(shards, 3);
+                assert_eq!(checkpoint_every, 16);
+                assert_eq!(refresh_every, 32);
+                assert_eq!(batch_window_ms, 2);
+                assert!(no_batch);
+                assert_eq!(min_coverage, 0.5);
+                assert_eq!(max_seconds, Some(4.5));
+                assert_eq!(ingest_delay_ms, 10);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn serve_validates_required_flags_and_ranges() {
+        assert!(parse(&["serve"]).is_err());
+        assert!(parse(&["serve", "--train", "t.csv"]).is_err());
+        assert!(parse(&["serve", "--state-dir", "/tmp/s"]).is_err());
+        assert!(parse(&[
+            "serve",
+            "--train",
+            "t.csv",
+            "--state-dir",
+            "/tmp/s",
+            "--shards",
+            "0"
+        ])
+        .is_err());
+        assert!(parse(&[
+            "serve",
+            "--train",
+            "t.csv",
+            "--state-dir",
+            "/tmp/s",
+            "--min-coverage",
+            "1.5"
+        ])
+        .is_err());
+        assert!(parse(&[
+            "serve",
+            "--train",
+            "t.csv",
+            "--state-dir",
+            "/tmp/s",
+            "--refresh-every",
+            "0"
+        ])
+        .is_err());
+        assert!(parse(&[
+            "serve",
+            "--train",
+            "t.csv",
+            "--state-dir",
+            "/tmp/s",
+            "--bogus"
+        ])
+        .is_err());
     }
 
     #[test]

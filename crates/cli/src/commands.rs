@@ -42,6 +42,11 @@ USAGE:
                [--n N] [--f F] [--q Q] [--threshold A]
                [--rates R1,R2,...] [--seed S] [--bound B]
                [--shards S] [--kill-shard K]
+  udm serve     --train TRAIN.csv --state-dir DIR [--addr HOST:PORT]
+               [--q Q] [--threshold A] [--shards S]
+               [--checkpoint-every N] [--refresh-every N]
+               [--batch-window-ms MS] [--no-batch] [--min-coverage C]
+               [--max-seconds T] [--ingest-delay-ms MS]
   udm metrics   [--format prom|json|table] [--out FILE]
   udm help
 
@@ -559,6 +564,123 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<()> {
                     "all fault rates within bound {b} (worst drop {worst:.4})"
                 )?;
             }
+            Ok(())
+        }
+        Command::Serve {
+            train,
+            addr,
+            q,
+            threshold,
+            shards,
+            state_dir,
+            checkpoint_every,
+            refresh_every,
+            batch_window_ms,
+            no_batch,
+            min_coverage,
+            max_seconds,
+            ingest_delay_ms,
+        } => {
+            let started = std::time::Instant::now();
+            let data = load(&train)?;
+            // Fit the classifier when the training data is fully labelled
+            // with at least two classes; otherwise /classify answers 503.
+            let labels: Vec<_> = data.iter().filter_map(|p| p.label()).collect();
+            let mut distinct = labels.clone();
+            distinct.sort();
+            distinct.dedup();
+            let classifier = if labels.len() == data.len() && distinct.len() >= 2 {
+                let mut config = ClassifierConfig::error_adjusted(q);
+                config.accuracy_threshold = threshold;
+                Some(std::sync::Arc::new(DensityClassifier::fit(&data, config)?))
+            } else {
+                None
+            };
+            let records: Vec<udm_data::fault::RawRecord> = data
+                .points()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    udm_data::fault::RawRecord::from_point(
+                        i as u64,
+                        &p.clone().with_timestamp(i as u64),
+                    )
+                })
+                .collect();
+
+            let mut config = udm_serve::ServeConfig::new(state_dir.clone());
+            config.addr = addr;
+            config.shards = shards;
+            config.checkpoint_every = checkpoint_every;
+            config.refresh_every = refresh_every;
+            config.max_clusters = q;
+            config.min_coverage = min_coverage;
+            config.chunk_delay = std::time::Duration::from_millis(ingest_delay_ms);
+            config.batch = if no_batch {
+                None
+            } else {
+                Some(udm_serve::BatchConfig {
+                    window: std::time::Duration::from_millis(batch_window_ms),
+                    ..udm_serve::BatchConfig::default()
+                })
+            };
+
+            let server = udm_serve::Server::start(
+                &config,
+                udm_serve::ServeSeed {
+                    dim: data.dim(),
+                    records,
+                    classifier,
+                },
+            )?;
+            writeln!(out, "listening on http://{}", server.addr())?;
+            writeln!(
+                out,
+                "{} start over {} ({} records, {} shards, classifier: {})",
+                if server.warm { "warm" } else { "cold" },
+                state_dir.display(),
+                data.len(),
+                shards,
+                if distinct.len() >= 2 { "on" } else { "off" },
+            )?;
+            // The drills parse the port from a piped (block-buffered)
+            // stdout, so the banner must leave the process now.
+            out.flush()?;
+
+            udm_serve::signal::install();
+            loop {
+                if udm_serve::signal::shutdown_requested() || server.shutdown_via_http() {
+                    break;
+                }
+                if let Some(limit) = max_seconds {
+                    if started.elapsed().as_secs_f64() >= limit {
+                        break;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+
+            let report = server.shutdown_graceful()?;
+            if let Some(report) = &report {
+                writeln!(
+                    out,
+                    "graceful shutdown: {} arrivals, {} admitted, coverage {:.2}",
+                    report.counters.arrivals,
+                    report.counters.admitted(),
+                    report.coverage
+                )?;
+                writeln!(out, "final checkpoint cursors: {:?}", report.next_seqs)?;
+            }
+            let manifest_path = state_dir.join("serve.manifest.json");
+            let manifest_args = vec!["serve".to_string(), train.display().to_string()];
+            let manifest = udm_observe::RunManifest::capture(
+                &manifest_args,
+                None,
+                &format!("serve shards={shards} q={q}"),
+                started,
+            );
+            manifest.write_to(&manifest_path)?;
+            writeln!(out, "wrote manifest {}", manifest_path.display())?;
             Ok(())
         }
         Command::Cluster {

@@ -14,6 +14,8 @@
 //! udm cluster   <data.csv> (--k K | --dbscan EPS,MINPTS) [--euclidean] [--seed S]
 //! udm chaos     <adult|ionosphere|breast_cancer|forest_cover>
 //!               [--n N] [--f F] [--rates R1,R2,…] [--bound B]
+//! udm serve     --train TRAIN.csv --state-dir DIR [--addr HOST:PORT]
+//!               [--q Q] [--shards S] [--no-batch] [--max-seconds T]
 //! udm metrics   [--format prom|json|table] [--out FILE]
 //! ```
 //!

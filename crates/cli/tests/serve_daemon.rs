@@ -1,0 +1,295 @@
+//! Process-level drills for `udm serve`: a real daemon process, real
+//! signals, real HTTP over TCP. Covers the graceful SIGTERM drain (exit
+//! 0, manifest + final checkpoints written) and the chaos drill: kill
+//! -9 mid-ingest, warm-restart from the same state directory, and
+//! demand a model fingerprint bit-identical to an uninterrupted run.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use udm_serve::HealthzResponse;
+
+fn udm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_udm"))
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir()
+            .join("udm_serve_daemon_test")
+            .join(format!("{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// A spawned daemon with its stdout reader. Killed on drop so a failed
+/// assertion can't leak a live process.
+struct Daemon {
+    child: Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(train: &Path, state_dir: &Path, extra: &[&str]) -> Self {
+        let mut child = udm()
+            .args([
+                "serve",
+                "--train",
+                train.to_str().unwrap(),
+                "--state-dir",
+                state_dir.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--q",
+                "15",
+                "--shards",
+                "2",
+            ])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn udm serve");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        // First line is the (flushed) listening banner with the bound port.
+        let mut banner = String::new();
+        stdout.read_line(&mut banner).expect("read banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+            .to_string();
+        Daemon {
+            child,
+            stdout,
+            addr,
+        }
+    }
+
+    /// Second banner line: cold/warm start summary.
+    fn start_line(&mut self) -> String {
+        let mut line = String::new();
+        self.stdout.read_line(&mut line).expect("read start line");
+        line
+    }
+
+    fn healthz(&self) -> HealthzResponse {
+        let (_, body) = http(&self.addr, "GET", "/healthz", "");
+        serde_json::from_str(&body).expect("healthz JSON")
+    }
+
+    fn wait_healthz(&self, secs: u64, pred: impl Fn(&HealthzResponse) -> bool) -> HealthzResponse {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        loop {
+            let h = self.healthz();
+            if pred(&h) {
+                return h;
+            }
+            assert!(Instant::now() < deadline, "healthz wait timed out: {h:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    fn signal(&self, sig: i32) {
+        let status = Command::new("sh")
+            .args(["-c", &format!("kill -{sig} {}", self.child.id())])
+            .status()
+            .expect("run kill");
+        assert!(status.success(), "kill -{sig} failed");
+    }
+
+    /// Waits for exit and returns (exit-success, remaining stdout).
+    fn wait(mut self) -> (bool, String) {
+        let status = self.child.wait().expect("wait on daemon");
+        let mut rest = String::new();
+        self.stdout.read_to_string(&mut rest).expect("drain stdout");
+        (status.success(), rest)
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn write_fixture(dir: &Path, n: usize) -> PathBuf {
+    let train = dir.join("train.csv");
+    let status = udm()
+        .args([
+            "generate",
+            "breast_cancer",
+            "--n",
+            &n.to_string(),
+            "--f",
+            "0.5",
+            "--seed",
+            "3",
+            "--out",
+            train.to_str().unwrap(),
+        ])
+        .status()
+        .expect("run udm generate");
+    assert!(status.success(), "fixture generation failed");
+    train
+}
+
+#[test]
+fn sigterm_drains_flushes_and_exits_zero() {
+    let dir = TempDir::new("sigterm");
+    let n = 160;
+    let train = write_fixture(dir.path(), n);
+    let state = dir.path().join("state");
+
+    let mut daemon = Daemon::spawn(&train, &state, &["--checkpoint-every", "16"]);
+    assert!(daemon.start_line().contains("cold start"));
+    let h = daemon.wait_healthz(60, |h| h.arrivals == n as u64);
+    assert!(h.classifier, "labelled fixture must fit a classifier");
+
+    // The daemon answers real queries before shutdown.
+    let (code, body) = http(
+        &daemon.addr,
+        "POST",
+        "/classify",
+        "{\"values\": [0,0,0,0,0,0,0,0,0]}",
+    );
+    assert_eq!(code, 200, "classify over HTTP: {body}");
+
+    daemon.signal(15);
+    let (ok, rest) = daemon.wait();
+    assert!(ok, "SIGTERM must exit 0; output:\n{rest}");
+    assert!(rest.contains("graceful shutdown"), "{rest}");
+    // No lost ingest records: the drain report accounts for the full
+    // stream and the final checkpoint cursors cover it (with seq % 2
+    // partitioning of 160 records the resume cursors are 159 and 160).
+    assert!(
+        rest.contains(&format!("graceful shutdown: {n} arrivals")),
+        "{rest}"
+    );
+    assert!(
+        rest.contains("final checkpoint cursors: [159, 160]"),
+        "{rest}"
+    );
+    assert!(
+        state.join("serve.manifest.json").is_file(),
+        "manifest missing"
+    );
+}
+
+#[test]
+fn kill9_warm_restart_is_bit_identical_and_answers_promptly() {
+    let dir = TempDir::new("kill9");
+    let n = 160;
+    let train = write_fixture(dir.path(), n);
+
+    // Reference: uninterrupted run, stopped via POST /shutdown.
+    let reference = Daemon::spawn(&train, &dir.path().join("state_ref"), &[]);
+    let want = reference
+        .wait_healthz(60, |h| h.arrivals == n as u64)
+        .model_fingerprint;
+    let (code, _) = http(&reference.addr, "POST", "/shutdown", "");
+    assert_eq!(code, 200);
+    let (ok, rest) = reference.wait();
+    assert!(ok, "POST /shutdown must exit 0; output:\n{rest}");
+
+    // Victim: throttled ingest so SIGKILL lands mid-stream, between
+    // checkpoint cadence writes.
+    let state = dir.path().join("state_chaos");
+    let victim = Daemon::spawn(
+        &train,
+        &state,
+        &[
+            "--checkpoint-every",
+            "8",
+            "--refresh-every",
+            "8",
+            "--ingest-delay-ms",
+            "25",
+        ],
+    );
+    let mid = victim.wait_healthz(60, |h| h.arrivals >= 40);
+    assert!(mid.arrivals >= 40, "kill must land after some ingest");
+    victim.signal(9);
+    {
+        let (ok, _) = victim.wait();
+        assert!(!ok, "SIGKILL cannot exit cleanly");
+    }
+
+    // Warm restart over the surviving checkpoints: serves immediately,
+    // replays to the end, and reproduces the reference CFT stats.
+    let mut resumed = Daemon::spawn(&train, &state, &["--checkpoint-every", "8"]);
+    assert!(resumed.start_line().contains("warm start"));
+    let first = resumed.wait_healthz(60, |h| h.generation >= 1);
+    assert!(
+        first.points > 0,
+        "warm restart must serve the recovered model before replay: {first:?}"
+    );
+    let done = resumed.wait_healthz(60, |h| h.arrivals == n as u64);
+    assert_eq!(
+        done.model_fingerprint, want,
+        "warm-restarted CFT stats must be bit-identical to the reference run"
+    );
+    // And it still answers data queries after recovery.
+    let (code, body) = http(
+        &resumed.addr,
+        "POST",
+        "/density",
+        "{\"values\": [0,0,0,0,0,0,0,0,0]}",
+    );
+    assert_eq!(code, 200, "density after warm restart: {body}");
+
+    daemon_graceful(resumed);
+}
+
+fn daemon_graceful(daemon: Daemon) {
+    daemon.signal(15);
+    let (ok, rest) = daemon.wait();
+    assert!(ok, "graceful exit failed:\n{rest}");
+}

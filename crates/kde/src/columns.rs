@@ -161,6 +161,14 @@ impl KernelColumns {
         self.dim
     }
 
+    /// Whether subspace queries take the dim-major columnar fast path.
+    /// `false` means a non-finite kernel value was cached and every query
+    /// falls back to the row-wise ordering; serving layers surface this so
+    /// an operator can tell which arithmetic path produced a response.
+    pub fn is_columnar(&self) -> bool {
+        self.all_finite
+    }
+
     /// Column `j` as a contiguous slice (one kernel value per row).
     #[inline]
     fn column(&self, j: usize) -> &[f64] {

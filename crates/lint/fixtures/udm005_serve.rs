@@ -1,0 +1,26 @@
+//! UDM005 fixture: serve-layer request handlers. `handle_density_request`
+//! forwards raw floats with no guard (fires); `handle_classify_request`
+//! validates finiteness before evaluating (passes).
+
+pub struct Snapshot {
+    weight: f64,
+}
+
+impl Snapshot {
+    fn mass(&self, query: &[f64]) -> f64 {
+        query.iter().map(|q| q * self.weight).sum()
+    }
+}
+
+// A serve request handler that forwards raw floats without a guard.
+pub fn handle_density_request(snap: &Snapshot, query: &[f64]) -> f64 {
+    snap.mass(query)
+}
+
+// The compliant twin: validates before touching the kernel arithmetic.
+pub fn handle_classify_request(snap: &Snapshot, query: &[f64]) -> Option<f64> {
+    if query.iter().any(|q| !q.is_finite()) {
+        return None;
+    }
+    Some(snap.mass(query))
+}

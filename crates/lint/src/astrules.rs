@@ -124,9 +124,11 @@ const GUARD_IDENTS: [&str; 6] = [
     "is_finite",
 ];
 
-/// UDM005 on the AST: `pub fn density*` / `pub fn classify*` taking
-/// float input must validate or delegate. The AST form gets exact item
-/// extents (no brace-counting drift) and exact `pub` + test gating.
+/// UDM005 on the AST: `pub fn density*` / `pub fn classify*` — and the
+/// serve-layer request handlers `pub fn handle_*density*` /
+/// `pub fn handle_*classify*` — taking float input must validate or
+/// delegate. The AST form gets exact item extents (no brace-counting
+/// drift) and exact `pub` + test gating.
 fn udm005_entry_validation(lexed: &Lexed, ast: &Ast, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
     if !ctx.is_library {
         return;
@@ -139,7 +141,11 @@ fn udm005_entry_validation(lexed: &Lexed, ast: &Ast, ctx: &FileContext, out: &mu
         let Some(name) = item.name.as_deref() else {
             return;
         };
-        if !(name.starts_with("density") || name.starts_with("classify")) {
+        let is_entry = name.starts_with("density")
+            || name.starts_with("classify")
+            || (name.starts_with("handle_")
+                && (name.contains("density") || name.contains("classify")));
+        if !is_entry {
             return;
         }
         let name_tok = item.name_tok.map(|i| &toks[i]);

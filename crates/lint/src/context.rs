@@ -7,8 +7,15 @@ use std::path::Path;
 
 /// Library crates whose non-test code must be panic-free (UDM001) and
 /// whose public estimator entry points must validate inputs (UDM005).
-pub const LIBRARY_CRATES: [&str; 6] =
-    ["core", "kde", "microcluster", "cluster", "classify", "data"];
+pub const LIBRARY_CRATES: [&str; 7] = [
+    "core",
+    "kde",
+    "microcluster",
+    "cluster",
+    "classify",
+    "data",
+    "serve",
+];
 
 /// Hot-path modules (crate/file-stem) where lossy `as` casts are
 /// forbidden (UDM004): the per-query kernels and micro-cluster math.

@@ -977,8 +977,10 @@ impl<'a> Parser<'a> {
         let mut depth = 0i64;
         while let Some(t) = self.cur() {
             let d = match t.text.as_str() {
-                "<" | "<<" if t.kind == TokKind::Punct => i64::from(t.text.len() as u8),
-                ">" | ">>" if t.kind == TokKind::Punct => -i64::from(t.text.len() as u8),
+                "<" if t.kind == TokKind::Punct => 1,
+                "<<" if t.kind == TokKind::Punct => 2,
+                ">" if t.kind == TokKind::Punct => -1,
+                ">>" if t.kind == TokKind::Punct => -2,
                 _ => 0,
             };
             if t.is_punct("(") || t.is_punct("[") {

@@ -434,8 +434,10 @@ const GUARD_IDENTS: [&str; 6] = [
     "is_finite",
 ];
 
-/// UDM005: `pub fn density*` / `pub fn classify*` taking `f64` data must
-/// validate finiteness or delegate to an entry point that does.
+/// UDM005: `pub fn density*` / `pub fn classify*` — and the serve-layer
+/// request handlers `pub fn handle_*density*` / `pub fn handle_*classify*`
+/// — taking `f64` data must validate finiteness or delegate to an entry
+/// point that does.
 fn udm005_entry_validation(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
     if !ctx.is_library {
         return;
@@ -451,9 +453,11 @@ fn udm005_entry_validation(lexed: &Lexed, ctx: &FileContext, out: &mut Vec<Diagn
         let name_tok = &toks[i + 2];
         let name = name_tok.text.clone();
         i += 3;
-        if !(name.starts_with("density") || name.starts_with("classify"))
-            || ctx.in_test(name_tok.start)
-        {
+        let is_entry = name.starts_with("density")
+            || name.starts_with("classify")
+            || (name.starts_with("handle_")
+                && (name.contains("density") || name.contains("classify")));
+        if !is_entry || ctx.in_test(name_tok.start) {
             continue;
         }
         // Parameter list: from the next `(` to its match.

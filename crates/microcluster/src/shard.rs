@@ -355,6 +355,26 @@ impl ShardPlan {
     fn checkpoint_path(&self, shard: usize) -> PathBuf {
         self.dir.join(format!("shard{shard}.ckpt.json"))
     }
+
+    /// The versioned checkpoint file of one shard (`shard<i>.ckpt.json`
+    /// under the plan directory; its rotated previous generation lives at
+    /// the `.prev` sibling). Exposed so serving layers can audit resume
+    /// positions without re-deriving the naming scheme.
+    #[must_use]
+    pub fn checkpoint_file(&self, shard: usize) -> PathBuf {
+        self.checkpoint_path(shard)
+    }
+
+    /// True when the plan directory holds a recoverable checkpoint for at
+    /// least one shard — the signal a restarting server uses to choose
+    /// [`ShardSupervisor::recover`] over a cold [`ShardSupervisor::new`].
+    #[must_use]
+    pub fn has_checkpoints(&self) -> bool {
+        (0..self.shards).any(|s| {
+            let p = self.checkpoint_path(s);
+            p.exists() || crate::checkpoint::prev_path(&p).exists()
+        })
+    }
 }
 
 /// Fault injection for the chaos drills: crash a shard worker at a
@@ -594,10 +614,81 @@ impl ShardSupervisor {
         })
     }
 
+    /// Recovers a supervisor from the per-shard checkpoints already under
+    /// `plan.dir` — the warm-restart constructor a killed serving process
+    /// uses to resume mid-stream. Unlike [`ShardSupervisor::new`], existing
+    /// checkpoint files are *preserved* and become each shard's replay
+    /// cursor: re-offering the stream from the beginning fast-forwards
+    /// every record a shard has already checkpointed (`seq < next_seq`)
+    /// and applies only the un-checkpointed tail, reproducing the CFT
+    /// statistics of an uninterrupted run bit-for-bit. A shard with no
+    /// readable checkpoint (latest and `.prev` both absent) cold-starts.
+    ///
+    /// # Errors
+    ///
+    /// Invalid plan, maintainer configuration or policy; checkpoint
+    /// directory creation failure; a checkpoint file that exists but is
+    /// unrecoverable in both generations (the caller decides whether a
+    /// cold start is an acceptable substitute for a warm one).
+    pub fn recover(
+        dim: usize,
+        config: MaintainerConfig,
+        policy: IngestPolicy,
+        plan: ShardPlan,
+    ) -> Result<Self> {
+        plan.validate()?;
+        std::fs::create_dir_all(&plan.dir)?;
+        let mut slots = Vec::with_capacity(plan.shards);
+        for shard in 0..plan.shards {
+            let path = plan.checkpoint_path(shard);
+            let driver = if path.exists() || prev_path(&path).exists() {
+                CheckpointDriver::recover(path, plan.checkpoint_every)?
+            } else {
+                let ingestor = ResilientIngestor::new(dim, config, policy.clone())?;
+                CheckpointDriver::new(ingestor, path, plan.checkpoint_every)?
+            };
+            slots.push(ShardSlot {
+                driver: Some(driver),
+                drained: None,
+                state: ShardState::Live,
+                offered: 0,
+                restarts: 0,
+                replayed: 0,
+                lag: 0,
+            });
+        }
+        Ok(ShardSupervisor {
+            plan,
+            dim,
+            config,
+            policy,
+            slots,
+            offered: 0,
+        })
+    }
+
     /// The plan in force.
     #[must_use]
     pub fn plan(&self) -> &ShardPlan {
         &self.plan
+    }
+
+    /// Per-shard replay cursors: the next stream `seq` each worker
+    /// expects. After [`ShardSupervisor::recover`] these are the
+    /// checkpointed resume positions; a dead or drained worker reports
+    /// its last known cursor from disk (0 when none is recoverable).
+    #[must_use]
+    pub fn next_seqs(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| match &slot.driver {
+                Some(driver) => driver.next_seq(),
+                None => load_checkpoint_with_fallback(&self.plan.checkpoint_path(shard))
+                    .map(|p| p.next_seq)
+                    .unwrap_or(0),
+            })
+            .collect()
     }
 
     /// The shard owning a stream position.
@@ -1004,6 +1095,59 @@ mod tests {
         assert_eq!(coverage, 1.0);
         // The checkpointed partial misses only the un-checkpointed tail.
         assert!(model.total_points() >= 200 - report.per_shard[1].lag);
+    }
+
+    #[test]
+    fn recover_resumes_from_checkpoints_bit_identically() {
+        let records = stream(200);
+        // Reference: one uninterrupted run.
+        let mut clean = supervisor("recover_clean", 3);
+        clean.run(&records, &KillPlan::none()).unwrap();
+        let (clean_model, _, clean_report) = clean.finish().unwrap();
+
+        // Process killed mid-stream: everything since the last checkpoint
+        // is lost, only the checkpoint files survive.
+        let mut first = supervisor("recover_warm", 3);
+        first.run(&records[..130], &KillPlan::none()).unwrap();
+        drop(first); // no finish(): in-memory state is abandoned
+
+        let p = plan("recover_warm", 3);
+        assert!(p.has_checkpoints());
+        let mut resumed =
+            ShardSupervisor::recover(2, MaintainerConfig::new(6), IngestPolicy::default(), p)
+                .unwrap();
+        let cursors = resumed.next_seqs();
+        assert!(
+            cursors.iter().any(|&s| s > 0),
+            "expected checkpointed resume positions, got {cursors:?}"
+        );
+        // Replay-aware drivers: re-offering the whole stream fast-forwards
+        // the checkpointed prefix and applies only the tail.
+        resumed.run(&records, &KillPlan::none()).unwrap();
+        let (model, coverage, report) = resumed.finish().unwrap();
+        assert_eq!(coverage, 1.0);
+        assert_eq!(model, clean_model);
+        assert_eq!(model.aggregate(), clean_model.aggregate());
+        assert_eq!(report.merged_counters(), clean_report.merged_counters());
+    }
+
+    #[test]
+    fn recover_without_checkpoints_is_a_cold_start() {
+        let p = plan("recover_cold", 2);
+        for s in 0..2 {
+            std::fs::remove_file(p.checkpoint_file(s)).ok();
+            std::fs::remove_file(crate::checkpoint::prev_path(&p.checkpoint_file(s))).ok();
+        }
+        assert!(!p.has_checkpoints());
+        let mut sup =
+            ShardSupervisor::recover(2, MaintainerConfig::new(6), IngestPolicy::default(), p)
+                .unwrap();
+        assert_eq!(sup.next_seqs(), vec![0, 0]);
+        let records = stream(60);
+        sup.run(&records, &KillPlan::none()).unwrap();
+        let (model, coverage, _) = sup.finish().unwrap();
+        assert_eq!(coverage, 1.0);
+        assert_eq!(model.total_points(), 60);
     }
 
     #[test]

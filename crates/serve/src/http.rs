@@ -1,0 +1,256 @@
+//! Minimal hand-rolled HTTP/1.1 framing.
+//!
+//! The workspace vendors every dependency offline, so the daemon speaks
+//! just enough HTTP itself instead of pulling a server framework: one
+//! request line, headers, an optional `Content-Length` body, and a
+//! framed response with keep-alive support. Limits are deliberately
+//! small — this is a model-serving sidecar, not a general web server.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use udm_core::{Result, UdmError};
+
+/// Upper bound on the request line + headers.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the sender per RFC 9112).
+    pub method: String,
+    /// Path component only; any `?query` suffix is split off.
+    pub path: String,
+    /// Raw query string after `?`, when present.
+    pub query: Option<String>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection may carry another request afterwards.
+    pub keep_alive: bool,
+}
+
+/// One response to frame onto the wire.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn parse_error(message: impl Into<String>) -> UdmError {
+    UdmError::Parse {
+        line: 1,
+        message: message.into(),
+    }
+}
+
+fn io_error(e: &std::io::Error) -> UdmError {
+    UdmError::Io(e.to_string())
+}
+
+/// Reads one request off the stream. `Ok(None)` means the peer closed
+/// the connection cleanly before sending anything (normal keep-alive
+/// teardown); a timeout mid-request surfaces as [`UdmError::Io`].
+///
+/// # Errors
+///
+/// [`UdmError::Parse`] for malformed or over-limit requests,
+/// [`UdmError::Io`] for transport failures.
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 2048];
+    let header_end = loop {
+        if let Some(pos) = find_terminator(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(parse_error("request headers exceed 8KB"));
+        }
+        let n = stream.read(&mut chunk).map_err(|e| io_error(&e))?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(parse_error("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| parse_error("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .ok_or_else(|| parse_error("missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| parse_error("missing request target"))?;
+    let version = parts.next().unwrap_or("HTTP/1.0");
+
+    let mut content_length = 0usize;
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| parse_error("bad content-length"))?;
+            } else if name == "connection" {
+                keep_alive = !value.eq_ignore_ascii_case("close")
+                    && (keep_alive || value.eq_ignore_ascii_case("keep-alive"));
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(parse_error("request body exceeds 1MB"));
+    }
+
+    let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| io_error(&e))?;
+        if n == 0 {
+            return Err(parse_error("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Frames and writes one response.
+///
+/// # Errors
+///
+/// [`UdmError::Io`] when the peer is gone.
+pub fn write_response(stream: &mut TcpStream, response: &Response, keep_alive: bool) -> Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(&response.body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| io_error(&e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> Result<Option<Request>> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(&raw).unwrap();
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let got = read_request(&mut server_side);
+        writer.join().unwrap();
+        got
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = round_trip(b"GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query.as_deref(), Some("verbose=1"));
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_and_connection_close() {
+        let req = round_trip(
+            b"POST /density HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nabcd",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(round_trip(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_request_is_parse_error() {
+        assert!(round_trip(b"GET /x HTTP/1.1\r\n").is_err());
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = format!(
+            "POST /density HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(round_trip(raw.as_bytes()).is_err());
+    }
+}

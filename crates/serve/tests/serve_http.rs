@@ -1,0 +1,276 @@
+//! End-to-end daemon tests over real TCP: endpoint round-trips,
+//! degraded `/healthz`, graceful-shutdown checkpoint coverage, and the
+//! in-process kill/warm-restart drill.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use udm_classify::{ClassifierConfig, DensityClassifier};
+use udm_data::fault::RawRecord;
+use udm_data::{GaussianClassSpec, MixtureGenerator};
+use udm_microcluster::KillPlan;
+use udm_serve::{HealthzResponse, ServeConfig, ServeSeed, Server};
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("udm_serve_http_test")
+        .join(format!("{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn labelled_seed(n: usize, seed: u64) -> (ServeSeed, usize) {
+    let g = MixtureGenerator::new(
+        2,
+        vec![
+            GaussianClassSpec {
+                mean: vec![0.0, 0.0],
+                std: vec![1.0, 1.0],
+                weight: 1.0,
+            },
+            GaussianClassSpec {
+                mean: vec![5.0, 5.0],
+                std: vec![1.0, 1.0],
+                weight: 1.0,
+            },
+        ],
+    )
+    .unwrap();
+    let data = g.generate(n, seed);
+    let classifier = DensityClassifier::fit(&data, ClassifierConfig::error_adjusted(20)).unwrap();
+    let records: Vec<RawRecord> = data
+        .points()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| RawRecord::from_point(i as u64, &p.clone().with_timestamp(i as u64)))
+        .collect();
+    (
+        ServeSeed {
+            dim: 2,
+            records,
+            classifier: Some(Arc::new(classifier)),
+        },
+        n,
+    )
+}
+
+/// Minimal HTTP client: one request, fresh connection, full response.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn healthz(addr: SocketAddr) -> (u16, HealthzResponse) {
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    let parsed: HealthzResponse = serde_json::from_str(&body).expect("healthz JSON");
+    (status, parsed)
+}
+
+/// Polls `/healthz` until `pred` holds (or panics after `secs`).
+fn wait_for(
+    addr: SocketAddr,
+    secs: u64,
+    pred: impl Fn(&HealthzResponse) -> bool,
+) -> HealthzResponse {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        let (_, h) = healthz(addr);
+        if pred(&h) {
+            return h;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting on healthz: {h:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn endpoints_round_trip_over_http() {
+    let (seed, n) = labelled_seed(120, 11);
+    let config = ServeConfig {
+        refresh_every: 40,
+        ..ServeConfig::new(test_dir("endpoints"))
+    };
+    let server = Server::start(&config, seed).unwrap();
+    let addr = server.addr();
+
+    let h = wait_for(addr, 30, |h| h.arrivals == n as u64);
+    assert_eq!(h.status, "ok");
+    assert!(h.classifier);
+    assert_eq!(h.model_fingerprint.len(), 16);
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/density",
+        "{\"values\": [1.0, 0.5], \"errors\": null, \"dims\": null}",
+    );
+    assert_eq!(status, 200, "density: {body}");
+    let density: udm_serve::DensityResponse = serde_json::from_str(&body).unwrap();
+    assert!(density.density.is_finite() && density.density > 0.0);
+    assert!(density.batch_size >= 1);
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/density",
+        "{\"values\": [1.0, 0.5], \"dims\": [1]}",
+    );
+    assert_eq!(status, 200, "subspace density: {body}");
+
+    let (status, body) = request(addr, "POST", "/classify", "{\"values\": [5.0, 4.5]}");
+    assert_eq!(status, 200, "classify: {body}");
+    let classify: udm_serve::ClassifyResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(classify.scores.len(), 2);
+
+    let (status, body) = request(addr, "POST", "/cluster", "{\"values\": [0.0, 0.0]}");
+    assert_eq!(status, 200, "cluster: {body}");
+
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("udm_serve_requests_total"),
+        "prometheus export missing serve counters"
+    );
+
+    // Error surface: bad JSON → 400, unknown path → 404, bad method → 405,
+    // non-finite input → 400.
+    let (status, _) = request(addr, "POST", "/density", "{\"values\": [1.0,");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/density", "");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "POST", "/density", "{\"values\": [1.0]}");
+    assert_eq!(status, 400, "dimension mismatch should be a client error");
+
+    server.shutdown_graceful().unwrap();
+}
+
+#[test]
+fn healthz_degrades_on_dead_shard() {
+    let (seed, n) = labelled_seed(100, 12);
+    let config = ServeConfig {
+        shards: 2,
+        kill_plan: KillPlan::none().permanently_down(1),
+        refresh_every: 25,
+        // Past-budget dead shard: its data is dropped from the merge.
+        staleness_budget: 0,
+        ..ServeConfig::new(test_dir("degraded"))
+    };
+    let server = Server::start(&config, seed).unwrap();
+    let addr = server.addr();
+    wait_for(addr, 30, |h| h.generation > 1 && h.coverage < 1.0);
+    let (status, h) = healthz(addr);
+    assert_eq!(status, 503, "degraded coverage must 503: {h:?}");
+    assert_eq!(h.status, "degraded");
+    assert!((h.coverage - 0.5).abs() < 1e-12, "coverage {}", h.coverage);
+    assert!(h.arrivals < n as u64, "dead shard records must be missing");
+    server.shutdown_graceful().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_flushes_checkpoints_covering_the_stream() {
+    let (seed, n) = labelled_seed(90, 13);
+    let config = ServeConfig {
+        shards: 3,
+        checkpoint_every: 16,
+        refresh_every: 30,
+        ..ServeConfig::new(test_dir("graceful"))
+    };
+    let server = Server::start(&config, seed).unwrap();
+    let addr = server.addr();
+    wait_for(addr, 30, |h| h.arrivals == n as u64);
+    let report = server
+        .shutdown_graceful()
+        .unwrap()
+        .expect("graceful report");
+    // No lost ingest records: every arrival is accounted for and the
+    // final checkpoints' resume cursors cover the whole stream. With
+    // seq % 3 partitioning of 90 records the last seqs per shard are
+    // 87, 88, 89 — so the durable cursors must be 88, 89, 90.
+    assert_eq!(report.counters.arrivals, n as u64);
+    assert_eq!(report.offered, n as u64);
+    assert_eq!(report.next_seqs, vec![88, 89, 90]);
+    assert_eq!(report.model.total_points(), n as u64);
+}
+
+#[test]
+fn hard_stop_then_warm_restart_is_bit_identical() {
+    let n = 150;
+
+    // Reference: uninterrupted run to completion.
+    let (seed_ref, _) = labelled_seed(n, 14);
+    let ref_config = ServeConfig {
+        refresh_every: 30,
+        ..ServeConfig::new(test_dir("warm_ref"))
+    };
+    let ref_server = Server::start(&ref_config, seed_ref).unwrap();
+    let want = wait_for(ref_server.addr(), 30, |h| h.arrivals == n as u64).model_fingerprint;
+    ref_server.shutdown_graceful().unwrap();
+
+    // Victim: same stream, held mid-ingest, then hard-stopped (the
+    // in-process stand-in for kill -9 — checkpoints stay wherever the
+    // cadence last wrote them).
+    let dir = test_dir("warm_victim");
+    let (seed_victim, _) = labelled_seed(n, 14);
+    let victim_config = ServeConfig {
+        refresh_every: 30,
+        checkpoint_every: 16,
+        ingest_limit: Some(90),
+        ..ServeConfig::new(dir.clone())
+    };
+    let victim = Server::start(&victim_config, seed_victim).unwrap();
+    assert!(!victim.warm);
+    wait_for(victim.addr(), 30, |h| h.arrivals >= 60);
+    victim.stop_hard().unwrap();
+
+    // Warm restart over the same state dir with the full stream.
+    let (seed_resume, _) = labelled_seed(n, 14);
+    let resume_config = ServeConfig {
+        refresh_every: 30,
+        checkpoint_every: 16,
+        ..ServeConfig::new(dir)
+    };
+    let resumed = Server::start(&resume_config, seed_resume).unwrap();
+    assert!(resumed.warm, "restart must recover the checkpoints");
+    // Staleness budget: the recovered model serves immediately — the
+    // first published generation already has points, before replay of
+    // the full stream completes.
+    let first = wait_for(resumed.addr(), 30, |h| h.generation >= 1);
+    assert!(
+        first.points > 0,
+        "warm restart must serve the recovered model: {first:?}"
+    );
+    let done = wait_for(resumed.addr(), 30, |h| h.arrivals == n as u64);
+    assert_eq!(
+        done.model_fingerprint, want,
+        "warm-restarted CFT stats must be bit-identical to the uninterrupted run"
+    );
+    resumed.shutdown_graceful().unwrap();
+}
