@@ -6,10 +6,11 @@ use crate::rollup::{rollup, AccuracyOracle, DiscriminativeSubspace, RollupLimits
 use crate::subspace_select::select_non_overlapping;
 use rayon::prelude::*;
 use std::cell::OnceCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 use udm_core::{ClassLabel, Result, Subspace, UdmError, UncertainDataset, UncertainPoint};
-use udm_kde::KernelColumns;
-use udm_microcluster::{MaintainerConfig, MicroClusterKde, MicroClusterMaintainer};
+use udm_kde::{BackendSpec, DensityBackend, KernelColumns};
+use udm_microcluster::{build_backend, MaintainerConfig, MicroClusterKde, MicroClusterMaintainer};
 
 /// A trained density-based classifier.
 ///
@@ -54,6 +55,82 @@ pub struct DensityClassifier {
     class_kdes: Vec<MicroClusterKde>,
     global_kde: MicroClusterKde,
     majority: ClassLabel,
+    runtime: BackendRuntime,
+}
+
+/// One density backend per KDE the accuracy ratio (Eq. 11) touches,
+/// all built from the same [`BackendSpec`].
+pub(crate) struct BackendSet {
+    pub(crate) global: Arc<dyn DensityBackend>,
+    pub(crate) per_class: Vec<Arc<dyn DensityBackend>>,
+}
+
+impl BackendSet {
+    pub(crate) fn build(
+        global_kde: &MicroClusterKde,
+        class_kdes: &[MicroClusterKde],
+        spec: &BackendSpec,
+    ) -> Result<Self> {
+        Ok(BackendSet {
+            global: build_backend(global_kde, spec)?,
+            per_class: class_kdes
+                .iter()
+                .map(|kde| build_backend(kde, spec))
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+}
+
+/// Runtime-only backend selection state: the default [`BackendSpec`] and
+/// a per-spec cache of built backend sets (coreset/HBE constructions are
+/// deterministic but not free, so each spec is built once per model).
+/// Interior mutability lets serving layers flip backends on a shared
+/// `Arc<DensityClassifier>`. Never serialized — models on disk stay
+/// backend-agnostic, and a restored model starts back at `Exact`.
+#[derive(Debug, Default)]
+struct BackendRuntime {
+    default_spec: Mutex<BackendSpec>,
+    cache: Mutex<HashMap<String, Arc<BackendSet>>>,
+}
+
+impl std::fmt::Debug for BackendSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendSet")
+            .field("backend", &self.global.name())
+            .field("classes", &self.per_class.len())
+            .finish()
+    }
+}
+
+impl Clone for BackendRuntime {
+    fn clone(&self) -> Self {
+        // The cache holds derived state only; a clone re-derives lazily.
+        BackendRuntime {
+            default_spec: Mutex::new(self.spec()),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl BackendRuntime {
+    fn spec(&self) -> BackendSpec {
+        self.default_spec
+            .lock()
+            .map(|g| *g)
+            .unwrap_or(BackendSpec::Exact)
+    }
+}
+
+impl serde::Serialize for BackendRuntime {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for BackendRuntime {
+    fn from_value(_: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        Ok(BackendRuntime::default())
+    }
 }
 
 /// Everything the classifier can report about one decision.
@@ -81,6 +158,11 @@ struct ColumnSet {
 
 struct KdeOracle<'a> {
     model: &'a DensityClassifier,
+    /// The density implementations every evaluation routes through —
+    /// borrowed from the model's per-spec backend cache. With the
+    /// `Exact` spec these delegate to the very same `MicroClusterKde`
+    /// arithmetic the pre-trait classifier called directly.
+    backends: &'a BackendSet,
     query: &'a [f64],
     /// The test point's own per-dimension error ψ(x). The paper's Figure 1
     /// motivates classifying by what the test example *could* coincide
@@ -97,11 +179,13 @@ struct KdeOracle<'a> {
 impl<'a> KdeOracle<'a> {
     fn new(
         model: &'a DensityClassifier,
+        backends: &'a BackendSet,
         query: &'a [f64],
         query_errors: Option<&'a [f64]>,
     ) -> Self {
         KdeOracle {
             model,
+            backends,
             query,
             query_errors,
             columns: OnceCell::new(),
@@ -109,8 +193,9 @@ impl<'a> KdeOracle<'a> {
     }
 
     /// The column caches for this query, built on the first subspace
-    /// evaluation. `None` when any cache failed to build (the naive path
-    /// then serves as the fallback — it performs the same validation and
+    /// evaluation. `None` when the backend has no columnar form (HBE) or
+    /// any cache failed to build — the per-subspace backend path then
+    /// serves as the fallback (it performs the same validation and
     /// surfaces the underlying error per query).
     fn columns(&self) -> Option<&ColumnSet> {
         if self.columns.get().is_some() {
@@ -121,15 +206,15 @@ impl<'a> KdeOracle<'a> {
         self.columns
             .get_or_init(|| {
                 let global = self
-                    .model
-                    .global_kde
+                    .backends
+                    .global
                     .kernel_columns(self.query, self.query_errors)
-                    .ok()?;
+                    .ok()??;
                 let per_class = self
-                    .model
-                    .class_kdes
+                    .backends
+                    .per_class
                     .iter()
-                    .map(|kde| kde.kernel_columns(self.query, self.query_errors).ok())
+                    .map(|be| be.kernel_columns(self.query, self.query_errors).ok()?)
                     .collect::<Option<Vec<_>>>()?;
                 Some(ColumnSet { global, per_class })
             })
@@ -148,17 +233,17 @@ impl AccuracyOracle for KdeOracle<'_> {
         let cached = self.columns();
         let global = match cached {
             Some(set) => set.global.density(subspace)?,
-            None => self.model.global_kde.density_subspace_with_error(
-                self.query,
-                self.query_errors,
-                subspace,
-            )?,
+            None => {
+                self.backends
+                    .global
+                    .density_subspace(self.query, self.query_errors, subspace)?
+            }
         };
         let mut out = Vec::with_capacity(self.model.labels.len());
-        for (i, kde) in self.model.class_kdes.iter().enumerate() {
+        for (i, be) in self.backends.per_class.iter().enumerate() {
             let class_density = match cached {
                 Some(set) => set.per_class[i].density(subspace)?,
-                None => kde.density_subspace_with_error(self.query, self.query_errors, subspace)?,
+                None => be.density_subspace(self.query, self.query_errors, subspace)?,
             };
             let a = if global > 0.0 {
                 self.model.priors[i] * class_density / global
@@ -256,6 +341,7 @@ impl DensityClassifier {
             class_kdes,
             global_kde,
             majority: majority.0,
+            runtime: BackendRuntime::default(),
         })
     }
 
@@ -364,6 +450,7 @@ impl DensityClassifier {
             class_kdes,
             global_kde,
             majority: majority.0,
+            runtime: BackendRuntime::default(),
         })
     }
 
@@ -415,6 +502,46 @@ impl DensityClassifier {
         }
     }
 
+    /// The runtime-selected default density backend spec (starts at
+    /// `Exact`; never persisted with the model).
+    pub fn backend_spec(&self) -> BackendSpec {
+        self.runtime.spec()
+    }
+
+    /// Selects the density backend every subsequent query evaluates
+    /// through. Interior mutability: works on a shared
+    /// `Arc<DensityClassifier>`, so a serving layer can flip backends
+    /// without refitting. The backend set is built eagerly so
+    /// construction errors surface here rather than per query.
+    ///
+    /// # Errors
+    ///
+    /// Spec validation or backend construction failures; the previous
+    /// default stays in effect on error.
+    pub fn set_backend(&self, spec: BackendSpec) -> Result<()> {
+        spec.validate()?;
+        self.backends_for(&spec)?;
+        if let Ok(mut guard) = self.runtime.default_spec.lock() {
+            *guard = spec;
+        }
+        Ok(())
+    }
+
+    /// The cached backend set for `spec`, building it on first use.
+    fn backends_for(&self, spec: &BackendSpec) -> Result<Arc<BackendSet>> {
+        let key = spec.to_string();
+        if let Ok(cache) = self.runtime.cache.lock() {
+            if let Some(set) = cache.get(&key) {
+                return Ok(Arc::clone(set));
+            }
+        }
+        let built = Arc::new(BackendSet::build(&self.global_kde, &self.class_kdes, spec)?);
+        if let Ok(mut cache) = self.runtime.cache.lock() {
+            cache.insert(key, Arc::clone(&built));
+        }
+        Ok(built)
+    }
+
     /// The local accuracy `A(x, S, l)` (Eq. 11) — exposed for inspection
     /// and examples.
     pub fn local_accuracy(
@@ -428,7 +555,8 @@ impl DensityClassifier {
             .iter()
             .position(|&l| l == label)
             .ok_or(UdmError::UnknownLabel(label.id()))?;
-        let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
+        let set = self.backends_for(&self.runtime.spec())?;
+        let oracle = KdeOracle::new(self, &set, x.values(), self.query_errors_of(x));
         Ok(oracle.accuracies(subspace)?[idx])
     }
 
@@ -443,7 +571,8 @@ impl DensityClassifier {
                 actual: x.dim(),
             });
         }
-        let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
+        let set = self.backends_for(&self.runtime.spec())?;
+        let oracle = KdeOracle::new(self, &set, x.values(), self.query_errors_of(x));
         self.scores_from(&oracle)
     }
 
@@ -479,7 +608,8 @@ impl DensityClassifier {
         udm_core::num::ensure_finite_slice("query point values", x.values())?;
         udm_core::num::ensure_finite_slice("query point errors", x.errors())?;
         let _span_point = udm_observe::span!("classify_point");
-        let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
+        let set = self.backends_for(&self.runtime.spec())?;
+        let oracle = KdeOracle::new(self, &set, x.values(), self.query_errors_of(x));
         self.decide(&oracle)
     }
 
@@ -500,6 +630,23 @@ impl DensityClassifier {
         &self,
         x: &UncertainPoint,
     ) -> Result<(ClassificationOutcome, Vec<(ClassLabel, f64)>)> {
+        self.classify_scored_with_backend(x, &self.runtime.spec())
+    }
+
+    /// Like [`DensityClassifier::classify_scored`], but evaluates every
+    /// density through the backend selected by `spec` for this call
+    /// only — the runtime default is untouched. Serving layers use this
+    /// for per-request backend overrides.
+    ///
+    /// # Errors
+    ///
+    /// As [`DensityClassifier::classify_scored`], plus spec validation
+    /// and backend construction failures.
+    pub fn classify_scored_with_backend(
+        &self,
+        x: &UncertainPoint,
+        spec: &BackendSpec,
+    ) -> Result<(ClassificationOutcome, Vec<(ClassLabel, f64)>)> {
         if x.dim() != self.dim {
             return Err(UdmError::DimensionMismatch {
                 expected: self.dim,
@@ -509,7 +656,8 @@ impl DensityClassifier {
         udm_core::num::ensure_finite_slice("query point values", x.values())?;
         udm_core::num::ensure_finite_slice("query point errors", x.errors())?;
         let _span_point = udm_observe::span!("classify_point");
-        let oracle = KdeOracle::new(self, x.values(), self.query_errors_of(x));
+        let set = self.backends_for(spec)?;
+        let oracle = KdeOracle::new(self, &set, x.values(), self.query_errors_of(x));
         let outcome = self.decide(&oracle)?;
         let scores = self.scores_from(&oracle)?;
         Ok((outcome, scores))
@@ -824,6 +972,99 @@ mod tests {
             assert_eq!(model.classify(p).unwrap(), restored.classify(p).unwrap());
         }
         assert!(DensityClassifier::from_json("{bad").is_err());
+    }
+
+    #[test]
+    fn exact_backend_default_is_bit_identical_to_pre_trait_path() {
+        // The trait refactor must not move a single bit: the default
+        // (Exact) backend and an explicit Exact override both reproduce
+        // the direct-KDE decision and scores exactly.
+        let g = informative_mixture();
+        let train = g.generate(400, 110);
+        let test = ErrorModel::paper(1.0)
+            .apply(&g.generate(40, 111), 112)
+            .unwrap();
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(40)).unwrap();
+        assert_eq!(model.backend_spec(), BackendSpec::Exact);
+        for p in test.iter() {
+            let (default_out, default_scores) = model.classify_scored(p).unwrap();
+            let (exact_out, exact_scores) = model
+                .classify_scored_with_backend(p, &BackendSpec::Exact)
+                .unwrap();
+            assert_eq!(default_out, exact_out);
+            for ((la, sa), (lb, sb)) in default_scores.iter().zip(exact_scores.iter()) {
+                assert_eq!(la, lb);
+                assert_eq!(sa.to_bits(), sb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_backends_mostly_agree_with_exact() {
+        let g = informative_mixture();
+        let train = g.generate(600, 120);
+        let test = g.generate(100, 121);
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(60)).unwrap();
+        for spec in [
+            BackendSpec::Coreset { eps: 0.05 },
+            BackendSpec::Hbe {
+                eps: 0.1,
+                tau: 0.05,
+            },
+        ] {
+            let mut agree = 0;
+            for p in test.iter() {
+                let exact = model.classify(p).unwrap();
+                let approx = model
+                    .classify_scored_with_backend(p, &spec)
+                    .unwrap()
+                    .0
+                    .label;
+                if exact == approx {
+                    agree += 1;
+                }
+            }
+            let rate = agree as f64 / test.len() as f64;
+            assert!(rate > 0.9, "{spec}: agreement {rate}");
+        }
+    }
+
+    #[test]
+    fn set_backend_flips_default_and_survives_clone_not_json() {
+        let g = informative_mixture();
+        let train = g.generate(300, 130);
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(30)).unwrap();
+        model
+            .set_backend(BackendSpec::Coreset { eps: 0.1 })
+            .unwrap();
+        assert_eq!(model.backend_spec(), BackendSpec::Coreset { eps: 0.1 });
+        // The spec follows a clone (runtime state copies, cache rebuilds)…
+        assert_eq!(
+            model.clone().backend_spec(),
+            BackendSpec::Coreset { eps: 0.1 }
+        );
+        // …but not serialization: persisted models are backend-agnostic.
+        let restored = DensityClassifier::from_json(&model.to_json().unwrap()).unwrap();
+        assert_eq!(restored.backend_spec(), BackendSpec::Exact);
+        // Invalid specs are rejected and leave the default untouched.
+        assert!(model
+            .set_backend(BackendSpec::Coreset { eps: 7.0 })
+            .is_err());
+        assert_eq!(model.backend_spec(), BackendSpec::Coreset { eps: 0.1 });
+    }
+
+    #[test]
+    fn backend_runtime_does_not_change_serialized_form() {
+        // `parallel_fit_equals_sequential_fit` compares JSON strings; the
+        // runtime field must serialize identically (Null) on every model.
+        let g = informative_mixture();
+        let train = g.generate(200, 140);
+        let model = DensityClassifier::fit(&train, ClassifierConfig::error_adjusted(20)).unwrap();
+        let before = model.to_json().unwrap();
+        model
+            .set_backend(BackendSpec::Hbe { eps: 0.2, tau: 0.1 })
+            .unwrap();
+        assert_eq!(model.to_json().unwrap(), before);
     }
 
     #[test]

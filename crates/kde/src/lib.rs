@@ -20,6 +20,9 @@
 //!
 //! Provided here:
 //!
+//! * [`backend`] — the pluggable [`DensityBackend`] trait and the
+//!   `exact | coreset:EPS | hbe:EPS[,TAU]` accuracy-vs-latency spec every
+//!   density consumer selects implementations through,
 //! * [`kernel`] — classic kernel functions (Gaussian, Epanechnikov, …),
 //! * [`error_kernel`] — the paper's error-based Gaussian kernel (Eq. 3) in
 //!   both paper-faithful and renormalized forms,
@@ -43,6 +46,7 @@
 #![warn(clippy::all)]
 
 pub mod ascii;
+pub mod backend;
 pub mod bandwidth;
 pub mod cdf;
 pub mod chunked;
@@ -57,6 +61,7 @@ pub mod quadrature;
 pub mod sampling;
 
 pub use ascii::{chart, sparkline};
+pub use backend::{BackendSpec, DensityBackend};
 pub use bandwidth::{silverman_bandwidth, silverman_robust_bandwidth, BandwidthRule};
 pub use cdf::{kde_cdf, kde_interval_mass, kde_quantile};
 pub use classic::ClassicKde;

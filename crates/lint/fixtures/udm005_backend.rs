@@ -1,0 +1,28 @@
+//! UDM005 fixture: methods of an `impl DensityBackend for …` block are
+//! estimator entry points even without `pub` (trait-object dispatch
+//! reaches them from outside). The unguarded `density` fires; the
+//! validating `density_checked` passes.
+
+pub struct Approximate {
+    scale: f64,
+}
+
+pub trait DensityBackend {
+    fn density(&self, x: &[f64]) -> f64;
+    fn density_checked(&self, x: &[f64]) -> f64;
+}
+
+impl DensityBackend for Approximate {
+    // Forwards raw floats with no guard: fires even though non-pub.
+    fn density(&self, x: &[f64]) -> f64 {
+        x.iter().map(|v| v * self.scale).sum()
+    }
+
+    // The compliant twin: validates finiteness before the arithmetic.
+    fn density_checked(&self, x: &[f64]) -> f64 {
+        if x.iter().any(|v| !v.is_finite()) {
+            return 0.0;
+        }
+        self.density(x)
+    }
+}

@@ -194,9 +194,76 @@ impl MicroClusterKde {
         })
     }
 
+    /// Builds an estimator directly from pseudo-points — the entry the
+    /// coreset backend uses to wrap a *reduced* pseudo-point set in the
+    /// same (columnar-cached) evaluation machinery as a fitted model.
+    ///
+    /// `total_n` is the original point count `N` the mixture normalizes
+    /// by; pseudo-point weights may sum to less when a reduction merged
+    /// or dropped mass — the caller owns that accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`UdmError::EmptyDataset`] on an empty pseudo-point set or
+    /// `total_n == 0`; [`UdmError::DimensionMismatch`] on ragged
+    /// pseudo-points or a wrong-arity bandwidth vector;
+    /// [`UdmError::InvalidValue`] on non-positive bandwidths.
+    pub fn from_pseudo_points(
+        pseudos: Vec<PseudoPoint>,
+        bandwidths: Vec<f64>,
+        form: ErrorKernelForm,
+        total_n: u64,
+    ) -> Result<Self> {
+        let first = pseudos.first().ok_or(UdmError::EmptyDataset)?;
+        if total_n == 0 {
+            return Err(UdmError::EmptyDataset);
+        }
+        let dim = first.dim();
+        if bandwidths.len() != dim {
+            return Err(UdmError::DimensionMismatch {
+                expected: dim,
+                actual: bandwidths.len(),
+            });
+        }
+        for &h in &bandwidths {
+            if !(h.is_finite() && h > 0.0) {
+                return Err(UdmError::InvalidValue {
+                    what: "bandwidth",
+                    value: h,
+                });
+            }
+        }
+        for p in &pseudos {
+            if p.dim() != dim || p.delta.len() != dim {
+                return Err(UdmError::DimensionMismatch {
+                    expected: dim,
+                    actual: p.dim(),
+                });
+            }
+        }
+        Ok(MicroClusterKde {
+            pseudos,
+            bandwidths,
+            kernel: GaussianErrorKernel::new(form),
+            total_n,
+            dim,
+            layout: LayoutCache::default(),
+        })
+    }
+
     /// Dimensionality of the estimator.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The pseudo-points of the mixture, in fit order.
+    pub fn pseudo_points(&self) -> &[PseudoPoint] {
+        &self.pseudos
+    }
+
+    /// The kernel normalization form the estimator was fitted with.
+    pub fn kernel_form(&self) -> ErrorKernelForm {
+        self.kernel.form()
     }
 
     /// Total number of original points represented (`N`).

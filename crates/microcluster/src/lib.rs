@@ -35,6 +35,8 @@
 //!   clusters (never created after warm-up, never discarded),
 //! * [`pseudo`] — Lemma 1 pseudo-points,
 //! * [`density`] — the micro-cluster density estimator (Eqs. 9–10),
+//! * [`backend`] — the `Exact` / `CoresetKde` / `HbeKde` implementations
+//!   of `udm_kde::backend::DensityBackend`, plus [`build_backend`],
 //! * [`snapshot`] — JSON persistence of maintainer state,
 //! * [`ingest`] — fault-tolerant ingest: per-record Accept / Repair /
 //!   Quarantine / Reject verdicts under a configurable degradation
@@ -52,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backend;
 pub mod checkpoint;
 pub mod density;
 pub mod diagnostics;
@@ -64,6 +67,7 @@ pub mod pyramid;
 pub mod shard;
 pub mod snapshot;
 
+pub use backend::{build_backend, model_fingerprint, CoresetKde, HbeKde};
 pub use checkpoint::{
     load_checkpoint, load_checkpoint_with_fallback, save_checkpoint, CheckpointDriver,
     CheckpointPayload, SCHEMA_VERSION,

@@ -18,8 +18,7 @@ use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 use udm_core::{Result, Subspace, UdmError};
-use udm_kde::KernelColumns;
-use udm_microcluster::MicroClusterKde;
+use udm_kde::{DensityBackend, KernelColumns};
 
 /// Batching knobs.
 #[derive(Debug, Clone)]
@@ -152,13 +151,19 @@ impl BatchQueue {
                 None => return,
             };
             // The Arc keeps the generation alive for the whole batch:
-            // every job in it is answered by one coherent model.
+            // every job in it is answered by one coherent model, through
+            // the snapshot's default density backend.
             let snap = store.load().filter(|s| s.kde.is_some());
             udm_observe::histogram_observe!("udm_serve_batch_size", batch.len() as f64);
             udm_observe::counter_inc!("udm_serve_density_batches_total");
-            match snap.as_ref().and_then(|s| s.kde.as_ref()) {
-                Some(kde) => evaluate_batch(kde, batch),
-                None => {
+            match snap.as_ref().map(|s| s.backend()) {
+                Some(Ok(Some(backend))) => evaluate_batch(backend.as_ref(), batch),
+                Some(Err(err)) => {
+                    for job in batch {
+                        let _ = job.reply.send(Err(err.clone()));
+                    }
+                }
+                Some(Ok(None)) | None => {
                     for job in batch {
                         let _ = job.reply.send(Err(UdmError::EmptyDataset));
                     }
@@ -196,15 +201,22 @@ impl BatchQueue {
 /// density evaluation per unique (query, subspace), every duplicate
 /// answered from the memo. Per-job errors are delivered per job, so a
 /// poisoned query cannot fail its neighbors.
-fn evaluate_batch(kde: &MicroClusterKde, batch: Vec<Job>) {
+///
+/// With a columnar backend (`Exact`, `Coreset`) the arithmetic is the
+/// same column build + evaluate the solo handler performs, so results
+/// stay bit-identical to the unbatched path. A backend without a
+/// columnar form (`Hbe` returns `Ok(None)`) is evaluated per unique
+/// (query, subspace) through [`DensityBackend::density_subspace`] —
+/// still deduplicated, just without a shared column cache.
+fn evaluate_batch(backend: &dyn DensityBackend, batch: Vec<Job>) {
     let batch_size = batch.len();
-    let mut columns: Vec<Result<KernelColumns>> = Vec::new();
+    let mut columns: Vec<Result<Option<KernelColumns>>> = Vec::new();
     let mut index: HashMap<QueryKey, usize> = HashMap::new();
     let mut memo: HashMap<(usize, u64), f64> = HashMap::new();
     for job in &batch {
         let key = QueryKey::of(&job.values, job.errors.as_deref());
         if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(key) {
-            let built = kde.kernel_columns(&job.values, job.errors.as_deref());
+            let built = backend.kernel_columns(&job.values, job.errors.as_deref());
             slot.insert(columns.len());
             columns.push(built);
         }
@@ -217,21 +229,31 @@ fn evaluate_batch(kde: &MicroClusterKde, batch: Vec<Job>) {
     for job in batch {
         let key = QueryKey::of(&job.values, job.errors.as_deref());
         let result = match index.get(&key).map(|&slot| (slot, &columns[slot])) {
-            Some((slot, Ok(cols))) => {
+            Some((slot, Ok(cached))) => {
                 let memo_key = (slot, job.subspace.bits());
-                let density = match memo.get(&memo_key) {
-                    Some(&d) => Ok(d),
+                let (density, columnar) = match memo.get(&memo_key) {
+                    Some(&d) => (Ok(d), cached.as_ref().is_some_and(|c| c.is_columnar())),
                     None => {
-                        let d = cols.density(job.subspace);
+                        let (d, columnar) = match cached {
+                            Some(cols) => (cols.density(job.subspace), cols.is_columnar()),
+                            None => (
+                                backend.density_subspace(
+                                    &job.values,
+                                    job.errors.as_deref(),
+                                    job.subspace,
+                                ),
+                                false,
+                            ),
+                        };
                         if let Ok(v) = d {
                             memo.insert(memo_key, v);
                         }
-                        d
+                        (d, columnar)
                     }
                 };
                 density.map(|density| DensityReply {
                     density,
-                    columnar: cols.is_columnar(),
+                    columnar,
                     batch_size,
                     unique_builds,
                 })
@@ -250,7 +272,7 @@ mod tests {
     use std::sync::Arc;
     use udm_core::UncertainPoint;
     use udm_microcluster::shard::MicroClusterModel;
-    use udm_microcluster::{MaintainerConfig, MicroClusterMaintainer};
+    use udm_microcluster::{MaintainerConfig, MicroClusterKde, MicroClusterMaintainer};
 
     fn store_with_model() -> Arc<SnapshotStore> {
         let mut m = MicroClusterMaintainer::new(3, MaintainerConfig::new(8)).unwrap();
@@ -262,7 +284,12 @@ mod tests {
             m.insert(&p).unwrap();
         }
         let model = MicroClusterModel::from_clusters(3, m.into_clusters()).unwrap();
-        let kde = MicroClusterKde::fit(model.clusters(), udm_kde::KdeConfig::error_adjusted()).ok();
+        // `.expect`, not `.ok()`: a fit failure here is a broken test
+        // fixture and must fail loudly, not serve a KDE-less snapshot.
+        let kde = Some(
+            MicroClusterKde::fit(model.clusters(), udm_kde::KdeConfig::error_adjusted())
+                .expect("test model must fit"),
+        );
         let store = SnapshotStore::new();
         store.publish(ModelSnapshot::new(
             1,

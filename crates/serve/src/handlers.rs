@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use udm_core::num::ensure_finite_slice;
 use udm_core::{Result, Subspace, UdmError};
+use udm_kde::{BackendSpec, DensityBackend};
 
 /// A `/density` request body.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -22,6 +23,12 @@ pub struct DensityRequest {
     pub errors: Option<Vec<f64>>,
     /// Subspace dimensions (absent = full space).
     pub dims: Option<Vec<usize>>,
+    /// Per-request density backend override
+    /// (`exact | coreset:EPS | hbe:EPS[,TAU]`; absent = the snapshot's
+    /// default). Overridden requests are answered inline — they never
+    /// enter the batch queue, so default-backend batching stays
+    /// bit-identical.
+    pub backend: Option<String>,
 }
 
 /// A `/density` response body.
@@ -44,6 +51,9 @@ pub struct ClassifyRequest {
     pub values: Vec<f64>,
     /// Optional per-dimension errors ψ(x).
     pub errors: Option<Vec<f64>>,
+    /// Per-request density backend override (absent = the classifier's
+    /// runtime default).
+    pub backend: Option<String>,
 }
 
 /// One class score entry.
@@ -120,6 +130,9 @@ pub struct HealthzResponse {
     pub snapshot_age_seconds: f64,
     /// Whether the classifier endpoint is available.
     pub classifier: bool,
+    /// The snapshot's default density backend spec (empty until the
+    /// first snapshot is published).
+    pub backend: String,
 }
 
 /// Maps an evaluation error to its HTTP status: caller mistakes are
@@ -149,15 +162,44 @@ fn subspace_of(dims: Option<&[usize]>, dim: usize) -> Result<Subspace> {
     }
 }
 
-/// Answers a `/density` request. When a batch queue is wired in, the
-/// query is funneled through it (and may be coalesced with concurrent
-/// requests); otherwise the columns are built and evaluated inline.
-/// Both paths run the same arithmetic, so responses are bit-identical.
+/// Evaluates one density query against a resolved backend: the
+/// columnar fast path when the backend factorizes, the generic
+/// `density_subspace` entry otherwise.
+fn density_via_backend(
+    backend: &dyn DensityBackend,
+    req: &DensityRequest,
+    subspace: Subspace,
+    generation: u64,
+) -> Result<DensityResponse> {
+    if let Some(cols) = backend.kernel_columns(&req.values, req.errors.as_deref())? {
+        return Ok(DensityResponse {
+            density: cols.density(subspace)?,
+            generation,
+            batch_size: 1,
+            columnar: cols.is_columnar(),
+        });
+    }
+    Ok(DensityResponse {
+        density: backend.density_subspace(&req.values, req.errors.as_deref(), subspace)?,
+        generation,
+        batch_size: 1,
+        columnar: false,
+    })
+}
+
+/// Answers a `/density` request. When a batch queue is wired in and no
+/// backend override is present, the query is funneled through it (and
+/// may be coalesced with concurrent requests); otherwise the snapshot's
+/// backend evaluates inline. Queue and inline paths run the same
+/// arithmetic under the default backend, so responses are bit-identical.
+/// Per-request overrides always evaluate inline against a cached
+/// backend built for that spec.
 ///
 /// # Errors
 ///
-/// Validation errors (400 class), [`UdmError::EmptyDataset`] before the
-/// first snapshot with data (503), evaluation failures.
+/// Validation errors (400 class, including malformed backend specs),
+/// [`UdmError::EmptyDataset`] before the first snapshot with data
+/// (503), evaluation failures.
 pub fn handle_density(
     store: &SnapshotStore,
     queue: Option<&BatchQueue>,
@@ -175,6 +217,11 @@ pub fn handle_density(
     }
     let snap = snapshot_or_unready(store)?;
     let subspace = subspace_of(req.dims.as_deref(), req.values.len())?;
+    if let Some(text) = req.backend.as_deref() {
+        let spec = BackendSpec::parse(text)?;
+        let backend = snap.backend_for(&spec)?.ok_or(UdmError::EmptyDataset)?;
+        return density_via_backend(backend.as_ref(), req, subspace, snap.generation);
+    }
     if let Some(queue) = queue {
         let reply = queue.submit(req.values.clone(), req.errors.clone(), subspace)?;
         return Ok(DensityResponse {
@@ -184,14 +231,8 @@ pub fn handle_density(
             columnar: reply.columnar,
         });
     }
-    let kde = snap.kde.as_ref().ok_or(UdmError::EmptyDataset)?;
-    let cols = kde.kernel_columns(&req.values, req.errors.as_deref())?;
-    Ok(DensityResponse {
-        density: cols.density(subspace)?,
-        generation: snap.generation,
-        batch_size: 1,
-        columnar: cols.is_columnar(),
-    })
+    let backend = snap.backend()?.ok_or(UdmError::EmptyDataset)?;
+    density_via_backend(backend.as_ref(), req, subspace, snap.generation)
 }
 
 /// Answers a `/classify` request via `classify_scored` (decision and
@@ -213,7 +254,13 @@ pub fn handle_classify(store: &SnapshotStore, req: &ClassifyRequest) -> Result<C
         .clone()
         .unwrap_or_else(|| vec![0.0; req.values.len()]);
     let point = udm_core::UncertainPoint::new(req.values.clone(), errors)?;
-    let (outcome, scores) = classifier.classify_scored(&point)?;
+    let (outcome, scores) = match req.backend.as_deref() {
+        Some(text) => {
+            let spec = BackendSpec::parse(text)?;
+            classifier.classify_scored_with_backend(&point, &spec)?
+        }
+        None => classifier.classify_scored(&point)?,
+    };
     Ok(ClassifyResponse {
         label: outcome.label.id(),
         used_fallback: outcome.used_fallback,
@@ -293,6 +340,7 @@ pub fn handle_healthz(store: &SnapshotStore, min_coverage: f64) -> (u16, Healthz
                 model_fingerprint: String::new(),
                 snapshot_age_seconds: 0.0,
                 classifier: false,
+                backend: String::new(),
             },
         ),
         Some(snap) => {
@@ -309,6 +357,7 @@ pub fn handle_healthz(store: &SnapshotStore, min_coverage: f64) -> (u16, Healthz
                 model_fingerprint: format!("{:016x}", snap.model_fingerprint()),
                 snapshot_age_seconds: snap.age_seconds(),
                 classifier: snap.classifier.is_some(),
+                backend: snap.backend_spec.to_string(),
             };
             (if healthy { 200 } else { 503 }, body)
         }
@@ -374,6 +423,7 @@ mod tests {
                 values: vec![0.5, 0.5],
                 errors: None,
                 dims: None,
+                backend: None,
             },
         )
         .unwrap();
@@ -388,6 +438,7 @@ mod tests {
                 values: vec![f64::NAN, 0.0],
                 errors: None,
                 dims: None,
+                backend: None,
             },
         );
         assert!(nan.is_err());
@@ -400,6 +451,7 @@ mod tests {
                 values: vec![0.5, 0.5],
                 errors: Some(vec![0.1]),
                 dims: None,
+                backend: None,
             },
         );
         assert!(lopsided.is_err());
@@ -422,6 +474,7 @@ mod tests {
                 values: vec![1.0, 2.0],
                 errors: None,
                 dims: Some(vec![1]),
+                backend: None,
             },
         )
         .unwrap();
@@ -440,6 +493,7 @@ mod tests {
             &ClassifyRequest {
                 values: vec![5.0, 4.5],
                 errors: None,
+                backend: None,
             },
         )
         .unwrap();
@@ -449,6 +503,91 @@ mod tests {
         assert_eq!(got.scores.len(), 2);
         let total: f64 = got.scores.iter().map(|s| s.score).sum();
         assert!((total - 1.0).abs() < 1e-9 || total.abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_backend_override_serves_inline() {
+        let store = labelled_store();
+        let base = DensityRequest {
+            values: vec![0.5, 0.5],
+            errors: None,
+            dims: None,
+            backend: None,
+        };
+        let default = handle_density(&store, None, &base).unwrap();
+
+        // An explicit exact override is bit-identical to the default.
+        let exact = handle_density(
+            &store,
+            None,
+            &DensityRequest {
+                backend: Some("exact".into()),
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(exact.density.to_bits(), default.density.to_bits());
+        assert!(exact.columnar);
+
+        // Approximate overrides answer with finite positive estimates.
+        for spec in ["coreset:0.05", "hbe:0.2"] {
+            let got = handle_density(
+                &store,
+                None,
+                &DensityRequest {
+                    backend: Some(spec.into()),
+                    ..base.clone()
+                },
+            )
+            .unwrap();
+            assert!(got.density.is_finite() && got.density > 0.0, "{spec}");
+        }
+
+        // A malformed spec is a caller mistake, not a server fault.
+        let bad = handle_density(
+            &store,
+            None,
+            &DensityRequest {
+                backend: Some("coreset:nope".into()),
+                ..base
+            },
+        );
+        assert!(bad.is_err());
+        assert_eq!(status_for(&bad.unwrap_err()), 400);
+    }
+
+    #[test]
+    fn classify_backend_override_matches_default_for_exact() {
+        let store = labelled_store();
+        let base = ClassifyRequest {
+            values: vec![5.0, 4.5],
+            errors: None,
+            backend: None,
+        };
+        let default = handle_classify(&store, &base).unwrap();
+        let exact = handle_classify(
+            &store,
+            &ClassifyRequest {
+                backend: Some("exact".into()),
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(exact.label, default.label);
+        for (a, b) in exact.scores.iter().zip(default.scores.iter()) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+
+        // A coreset override still classifies the far mode correctly.
+        let coreset = handle_classify(
+            &store,
+            &ClassifyRequest {
+                backend: Some("coreset:0.05".into()),
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(coreset.label, default.label);
     }
 
     #[test]
@@ -482,6 +621,7 @@ mod tests {
         assert_eq!(body.points, 200);
         assert!(body.classifier);
         assert_eq!(body.model_fingerprint.len(), 16);
+        assert_eq!(body.backend, "exact");
 
         // Same store judged against an impossible coverage floor.
         let (code, body) = handle_healthz(&store, 1.5);

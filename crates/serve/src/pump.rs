@@ -18,9 +18,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use udm_classify::DensityClassifier;
-use udm_core::Result;
+use udm_core::{Result, UdmError};
 use udm_data::fault::RawRecord;
-use udm_kde::KdeConfig;
+use udm_kde::{BackendSpec, KdeConfig};
 use udm_microcluster::ingest::{IngestCounters, IngestPolicy};
 use udm_microcluster::shard::{KillPlan, ShardPlan, ShardRunReport, ShardSupervisor};
 use udm_microcluster::{MaintainerConfig, MicroClusterKde, MicroClusterModel};
@@ -68,6 +68,9 @@ pub struct PumpConfig {
     /// Sleep between chunks (throttles ingest so chaos drills can catch
     /// the pump mid-stream; zero for full speed).
     pub chunk_delay: Duration,
+    /// The density backend every published snapshot serves through by
+    /// default (and the classifier's default, when one is attached).
+    pub backend: BackendSpec,
 }
 
 impl Default for PumpConfig {
@@ -77,6 +80,7 @@ impl Default for PumpConfig {
             kill_plan: KillPlan::none(),
             ingest_limit: None,
             chunk_delay: Duration::ZERO,
+            backend: BackendSpec::Exact,
         }
     }
 }
@@ -112,6 +116,12 @@ impl IngestPump {
         kde_config: KdeConfig,
         config: PumpConfig,
     ) -> Result<Self> {
+        config.backend.validate()?;
+        if let Some(c) = &classifier {
+            // The classifier's default backend follows the pump's, so
+            // `/classify` without an override and the CLI agree.
+            c.set_backend(config.backend)?;
+        }
         let warm = plan.has_checkpoints();
         let supervisor = if warm {
             ShardSupervisor::recover(dim, maintainer, policy, plan)?
@@ -138,9 +148,23 @@ impl IngestPump {
     /// Merge failures from degraded checkpoint loads.
     pub fn publish(&mut self, store: &SnapshotStore) -> Result<u64> {
         let (model, coverage) = self.supervisor.serve()?;
-        // An empty model (nothing admitted yet) publishes without a KDE;
-        // density/classify answer 503 until data arrives.
-        let kde = MicroClusterKde::fit(model.clusters(), self.kde_config).ok();
+        let kde = match MicroClusterKde::fit(model.clusters(), self.kde_config) {
+            Ok(kde) => Some(kde),
+            // An empty model (nothing admitted yet) is the expected
+            // cold-start state: publish without a KDE; density/classify
+            // answer 503 until data arrives.
+            Err(UdmError::EmptyDataset) => None,
+            Err(err) => {
+                // Any other failure is a real problem — surface it
+                // instead of silently serving a density-less snapshot.
+                udm_observe::counter_inc!("udm_serve_kde_fit_failures_total");
+                eprintln!(
+                    "udm-serve: KDE fit failed at generation {}: {err} (publishing without density)",
+                    self.generation + 1
+                );
+                None
+            }
+        };
         let counters = self.supervisor.report().merged_counters();
         self.generation += 1;
         let snapshot = ModelSnapshot::new(
@@ -151,7 +175,8 @@ impl IngestPump {
             coverage,
             counters,
             self.supervisor.report().offered,
-        );
+        )
+        .with_backend_spec(self.config.backend);
         udm_observe::gauge_set!("udm_serve_coverage", coverage);
         Ok(store.publish(snapshot))
     }
@@ -294,6 +319,27 @@ mod tests {
         assert_eq!(last.model.total_points(), 100);
         assert!(last.kde.is_some());
         assert!(last.verify());
+    }
+
+    #[test]
+    fn pump_stamps_snapshots_with_its_backend_spec() {
+        let store = SnapshotStore::new();
+        let p = plan("backend", 2);
+        let mut pump = pump(
+            p,
+            records(60, 2),
+            PumpConfig {
+                refresh_every: 30,
+                backend: BackendSpec::Coreset { eps: 0.25 },
+                ..PumpConfig::default()
+            },
+        );
+        while pump.step().unwrap() {
+            pump.publish(&store).unwrap();
+        }
+        let snap = store.load().unwrap();
+        assert_eq!(snap.backend_spec, BackendSpec::Coreset { eps: 0.25 });
+        assert_eq!(snap.backend().unwrap().unwrap().name(), "coreset");
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! identity fields, giving the concurrency stress tests an independent
 //! torn-read detector.
 
-use std::sync::{Arc, RwLock};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use udm_classify::DensityClassifier;
+use udm_core::Result;
+use udm_kde::{BackendSpec, DensityBackend};
 use udm_microcluster::shard::{AggregateCft, MicroClusterModel};
-use udm_microcluster::MicroClusterKde;
+use udm_microcluster::{build_backend, MicroClusterKde};
 
 /// Re-exported ingest counters type carried by each snapshot.
 pub use udm_microcluster::ingest::IngestCounters;
@@ -74,6 +77,12 @@ pub struct ModelSnapshot {
     pub ingested: u64,
     /// When the snapshot was published (staleness accounting).
     pub published: Instant,
+    /// The density backend this generation serves through by default
+    /// (per-request overrides still resolve against the same snapshot).
+    pub backend_spec: BackendSpec,
+    /// Lazily-built, per-spec backend cache: coreset/HBE constructions
+    /// run once per (snapshot, spec), then every query shares the `Arc`.
+    backends: Mutex<HashMap<String, Arc<dyn DensityBackend>>>,
     checksum: u64,
 }
 
@@ -98,10 +107,57 @@ impl ModelSnapshot {
             counters,
             ingested,
             published: Instant::now(),
+            backend_spec: BackendSpec::Exact,
+            backends: Mutex::new(HashMap::new()),
             checksum: 0,
         };
         snap.checksum = snap.compute_checksum();
         snap
+    }
+
+    /// Selects the default density backend this snapshot serves through
+    /// (builder-style; the checksum covers identity fields only, so the
+    /// spec can be applied after construction).
+    #[must_use]
+    pub fn with_backend_spec(mut self, spec: BackendSpec) -> Self {
+        self.backend_spec = spec;
+        self
+    }
+
+    /// The default density backend over this snapshot's KDE, or `None`
+    /// while no KDE has been fitted (data endpoints answer 503 then).
+    ///
+    /// # Errors
+    ///
+    /// Backend construction failures (invalid spec knobs).
+    pub fn backend(&self) -> Result<Option<Arc<dyn DensityBackend>>> {
+        let spec = self.backend_spec;
+        self.backend_for(&spec)
+    }
+
+    /// The density backend for an explicit spec — the per-request
+    /// override path. Built on first use, then shared via the per-spec
+    /// cache (snapshots are immutable, so a built backend never goes
+    /// stale within its generation).
+    ///
+    /// # Errors
+    ///
+    /// Backend construction failures (invalid spec knobs).
+    pub fn backend_for(&self, spec: &BackendSpec) -> Result<Option<Arc<dyn DensityBackend>>> {
+        let Some(kde) = &self.kde else {
+            return Ok(None);
+        };
+        let key = spec.to_string();
+        if let Ok(cache) = self.backends.lock() {
+            if let Some(be) = cache.get(&key) {
+                return Ok(Some(Arc::clone(be)));
+            }
+        }
+        let built = build_backend(kde, spec)?;
+        if let Ok(mut cache) = self.backends.lock() {
+            cache.insert(key, Arc::clone(&built));
+        }
+        Ok(Some(built))
     }
 
     fn compute_checksum(&self) -> u64 {
@@ -203,6 +259,36 @@ mod tests {
             IngestCounters::default(),
             points as u64,
         )
+    }
+
+    #[test]
+    fn snapshot_serves_backends_per_spec() {
+        let snap = snapshot_of(1, 12, 0.0).with_backend_spec(BackendSpec::Coreset { eps: 0.2 });
+        assert!(snap.verify(), "backend spec must not disturb the checksum");
+        let default = snap.backend().unwrap().unwrap();
+        assert_eq!(default.name(), "coreset");
+        // The cache hands back the same instance for the same spec…
+        let again = snap.backend().unwrap().unwrap();
+        assert!(Arc::ptr_eq(&default, &again));
+        // …and an override resolves independently.
+        let exact = snap.backend_for(&BackendSpec::Exact).unwrap().unwrap();
+        assert_eq!(exact.name(), "exact");
+        let s = udm_core::Subspace::full(2).unwrap();
+        let d_exact = exact.density_subspace(&[1.0, 1.0], None, s).unwrap();
+        let d_kde = snap
+            .kde
+            .as_ref()
+            .unwrap()
+            .density_subspace_with_error(&[1.0, 1.0], None, s)
+            .unwrap();
+        assert_eq!(d_exact.to_bits(), d_kde.to_bits());
+    }
+
+    #[test]
+    fn kdeless_snapshot_has_no_backend() {
+        let model = model_of(5, 0.0);
+        let snap = ModelSnapshot::new(1, model, None, None, 1.0, IngestCounters::default(), 5);
+        assert!(snap.backend().unwrap().is_none());
     }
 
     #[test]
